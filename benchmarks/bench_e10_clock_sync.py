@@ -1,0 +1,55 @@
+"""E10 — clock synchronization: skew epsilon(1 - 1/n) is tight (§2.2.6, [77]).
+
+Paper claims reproduced:
+* the Lundelius–Lynch averaging algorithm's exact worst-case skew equals
+  epsilon(1 - 1/n) at every n (corner-exact search);
+* the naive follow-the-leader algorithm pays the full epsilon;
+* the diagram-stretching pair of indistinguishable executions forces at
+  least epsilon/2 on every algorithm whatsoever.
+"""
+
+from conftest import record
+
+from repro.clocks import (
+    do_nothing_algorithm,
+    follow_zero_algorithm,
+    lundelius_lynch_algorithm,
+    optimal_bound,
+    stretching_bound,
+    worst_case_skew,
+)
+
+
+def test_e10_lundelius_lynch_exact(benchmark):
+    def sweep():
+        return {n: worst_case_skew(lundelius_lynch_algorithm, n)
+                for n in (2, 3, 4)}
+
+    skews = benchmark(sweep)
+    record(benchmark, skews={str(n): s for n, s in skews.items()},
+           bounds={str(n): optimal_bound(n) for n in skews})
+    for n, skew in skews.items():
+        assert abs(skew - optimal_bound(n)) < 1e-9
+
+
+def test_e10_naive_baseline_pays_epsilon(benchmark):
+    skew = benchmark(lambda: worst_case_skew(follow_zero_algorithm, 4))
+    record(benchmark, skew=skew)
+    assert abs(skew - 1.0) < 1e-9
+    assert skew > optimal_bound(4)
+
+
+def test_e10_stretching_bound_universal(benchmark):
+    def sweep():
+        return {
+            name: stretching_bound(algorithm, 3, 1.0)
+            for name, algorithm in [
+                ("lundelius-lynch", lundelius_lynch_algorithm),
+                ("follow-zero", follow_zero_algorithm),
+                ("do-nothing", do_nothing_algorithm),
+            ]
+        }
+
+    forced = benchmark(sweep)
+    record(benchmark, forced=forced)
+    assert all(v >= 0.5 - 1e-9 for v in forced.values())

@@ -1,0 +1,75 @@
+"""E11 — the wait-free consensus hierarchy (§2.3, [65, 76]).
+
+Paper claims reproduced (exhaustively over all schedules per protocol):
+registers fail 2-process consensus; TAS and the queue solve 2 but the
+natural TAS extension fails 3; CAS solves every n tried.  Plus the
+register side of the section: regular registers admit new/old inversion,
+one reader can repair it locally, two non-writing readers cannot.
+"""
+
+from conftest import record
+
+from repro.registers import (
+    check_register_history,
+    check_seq_register_history,
+    hierarchy_table,
+    inversion_history,
+    register_consensus_certificate,
+    single_reader_histories,
+    two_reader_failure,
+)
+
+
+def test_e11_hierarchy_table(benchmark):
+    table = benchmark(hierarchy_table)
+    rows = {
+        f"{v.protocol_name}@n{v.n}": v.solves_consensus for v in table
+    }
+    record(benchmark, table=rows,
+           configurations={f"{v.protocol_name}@n{v.n}": v.configurations
+                           for v in table})
+    assert rows == {
+        "register-consensus@n2": False,
+        "tas-consensus-2@n2": True,
+        "tas-consensus-3@n3": False,
+        "queue-consensus-2@n2": True,
+        "cas-consensus@n2": True,
+        "cas-consensus@n3": True,
+    }
+
+
+def test_e11_exhaustive_register_consensus_search(benchmark):
+    """All 1124 symmetric depth-2 read/write programs fail — the searched-
+    class form of 'registers have consensus number 1'."""
+    cert = benchmark(lambda: register_consensus_certificate(depth=2))
+    record(
+        benchmark,
+        candidates=cert.candidates_checked,
+        agreement_failures=cert.details["agreement_failures"],
+        validity_failures=cert.details["validity_failures"],
+    )
+    assert cert.candidates_checked == 1124
+
+
+def test_e11_regular_register_boundary(benchmark):
+    def verify():
+        return {
+            "raw_regular_linearizable": check_register_history(
+                inversion_history(), initial=0
+            ) is not None,
+            "one_reader_repaired": all(
+                check_seq_register_history(h) is not None
+                for h in single_reader_histories(seeds=range(15))
+            ),
+            "two_readers_fail": check_seq_register_history(
+                two_reader_failure()
+            ) is not None,
+        }
+
+    outcome = benchmark(verify)
+    record(benchmark, **outcome)
+    assert outcome == {
+        "raw_regular_linearizable": False,
+        "one_reader_repaired": True,
+        "two_readers_fail": False,
+    }

@@ -1,0 +1,54 @@
+"""E12 — anonymous rings: symmetry forbids election; coins restore it
+(§2.4.1, Angluin [7], Itai–Rodeh [66]).
+
+Paper claims reproduced: every deterministic anonymous candidate either
+elects nobody or everybody under the symmetric schedule, at every ring
+size; the randomized algorithm elects exactly one leader with empirical
+probability 1 and O(n) expected messages per phase.
+"""
+
+from conftest import record
+
+from repro.rings import (
+    MaxTokenProtocol,
+    SilentProtocol,
+    itai_rodeh_election,
+    symmetry_certificate,
+)
+
+
+def test_e12_symmetry_table(benchmark):
+    def sweep():
+        rows = {}
+        for n in (2, 3, 5, 8, 13):
+            rows[f"max-token@{n}"] = symmetry_certificate(
+                MaxTokenProtocol(), n
+            ).details["leaders_declared"]
+            rows[f"silent@{n}"] = symmetry_certificate(
+                SilentProtocol(), n
+            ).details["leaders_declared"]
+        return rows
+
+    rows = benchmark(sweep)
+    record(benchmark, leaders_declared=rows)
+    for key, leaders in rows.items():
+        n = int(key.split("@")[1])
+        assert leaders in (0, n)  # never exactly one
+
+
+def test_e12_itai_rodeh_succeeds(benchmark):
+    def sweep():
+        successes = 0
+        total_messages = 0
+        trials = 25
+        for seed in range(trials):
+            result = itai_rodeh_election(6, seed=seed)
+            if result.election_complete:
+                successes += 1
+            total_messages += result.messages
+        return successes, trials, total_messages / trials
+
+    successes, trials, mean_messages = benchmark(sweep)
+    record(benchmark, successes=successes, trials=trials,
+           mean_messages=mean_messages)
+    assert successes == trials

@@ -1,0 +1,83 @@
+"""E13 — ring election costs Theta(n log n) messages (§2.4.2).
+
+Paper claims reproduced:
+* LCR's worst case is exactly n(n+1)/2 + n (quadratic), HS stays within
+  8 n log n + 4n, and the crossover falls between n = 8 and n = 32;
+* bit-reversal rings are maximally comparison-symmetric (every aligned
+  segment order-equivalent), the structure behind the Omega(n log n)
+  bounds;
+* the time-slice counterexample algorithm gets away with exactly n
+  messages by paying time proportional to n * min_id — the assumption in
+  the synchronous lower bound is necessary.
+"""
+
+import math
+
+from conftest import record
+
+from repro.rings import (
+    bit_reversal_ring,
+    hs_election,
+    lcr_election,
+    order_equivalent_segments,
+    ring_election_certificate,
+    timeslice_election,
+    worst_case_ring,
+)
+
+
+def test_e13_message_series(benchmark):
+    cert = benchmark(lambda: ring_election_certificate(sizes=(8, 16, 32, 64, 128)))
+    record(benchmark,
+           hs=cert.details["hs_messages"],
+           lcr_worst=cert.details["lcr_worst_messages"])
+    cert.revalidate()
+    hs = cert.details["hs_messages"]
+    lcr = cert.details["lcr_worst_messages"]
+    assert lcr[8] < hs[8]      # small rings: the simple algorithm wins
+    assert hs[64] < lcr[64]    # large rings: n log n wins
+    assert hs[128] < lcr[128]
+
+
+def test_e13_lcr_worst_case_exact(benchmark):
+    def sweep():
+        return {n: lcr_election(worst_case_ring(n)).messages
+                for n in (16, 64, 128)}
+
+    series = benchmark(sweep)
+    record(benchmark, series={str(n): m for n, m in series.items()})
+    for n, messages in series.items():
+        assert messages == n * (n + 1) // 2 + n
+
+
+def test_e13_symmetric_ring_structure(benchmark):
+    def measure():
+        rows = {}
+        for k in (3, 4, 5):
+            ring = bit_reversal_ring(k)
+            rows[2 ** k] = all(
+                order_equivalent_segments(ring, 2 ** j) == 2 ** (k - j)
+                for j in range(1, k)
+            )
+        return rows
+
+    rows = benchmark(measure)
+    record(benchmark, fully_symmetric=rows)
+    assert all(rows.values())
+
+
+def test_e13_timeslice_counterexample(benchmark):
+    def run():
+        rows = {}
+        for min_id in (1, 4, 8):
+            idents = [min_id] + [min_id + 10 + i for i in range(7)]
+            result = timeslice_election(idents)
+            rows[min_id] = (result.messages, result.rounds)
+        return rows
+
+    rows = benchmark(run)
+    record(benchmark, rows={str(k): list(v) for k, v in rows.items()})
+    n = 8
+    for min_id, (messages, rounds) in rows.items():
+        assert messages == n                      # O(n) messages...
+        assert rounds >= (min_id - 1) * n         # ...time scaling with IDs

@@ -1,0 +1,52 @@
+"""E14 — general graphs: Omega(e) messages to involve every edge (§2.4.5).
+
+Paper claims reproduced: flooding election touches every edge on every
+topology tried (messages >= e always), builds a spanning tree, and the
+hidden-node construction shows why a skipped edge is fatal.
+"""
+
+import networkx as nx
+from conftest import record
+
+from repro.rings import (
+    edge_involvement_series,
+    flooding_election,
+    hidden_node_demonstration,
+)
+
+
+def _graphs():
+    return {
+        "cycle-16": nx.cycle_graph(16),
+        "complete-10": nx.complete_graph(10),
+        "tree-31": nx.balanced_tree(2, 4),
+        "grid-5x5": nx.grid_2d_graph(5, 5),
+        "small-world-20": nx.connected_watts_strogatz_graph(20, 4, 0.2, seed=9),
+    }
+
+
+def test_e14_edge_involvement(benchmark):
+    series = benchmark(lambda: edge_involvement_series(_graphs()))
+    record(benchmark, series={k: list(v) for k, v in series.items()})
+    for name, (messages, edges, involved) in series.items():
+        assert involved, name
+        assert messages >= edges, name
+
+
+def test_e14_spanning_trees(benchmark):
+    def verify():
+        ok = True
+        for name, graph in _graphs().items():
+            if isinstance(next(iter(graph.nodes)), tuple):
+                graph = nx.convert_node_labels_to_integers(graph)
+            result = flooding_election(graph, seed=2)
+            ok = ok and result.tree_is_spanning(graph)
+        return ok
+
+    assert benchmark(verify)
+
+
+def test_e14_hidden_node(benchmark):
+    small, big = benchmark(lambda: hidden_node_demonstration(n_path=5))
+    record(benchmark, small_answer=small, big_answer=big)
+    assert small == big  # indistinguishable despite different true maxima

@@ -1,0 +1,60 @@
+"""E15 — data-link impossibilities: crashes and bounded headers (§2.5, [78]).
+
+Paper claims reproduced:
+* one memory-erasing crash defeats the alternating-bit protocol
+  (duplication) — reliable delivery is impossible under such crashes;
+* bounded headers fall to the stolen-packet wraparound replay while
+  unbounded headers survive the identical channel behaviour;
+* the price of safety: retransmissions grow with loss and header bits
+  grow with the message count (the survey's open question 5 terrain).
+"""
+
+from conftest import record
+
+from repro.datalink import (
+    AlternatingBitReceiver,
+    AlternatingBitSender,
+    FairLossyScheduler,
+    bounded_header_attack,
+    crash_attack,
+    packet_growth,
+    run_datalink,
+)
+
+
+def test_e15_crash_attack(benchmark):
+    cert = benchmark(crash_attack)
+    record(benchmark, delivered=cert.details["delivered"])
+    cert.revalidate()
+
+
+def test_e15_bounded_header_attack(benchmark):
+    cert = benchmark(lambda: bounded_header_attack(2))
+    record(benchmark,
+           bounded_delivered=cert.details["bounded_delivered"],
+           unbounded_delivered=cert.details["unbounded_delivered"])
+    assert cert.details["bounded_delivered"] == ["a", "b", "a"]
+    assert cert.details["unbounded_delivered"] == ["a", "b"]
+
+
+def test_e15_packet_growth(benchmark):
+    growth = benchmark(lambda: packet_growth(message_counts=(4, 8, 16, 32)))
+    record(benchmark, growth={str(k): v for k, v in growth.items()})
+    assert growth[32]["header_bits"] > growth[4]["header_bits"]
+
+
+def test_e15_retransmission_vs_loss(benchmark):
+    def sweep():
+        rows = {}
+        for loss in (0.1, 0.3, 0.5):
+            result = run_datalink(
+                AlternatingBitSender(), AlternatingBitReceiver(),
+                ["m"] * 12, FairLossyScheduler(loss=loss, seed=4),
+            )
+            assert result.exactly_once_in_order
+            rows[loss] = result.data_packets / 12
+        return rows
+
+    rows = benchmark(sweep)
+    record(benchmark, packets_per_message={str(k): v for k, v in rows.items()})
+    assert rows[0.5] > rows[0.1]

@@ -1,0 +1,43 @@
+"""E16 — common knowledge cannot be gained asynchronously (§2.2.4, §2.6).
+
+Paper claims reproduced: over a lossy channel, k deliveries buy exactly
+k-1 levels of nested knowledge and never common knowledge; a synchronous
+reliable broadcast attains common knowledge in one round.
+"""
+
+from conftest import record
+
+from repro.asynchronous import HandshakeProtocol
+from repro.knowledge import (
+    common_knowledge_certificate,
+    delivery_knowledge_profile,
+    simultaneous_broadcast_system,
+)
+
+
+def test_e16_knowledge_ladder(benchmark):
+    profile = benchmark(
+        lambda: delivery_knowledge_profile(HandshakeProtocol(8, 4))
+    )
+    depths = {k: entry["depth"] for k, entry in profile.items()}
+    record(benchmark, depths={str(k): d for k, d in depths.items()})
+    for k, entry in profile.items():
+        if k >= 1:
+            assert entry["depth"] == k - 1
+        assert not entry["common"]
+
+
+def test_e16_certificate(benchmark):
+    cert = benchmark(common_knowledge_certificate)
+    record(benchmark, depths={str(k): v for k, v in
+                              cert.details["knowledge_depths"].items()})
+    assert "never" in cert.claim or "cannot" in cert.claim
+
+
+def test_e16_synchrony_contrast(benchmark):
+    def contrast():
+        system, fact = simultaneous_broadcast_system(n=5)
+        return system.common_knowledge(fact, "sent")
+
+    assert benchmark(contrast)
+    record(benchmark, synchronous_common_knowledge=True)

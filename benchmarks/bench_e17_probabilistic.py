@@ -1,0 +1,25 @@
+"""E17 — randomized Byzantine agreement probability ceiling (§2.2.1, [68]).
+
+Paper claims reproduced: with n = 3 and one Byzantine fault, no
+randomized protocol guarantees success probability above 2/3.  The
+coin-coupled ring splice shows the combinatorial core directly: for
+every fixed coin outcome at most 2 of the 3 scenarios succeed, so the
+scenario success probabilities sum to at most 2.
+"""
+
+from conftest import record
+
+from repro.consensus import karlin_yao_experiment
+
+
+def test_e17_per_trial_sum_capped_at_two(benchmark):
+    result = benchmark(lambda: karlin_yao_experiment(trials=150))
+    record(
+        benchmark,
+        success_rates=result.success_rates,
+        max_per_trial_sum=result.max_per_trial_sum,
+        mean_per_trial_sum=result.mean_per_trial_sum,
+        worst_scenario_rate=result.worst_scenario_rate,
+    )
+    assert result.max_per_trial_sum <= 2
+    assert result.worst_scenario_rate <= 2.0 / 3.0 + 0.1

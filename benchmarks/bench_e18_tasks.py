@@ -1,0 +1,41 @@
+"""E18 — graph characterization of 1-fault solvable tasks (§2.2.4, [85, 20]).
+
+Paper claims reproduced: tasks with a connected input graph and a
+disconnected decision graph (consensus, leader election) are unsolvable
+with one faulty process; tasks whose decision graph is connected
+(identity, epsilon-agreement) escape the condition — matching their known
+solvability.
+"""
+
+from conftest import record
+
+from repro.asynchronous import (
+    analyze_task,
+    binary_consensus_task,
+    epsilon_agreement_task,
+    identity_task,
+    leader_task,
+)
+
+
+def test_e18_solvability_table(benchmark):
+    def build():
+        tasks = [
+            binary_consensus_task(3),
+            leader_task(3),
+            identity_task(2),
+            epsilon_agreement_task(2),
+        ]
+        return {
+            task.name: analyze_task(task).provably_unsolvable
+            for task in tasks
+        }
+
+    table = benchmark(build)
+    record(benchmark, provably_unsolvable=table)
+    assert table == {
+        "binary-consensus": True,
+        "leader-election": True,
+        "identity": False,
+        "epsilon-agreement": False,
+    }

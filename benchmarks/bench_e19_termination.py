@@ -1,0 +1,43 @@
+"""E19 — termination detection costs the computation's messages (§2.6, [29])
+and global snapshots are consistent cuts (the unification remark).
+
+Paper claims reproduced:
+* Chandy–Misra: control messages >= basic messages; Dijkstra–Scholten
+  meets the bound with equality on every seeded workload;
+* Chandy–Lamport snapshots conserve the token total in every run, while
+  the naive instantaneous dump undercounts whenever tokens are in flight.
+"""
+
+from conftest import record
+
+from repro.asynchronous import (
+    conservation_series,
+    message_bound_series,
+    run_dijkstra_scholten,
+)
+
+
+def test_e19_message_bound(benchmark):
+    series = benchmark(lambda: message_bound_series(range(15), n=6))
+    record(benchmark, pairs=[list(p) for p in series])
+    assert all(control == basic for basic, control in series)
+
+
+def test_e19_larger_computation(benchmark):
+    result = benchmark(
+        lambda: run_dijkstra_scholten(n=8, budget=8, fanout=3, seed=5)
+    )
+    record(benchmark, basic=result.basic_messages,
+           control=result.control_messages)
+    assert result.detected and result.detection_was_correct
+    assert result.chandy_misra_holds
+
+
+def test_e19_snapshot_consistency(benchmark):
+    series = benchmark(lambda: conservation_series(range(15)))
+    consistent = sum(1 for initial, snap, _naive in series if snap == initial)
+    naive_wrong = sum(1 for initial, _snap, naive in series if naive < initial)
+    record(benchmark, consistent=consistent, runs=len(series),
+           naive_undercounts=naive_wrong)
+    assert consistent == len(series)
+    assert naive_wrong >= 3

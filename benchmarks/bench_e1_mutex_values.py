@@ -1,0 +1,73 @@
+"""E1 — Cremers–Hibbard: shared-variable values for 2-process mutex (§2.1).
+
+Paper claims reproduced:
+* a 2-valued semaphore gives mutual exclusion + progress (no fairness);
+* 2 values are insufficient for lockout-free mutual exclusion
+  (exhaustive over two bounded protocol classes);
+* more values buy fairness (the 4-valued handoff lock is lockout-free).
+"""
+
+from conftest import record
+
+from repro.shared_memory import (
+    cremers_hibbard_certificate,
+    search_two_process_protocols,
+)
+from repro.shared_memory.mutex import handoff_lock_system, tas_semaphore_system
+
+
+def test_e1_exhaustive_two_valued_asymmetric(benchmark):
+    cert = benchmark(
+        lambda: cremers_hibbard_certificate(values=2, modes=1, symmetric=False)
+    )
+    record(
+        benchmark,
+        candidates=cert.candidates_checked,
+        fair_solutions=cert.details["fair_solutions"],
+        unfair_solutions=cert.details["unfair_solutions"],
+        mutual_exclusion_holders=cert.details["mutual_exclusion_holders"],
+    )
+    assert cert.details["fair_solutions"] == 0
+    assert cert.details["unfair_solutions"] > 0
+
+
+def test_e1_exhaustive_two_valued_symmetric_one_bit(benchmark):
+    cert = benchmark(
+        lambda: cremers_hibbard_certificate(values=2, modes=2, symmetric=True)
+    )
+    record(benchmark, candidates=cert.candidates_checked,
+           fair_solutions=cert.details["fair_solutions"])
+    assert cert.details["fair_solutions"] == 0
+
+
+def test_e1_three_valued_symmetric_memoryless(benchmark):
+    verdicts = benchmark(
+        lambda: search_two_process_protocols(values=3, modes=1, symmetric=True)
+    )
+    fair = sum(1 for v in verdicts if v.fair_solution)
+    unfair = sum(1 for v in verdicts if v.unfair_solution)
+    record(benchmark, candidates=len(verdicts), fair=fair, unfair=unfair)
+    assert fair == 0  # fairness needs local memory even at 3 values
+
+
+def test_e1_semaphore_and_handoff_possibility(benchmark):
+    def verify():
+        semaphore = tas_semaphore_system(2)
+        handoff = handoff_lock_system()
+        return {
+            "semaphore_mutex": semaphore.check_mutual_exclusion() is None,
+            "semaphore_fair": semaphore.check_lockout_freedom("p0") is None,
+            "handoff_mutex": handoff.check_mutual_exclusion() is None,
+            "handoff_fair": all(
+                handoff.check_lockout_freedom(p) is None for p in ("p0", "p1")
+            ),
+        }
+
+    outcome = benchmark(verify)
+    record(benchmark, **outcome)
+    assert outcome == {
+        "semaphore_mutex": True,
+        "semaphore_fair": False,   # 2 values: no fairness
+        "handoff_mutex": True,
+        "handoff_fair": True,      # 4 values: fairness
+    }

@@ -1,0 +1,34 @@
+"""E21 — communication complexity of distributed functions (§2.6, Yao [103]).
+
+Paper claims reproduced: information-theoretic lower bounds on the bits
+two parties must exchange.  For the small instances here everything is
+exact: equality on k bits costs exactly k+1 (fooling set = the diagonal),
+parity costs 2 regardless of size, and fooling-set <= log-rank-implied <=
+exact <= trivial holds throughout.
+"""
+
+from conftest import record
+
+from repro.communication import (
+    complexity_report,
+    equality_matrix,
+    greater_than_matrix,
+    parity_matrix,
+)
+
+
+def test_e21_complexity_table(benchmark):
+    def build():
+        return {
+            "EQ-1bit": complexity_report(equality_matrix(1)),
+            "EQ-2bit": complexity_report(equality_matrix(2)),
+            "GT-2bit": complexity_report(greater_than_matrix(2)),
+            "PARITY-2bit": complexity_report(parity_matrix(2)),
+        }
+
+    table = benchmark(build)
+    record(benchmark, **{k: v for k, v in table.items()})
+    assert table["EQ-1bit"]["exact"] == 2
+    assert table["EQ-2bit"]["exact"] == 3
+    assert table["GT-2bit"]["exact"] == 3
+    assert table["PARITY-2bit"]["exact"] == 2

@@ -1,0 +1,50 @@
+"""E22 — Byzantine agreement needs connectivity > 2t (§2.2.1, Dolev [39]).
+
+Paper claims reproduced: on the 4-cycle (connectivity 2 = 2t for t = 1),
+the connectivity splice defeats the flooding-vote protocol — both
+D-faulty validity scenarios pass but the B-faulty agreement scenario puts
+A and C in different worlds — while the same protocol is correct
+fault-free and against a merely silent faulty node.
+"""
+
+from conftest import record
+
+from repro.consensus import (
+    FloodVote,
+    connectivity_certificate,
+    connectivity_scenarios,
+    run_cycle,
+)
+
+
+def test_e22_connectivity_splice(benchmark):
+    cert = benchmark(lambda: connectivity_certificate(FloodVote()))
+    record(benchmark, violated=cert.details["scenarios_violated"])
+    assert cert.witnesses
+
+
+def test_e22_scenario_breakdown(benchmark):
+    def build():
+        return {
+            s.requirement: s.holds for s in connectivity_scenarios(FloodVote())
+        }
+
+    outcomes = benchmark(build)
+    record(benchmark, outcomes=outcomes)
+    assert outcomes == {
+        "validity-0": True, "validity-1": True, "agreement": False,
+    }
+
+
+def test_e22_silent_fault_is_not_enough(benchmark):
+    """The splice adversary is necessary: silence alone doesn't break it."""
+    def run():
+        result = run_cycle(
+            FloodVote(), {"A": 1, "B": 1, "C": 1, "D": 0},
+            faulty="D", script={},
+        )
+        return {result.decisions[n] for n in ("A", "B", "C")}
+
+    honest = benchmark(run)
+    record(benchmark, honest_decisions=sorted(honest))
+    assert honest == {1}

@@ -1,0 +1,44 @@
+"""E23 — partial synchrony: the FLP escape hatch of DLS [46] (§2.2.4).
+
+Paper claims reproduced: weakening termination to "after the network
+stabilizes" makes consensus solvable with t < n/2 crash faults — safety
+under arbitrary asynchrony (0 violations in the sweep), decision within a
+coordinator rotation after GST, and crash tolerance through rotation.
+The exact time bounds required remain the survey's open question 2; the
+measured decision latency (phases after GST) is one data point on it.
+"""
+
+from conftest import record
+
+from repro.asynchronous import run_dls, safety_sweep
+
+
+def test_e23_safety_sweep(benchmark):
+    stats = benchmark(lambda: safety_sweep(n=4, t=1, seeds=range(40)))
+    record(benchmark, **stats)
+    assert stats["agreement_violations"] == 0
+
+
+def test_e23_liveness_after_gst(benchmark):
+    def sweep():
+        latencies = []
+        for seed in range(20):
+            result = run_dls(4, 1, [0, 1, 1, 0], gst_phase=3, seed=seed)
+            assert result.all_live_decided and result.agreement
+            latencies.append(result.phases_run - 3)
+        return latencies
+
+    latencies = benchmark(sweep)
+    record(benchmark, max_phases_after_gst=max(latencies),
+           mean_phases_after_gst=sum(latencies) / len(latencies))
+    assert max(latencies) <= 4  # within one coordinator rotation
+
+
+def test_e23_crash_rotation(benchmark):
+    def run():
+        result = run_dls(5, 2, [1, 0, 1, 0, 1], gst_phase=2, seed=9,
+                         crashed=[0, 1])
+        return result.all_live_decided and result.agreement
+
+    assert benchmark(run)
+    record(benchmark, crashed=[0, 1])

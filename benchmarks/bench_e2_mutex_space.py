@@ -1,0 +1,40 @@
+"""E2 — Burns–Lynch: read/write mutex needs n registers (§2.1), n = 2 case.
+
+Paper claims reproduced:
+* the covering adversary defeats any 2-process algorithm over a single
+  read/write register (mutual exclusion violated constructively);
+* Peterson's algorithm — three registers for n = 2 — is fully correct,
+  showing register-counting is what separates the cases.
+"""
+
+from conftest import record
+
+from repro.shared_memory import burns_lynch_attack, naive_spin_lock_system
+from repro.shared_memory.mutex import peterson_system
+
+
+def test_e2_covering_adversary(benchmark):
+    cert = benchmark(lambda: burns_lynch_attack(naive_spin_lock_system()))
+    record(
+        benchmark,
+        schedule_length=cert.details["schedule_length"],
+        reads_before_first_write=cert.details["p0_reads_before_first_write"],
+    )
+    cert.revalidate()
+
+
+def test_e2_peterson_with_three_registers_is_correct(benchmark):
+    def verify():
+        system = peterson_system()
+        return {
+            "registers": len(system.initial_memory),
+            "mutex": system.check_mutual_exclusion() is None,
+            "fair": all(
+                system.check_lockout_freedom(p) is None for p in ("p0", "p1")
+            ),
+        }
+
+    outcome = benchmark(verify)
+    record(benchmark, **outcome)
+    assert outcome["registers"] == 3 >= 2  # >= n, as the theorem requires
+    assert outcome["mutex"] and outcome["fair"]

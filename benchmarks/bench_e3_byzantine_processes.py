@@ -1,0 +1,70 @@
+"""E3 — Byzantine agreement needs n > 3t (§2.2.1).
+
+Paper claims reproduced:
+* the ring-splice scenario argument defeats EIG (and Phase King) at
+  n = 3t for t in {1, 2};
+* EIG satisfies agreement and validity at n = 3t + 1 under equivocating
+  Byzantine adversaries — the boundary is exactly 3t.
+"""
+
+import itertools
+
+from conftest import record
+
+from repro.consensus import (
+    ByzantineAdversary,
+    EIGByzantine,
+    PhaseKing,
+    flm_certificate,
+    run_synchronous,
+)
+
+
+def test_e3_splice_defeats_eig_n3_t1(benchmark):
+    cert = benchmark(lambda: flm_certificate(EIGByzantine(), n=3, t=1))
+    record(benchmark, violated=cert.details["scenarios_violated"])
+    assert cert.witnesses
+
+
+def test_e3_splice_defeats_eig_n6_t2(benchmark):
+    cert = benchmark(lambda: flm_certificate(EIGByzantine(), n=6, t=2))
+    record(benchmark, violated=cert.details["scenarios_violated"])
+    assert cert.witnesses
+
+
+def test_e3_splice_defeats_phase_king_n3_t1(benchmark):
+    cert = benchmark(lambda: flm_certificate(PhaseKing(), n=3, t=1))
+    assert cert.witnesses
+
+
+def _equivocator(pids):
+    def behaviour(rnd, src, dest, honest):
+        return (((), dest % 2),) if rnd == 1 else None
+
+    return ByzantineAdversary(pids, behaviour)
+
+
+def test_e3_eig_correct_at_n4_t1(benchmark):
+    def verify():
+        ok = True
+        for inputs in itertools.product((0, 1), repeat=4):
+            run = run_synchronous(
+                EIGByzantine(), list(inputs), adversary=_equivocator([3]), t=1
+            )
+            ok = ok and run.agreement_holds() and run.validity_holds()
+        return ok
+
+    assert benchmark(verify)
+    record(benchmark, n=4, t=1, boundary="n = 3t + 1 suffices")
+
+
+def test_e3_eig_correct_at_n7_t2(benchmark):
+    def verify():
+        run = run_synchronous(
+            EIGByzantine(), [0, 1, 0, 1, 1, 0, 1],
+            adversary=_equivocator([5, 6]), t=2,
+        )
+        return run.agreement_holds() and run.validity_holds()
+
+    assert benchmark(verify)
+    record(benchmark, n=7, t=2)

@@ -1,0 +1,52 @@
+"""E5 — approximate agreement convergence rates (§2.2.2, [36]).
+
+Paper claims reproduced:
+* the round-by-round trimmed-mean algorithm converges geometrically, with
+  per-round ratio about t/(n-2t) — i.e. (t/n)^k-shaped over k rounds;
+* convergence is slower for larger t/n;
+* the measured ratio respects the paper's chain-argument lower bound
+  (t/(nk))^k for k-round algorithms.
+"""
+
+from conftest import record
+
+from repro.consensus import convergence_ratio
+
+
+def test_e5_convergence_in_k(benchmark):
+    def sweep():
+        return {
+            k: convergence_ratio(n=7, t=1, k=k)[1] for k in (1, 2, 3, 4, 5)
+        }
+
+    ratios = benchmark(sweep)
+    record(benchmark, ratios={str(k): v for k, v in ratios.items()})
+    # Geometric decay in k.
+    assert all(ratios[k + 1] <= ratios[k] + 1e-12 for k in (1, 2, 3, 4))
+    assert ratios[5] < 0.01
+
+
+def test_e5_ratio_grows_with_t(benchmark):
+    def sweep():
+        return {
+            t: convergence_ratio(n=10, t=t, k=3)[1] for t in (1, 2, 3)
+        }
+
+    ratios = benchmark(sweep)
+    record(benchmark, ratios={str(t): v for t, v in ratios.items()})
+    assert ratios[1] <= ratios[2] <= ratios[3]
+
+
+def test_e5_lower_bound_respected(benchmark):
+    def check():
+        rows = {}
+        for n, t, k in [(7, 1, 3), (10, 2, 3), (13, 3, 4)]:
+            _final, measured, _round_bound = convergence_ratio(n, t, k)
+            paper_lower = (t / (n * k)) ** k
+            rows[f"n{n}t{t}k{k}"] = (measured, paper_lower)
+        return rows
+
+    rows = benchmark(check)
+    record(benchmark, rows={key: list(v) for key, v in rows.items()})
+    for measured, lower in rows.values():
+        assert measured >= lower - 1e-12

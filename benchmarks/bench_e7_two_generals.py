@@ -1,0 +1,55 @@
+"""E7 — Two Generals: no coordination over a lossy channel (§2.2.4, [61]).
+
+Paper claims reproduced: every deterministic protocol fails somewhere
+along the delivery chain, and deeper handshakes only move the break point
+— they never remove it.
+"""
+
+from conftest import record
+
+from repro.asynchronous import (
+    HandshakeProtocol,
+    RecklessProtocol,
+    TimidProtocol,
+    delivery_chain,
+    two_generals_certificate,
+    validate_chain_links,
+    ATTACK,
+)
+
+
+def test_e7_every_handshake_fails(benchmark):
+    def sweep():
+        return {
+            f"handshake-{r}-{c}": two_generals_certificate(
+                HandshakeProtocol(r, c)
+            ).details["delivered"]
+            for r, c in [(2, 1), (4, 1), (4, 2), (6, 3), (8, 4)]
+        }
+
+    break_points = benchmark(sweep)
+    record(benchmark, break_points=break_points)
+    assert len(break_points) == 5  # all five protocols were defeated
+
+
+def test_e7_degenerate_protocols(benchmark):
+    def run():
+        return (
+            two_generals_certificate(TimidProtocol()).claim,
+            two_generals_certificate(RecklessProtocol()).claim,
+        )
+
+    timid, reckless = benchmark(run)
+    assert "never coordinates" in timid
+    assert "no information" in reckless
+
+
+def test_e7_chain_validation(benchmark):
+    def build_and_validate():
+        chain = delivery_chain(HandshakeProtocol(8, 4), ATTACK)
+        validate_chain_links(chain)
+        return len(chain)
+
+    length = benchmark(build_and_validate)
+    record(benchmark, chain_length=length)
+    assert length == 9

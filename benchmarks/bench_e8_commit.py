@@ -1,0 +1,65 @@
+"""E8 — Dwork–Skeen: committing costs 2n-2 messages (§2.2.5).
+
+Paper claims reproduced:
+* 2PC meets 2n-2 exactly in every failure-free commit run;
+* the decentralized variant pays n(n-1) for one round of latency;
+* shaving one message below the bound (BrokenCommit) breaks the commit
+  rule via exactly the missing information path the proof names.
+"""
+
+from conftest import record
+
+from repro.consensus import (
+    BrokenCommit,
+    DecentralizedCommit,
+    TwoPhaseCommit,
+    commit_rule_holds,
+    dwork_skeen_series,
+    failure_free_commit_run,
+    information_paths_complete,
+    run_synchronous,
+)
+
+
+def test_e8_2pc_meets_bound(benchmark):
+    series = benchmark(
+        lambda: dwork_skeen_series(TwoPhaseCommit(), [2, 3, 4, 6, 8, 12, 16])
+    )
+    record(benchmark, series={str(n): list(v) for n, v in series.items()})
+    for n, (measured, bound) in series.items():
+        assert measured == bound == 2 * n - 2
+
+
+def test_e8_decentralized_tradeoff(benchmark):
+    def build():
+        rows = {}
+        for n in (3, 6, 10):
+            run = failure_free_commit_run(DecentralizedCommit(), n)
+            rows[n] = (run.messages_sent, run.rounds_run)
+        return rows
+
+    rows = benchmark(build)
+    record(benchmark, rows={str(n): list(v) for n, v in rows.items()})
+    for n, (messages, rounds) in rows.items():
+        assert messages == n * (n - 1) and rounds == 1
+
+
+def test_e8_below_bound_breaks_commit_rule(benchmark):
+    def attack():
+        n = 5
+        run = failure_free_commit_run(BrokenCommit(), n)
+        abort_run = run_synchronous(BrokenCommit(), [1] * (n - 1) + [0], t=0)
+        complete, missing = information_paths_complete(run)
+        return {
+            "messages": run.messages_sent,
+            "bound": 2 * n - 2,
+            "commit_rule_holds": commit_rule_holds(abort_run),
+            "paths_complete": complete,
+            "missing_pairs": len(missing),
+        }
+
+    outcome = benchmark(attack)
+    record(benchmark, **outcome)
+    assert outcome["messages"] < outcome["bound"]
+    assert not outcome["commit_rule_holds"]
+    assert not outcome["paths_complete"]

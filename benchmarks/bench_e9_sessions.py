@@ -1,0 +1,65 @@
+"""E9 — the sessions time gap and synchronizer tradeoff (§2.2.6, [8, 16]).
+
+Paper claims reproduced:
+* synchronous systems perform s sessions in time s; asynchronous ones pay
+  about s * diameter — the gap grows linearly in both s and diam;
+* Awerbuch's synchronizer corners: alpha is O(1) time / O(|E|) messages
+  per pulse, beta is O(depth) time / O(n) overhead messages per pulse.
+"""
+
+import networkx as nx
+from conftest import record
+
+from repro.asynchronous import (
+    ring_diameter,
+    run_async_sessions,
+    run_sync_sessions,
+    stretching_lower_bound,
+    tradeoff_comparison,
+)
+
+
+def test_e9_sessions_gap(benchmark):
+    def sweep():
+        rows = {}
+        for n in (8, 16, 32):
+            for s in (2, 4):
+                sync = run_sync_sessions(n, s).total_time
+                async_ = run_async_sessions(n, s).total_time
+                rows[f"n{n}s{s}"] = (sync, async_, stretching_lower_bound(n, s))
+        return rows
+
+    rows = benchmark(sweep)
+    record(benchmark, rows={k: list(v) for k, v in rows.items()})
+    for sync, async_, bound in rows.values():
+        assert async_ >= bound >= 0
+        assert async_ > sync
+
+
+def test_e9_gap_linear_in_diameter(benchmark):
+    def sweep():
+        return {n: run_async_sessions(n, 3).total_time for n in (8, 16, 32, 64)}
+
+    times = benchmark(sweep)
+    record(benchmark, times={str(n): t for n, t in times.items()})
+    # Doubling n (hence diameter) roughly doubles the time.
+    assert times[64] >= 1.8 * times[32] >= 3 * times[8] / 2
+
+
+def test_e9_synchronizer_tradeoff(benchmark):
+    graph = nx.random_regular_graph(6, 24, seed=11)
+
+    def run():
+        return tradeoff_comparison(graph, pulses=5)
+
+    outcome = benchmark(run)
+    alpha, beta = outcome["alpha"], outcome["beta"]
+    record(
+        benchmark,
+        alpha_time_per_pulse=alpha.time_per_pulse,
+        alpha_overhead_per_pulse=alpha.overhead_per_pulse,
+        beta_time_per_pulse=beta.time_per_pulse,
+        beta_overhead_per_pulse=beta.overhead_per_pulse,
+    )
+    assert alpha.time_per_pulse < beta.time_per_pulse
+    assert beta.overhead_per_pulse < alpha.overhead_per_pulse

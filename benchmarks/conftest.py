@@ -1,0 +1,18 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one of the survey-derived experiment rows
+(E1..E16 in DESIGN.md) and records the reproduced numbers in
+``benchmark.extra_info`` so a report run preserves them alongside timings.
+"""
+
+import json
+
+
+def record(benchmark, **info):
+    """Attach reproduced experiment data to the benchmark record."""
+    for key, value in info.items():
+        try:
+            json.dumps(value)
+            benchmark.extra_info[key] = value
+        except TypeError:
+            benchmark.extra_info[key] = repr(value)

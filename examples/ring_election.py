@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Leader election in rings: the message-complexity landscape of §2.4.
+
+Prints the measured message counts of LCR (O(n^2) worst case),
+Hirschberg–Sinclair (O(n log n)) and the time-slice counterexample
+algorithm (O(n) messages, time proportional to the smallest ID), plus the
+anonymous-ring story: determinism fails by symmetry, Itai–Rodeh's coins
+succeed.
+
+    python examples/ring_election.py
+"""
+
+import math
+
+from repro.rings import (
+    MaxTokenProtocol,
+    bit_reversal_ring,
+    hs_election,
+    itai_rodeh_election,
+    lcr_election,
+    symmetry_certificate,
+    timeslice_election,
+    worst_case_ring,
+)
+
+
+def main() -> None:
+    print(f"{'n':>5s} {'LCR worst':>10s} {'HS worst':>10s} "
+          f"{'n log2 n':>10s} {'winner':>8s}")
+    for n in (8, 16, 32, 64, 128):
+        lcr = lcr_election(worst_case_ring(n)).messages
+        hs = hs_election(worst_case_ring(n)).messages
+        curve = n * math.log2(n)
+        print(f"{n:>5d} {lcr:>10d} {hs:>10d} {curve:>10.0f} "
+              f"{'LCR' if lcr < hs else 'HS':>8s}")
+
+    print("\n-- Bit-reversal rings: the symmetry behind Omega(n log n) --")
+    ring = bit_reversal_ring(3)
+    print(f"ring of 8: {ring} (the survey's example, plus one)")
+    print(f"HS on it: {hs_election(ring).messages} messages")
+
+    print("\n-- Time-slice: O(n) messages, unbounded time --")
+    for idents in ([1, 20, 21, 22, 23, 24, 25, 26],
+                   [9, 20, 21, 22, 23, 24, 25, 26]):
+        result = timeslice_election(idents)
+        print(f"IDs {idents}: {result.messages} messages, "
+              f"{result.rounds} rounds")
+
+    print("\n-- Anonymous rings --")
+    cert = symmetry_certificate(MaxTokenProtocol(), 6)
+    print(cert.claim)
+    wins = sum(
+        itai_rodeh_election(6, seed=s).election_complete for s in range(10)
+    )
+    print(f"Itai–Rodeh (randomized): {wins}/10 runs elect exactly one leader")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+"""Asynchronous message-passing systems (survey §2.2.4, §2.2.6).
+
+The FLP model and its valency analysis, the Two Generals chain argument,
+Ben-Or's randomized escape, the sessions time bound, and network
+synchronizers.
+"""
+
+from .benor import BenOrProcess, BenOrResult, run_ben_or, termination_statistics
+from .flp import (
+    ALL_CANDIDATES,
+    FirstMessageWins,
+    FLPReport,
+    QuorumVote,
+    WaitForAll,
+    flp_analysis,
+    flp_certificate,
+)
+from .network import (
+    NULL,
+    START,
+    AsyncConsensusSystem,
+    AsyncProtocol,
+)
+from .sessions import (
+    SessionsOutcome,
+    ring_diameter,
+    run_async_sessions,
+    run_sync_sessions,
+    stretching_lower_bound,
+)
+from .synchronizer import (
+    SynchronizerOutcome,
+    run_alpha_synchronizer,
+    run_beta_synchronizer,
+    tradeoff_comparison,
+)
+from .partial_synchrony import (
+    DLSResult,
+    run_dls,
+    safety_sweep,
+)
+from .global_snapshot import (
+    SnapshotOutcome,
+    conservation_series,
+    run_token_snapshot,
+)
+from .termination import (
+    TerminationResult,
+    message_bound_series,
+    run_dijkstra_scholten,
+)
+from .tasks import (
+    DecisionTask,
+    SolvabilityVerdict,
+    analyze_task,
+    binary_consensus_task,
+    decision_graph,
+    epsilon_agreement_task,
+    identity_task,
+    input_graph,
+    leader_task,
+    moran_wolfstahl_certificate,
+)
+from .two_generals import (
+    ATTACK,
+    RETREAT,
+    HandshakeProtocol,
+    RecklessProtocol,
+    TimidProtocol,
+    TwoGeneralsProtocol,
+    TwoGeneralsRun,
+    delivery_chain,
+    run_with_losses,
+    two_generals_certificate,
+    validate_chain_links,
+)
+
+__all__ = [
+    "AsyncProtocol",
+    "AsyncConsensusSystem",
+    "NULL",
+    "START",
+    "WaitForAll",
+    "FirstMessageWins",
+    "QuorumVote",
+    "ALL_CANDIDATES",
+    "FLPReport",
+    "flp_analysis",
+    "flp_certificate",
+    "BenOrProcess",
+    "BenOrResult",
+    "run_ben_or",
+    "termination_statistics",
+    "TwoGeneralsProtocol",
+    "TwoGeneralsRun",
+    "HandshakeProtocol",
+    "TimidProtocol",
+    "RecklessProtocol",
+    "ATTACK",
+    "RETREAT",
+    "run_with_losses",
+    "delivery_chain",
+    "validate_chain_links",
+    "two_generals_certificate",
+    "SessionsOutcome",
+    "run_sync_sessions",
+    "run_async_sessions",
+    "stretching_lower_bound",
+    "ring_diameter",
+    "SynchronizerOutcome",
+    "run_alpha_synchronizer",
+    "run_beta_synchronizer",
+    "tradeoff_comparison",
+    "DecisionTask",
+    "SolvabilityVerdict",
+    "analyze_task",
+    "input_graph",
+    "decision_graph",
+    "binary_consensus_task",
+    "leader_task",
+    "identity_task",
+    "epsilon_agreement_task",
+    "moran_wolfstahl_certificate",
+    "TerminationResult",
+    "run_dijkstra_scholten",
+    "message_bound_series",
+    "SnapshotOutcome",
+    "run_token_snapshot",
+    "conservation_series",
+    "DLSResult",
+    "run_dls",
+    "safety_sweep",
+]

@@ -1,0 +1,218 @@
+"""Ben-Or's randomized consensus: circumventing FLP with coin flips (§2.2.4).
+
+The survey's first-cited escape hatch [19]: FLP rules out *deterministic*
+1-resilient async consensus, but Ben-Or's protocol decides with
+probability 1 against any crash adversary when n > 2t, never violating
+safety.  Each phase has a report round (broadcast your value, collect
+n-t), a proposal round (propose w if a strict majority reported w), and a
+coin flip for processes left without a proposal.
+
+The simulation is event-driven and seeded: the message scheduler and the
+coins are both deterministic functions of their seeds, so every run in the
+tests replays.  The adversary may crash up to t processes at scheduled
+event counts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import ModelError
+
+Pid = int
+QUESTION = "?"
+
+
+class BenOrProcess:
+    """One Ben-Or participant (binary values)."""
+
+    def __init__(self, pid: Pid, n: int, t: int, input_value: int, seed: int):
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.value = 1 if input_value else 0
+        self.phase = 1
+        self.stage = "report"  # or "propose"
+        self.decided: Optional[int] = None
+        self.rng = random.Random(seed * 1_000_003 + pid)
+        # Buffered messages: (stage, phase) -> {sender: value}.
+        self.inbox: Dict[Tuple[str, int], Dict[Pid, Hashable]] = {}
+        self.outbox: List[Tuple[Pid, Hashable]] = []
+        self._broadcast(("report", self.phase, self.value))
+
+    def _broadcast(self, msg: Hashable) -> None:
+        for dest in range(self.n):
+            if dest != self.pid:
+                self.outbox.append((dest, msg))
+        # Self-delivery is immediate.
+        self._store(self.pid, msg)
+
+    def _store(self, src: Pid, msg: Hashable) -> None:
+        stage, phase, value = msg
+        self.inbox.setdefault((stage, phase), {})[src] = value
+
+    def handle(self, src: Pid, msg: Hashable) -> None:
+        """Deliver one message; may advance the phase machine."""
+        if not (isinstance(msg, tuple) and len(msg) == 3):
+            return
+        self._store(src, msg)
+        self._advance()
+
+    def _advance(self) -> None:
+        progressed = True
+        while progressed and self.decided is None:
+            progressed = False
+            key = (self.stage, self.phase)
+            arrived = self.inbox.get(key, {})
+            if len(arrived) < self.n - self.t:
+                return
+            if self.stage == "report":
+                ones = sum(1 for v in arrived.values() if v == 1)
+                zeros = sum(1 for v in arrived.values() if v == 0)
+                if ones * 2 > self.n:
+                    proposal = 1
+                elif zeros * 2 > self.n:
+                    proposal = 0
+                else:
+                    proposal = QUESTION
+                self.stage = "propose"
+                self._broadcast(("propose", self.phase, proposal))
+                progressed = True
+            else:
+                proposals = [v for v in arrived.values() if v != QUESTION]
+                if proposals:
+                    # All real proposals of a phase are equal (majority
+                    # intersection); adopt it.
+                    w = proposals[0]
+                    if len(proposals) > self.t:
+                        self.decided = w
+                        return
+                    self.value = w
+                else:
+                    self.value = self.rng.randrange(2)
+                self.phase += 1
+                self.stage = "report"
+                self._broadcast(("report", self.phase, self.value))
+                progressed = True
+
+
+@dataclass
+class BenOrResult:
+    decisions: Dict[Pid, Optional[int]]
+    phases: Dict[Pid, int]
+    crashed: Set[Pid]
+    events: int
+    agreement: bool
+    validity: bool
+
+
+def run_ben_or(
+    n: int,
+    t: int,
+    inputs: Sequence[int],
+    seed: int = 0,
+    crash_plan: Optional[Dict[Pid, int]] = None,
+    max_events: int = 200_000,
+) -> BenOrResult:
+    """Run Ben-Or under a seeded random scheduler.
+
+    ``crash_plan`` maps pid -> event index at which it crashes (its queued
+    messages are discarded, it takes no further steps).  Raises
+    :class:`ModelError` when |crash_plan| > t — the caller asked for an
+    adversary stronger than the protocol's contract.
+    """
+    if len(inputs) != n:
+        raise ModelError("need one input per process")
+    crash_plan = dict(crash_plan or {})
+    if len(crash_plan) > t:
+        raise ModelError(f"crash plan kills {len(crash_plan)} > t={t} processes")
+    rng = random.Random(seed)
+    processes = [BenOrProcess(pid, n, t, inputs[pid], seed) for pid in range(n)]
+    crashed: Set[Pid] = set()
+    # In-flight messages: list of (src, dest, msg).
+    flight: List[Tuple[Pid, Pid, Hashable]] = []
+
+    def drain_outboxes() -> None:
+        for proc in processes:
+            if proc.pid in crashed:
+                proc.outbox.clear()
+                continue
+            for dest, msg in proc.outbox:
+                flight.append((proc.pid, dest, msg))
+            proc.outbox.clear()
+
+    drain_outboxes()
+    events = 0
+    while events < max_events:
+        for pid, when in list(crash_plan.items()):
+            if events >= when and pid not in crashed:
+                crashed.add(pid)
+                flight[:] = [
+                    (s, d, m) for (s, d, m) in flight if s != pid
+                ]
+        live_undecided = [
+            p for p in range(n)
+            if p not in crashed and processes[p].decided is None
+        ]
+        if not live_undecided:
+            break
+        deliverable = [
+            i for i, (s, d, m) in enumerate(flight) if d not in crashed
+        ]
+        if not deliverable:
+            break
+        index = deliverable[rng.randrange(len(deliverable))]
+        src, dest, msg = flight.pop(index)
+        processes[dest].handle(src, msg)
+        drain_outboxes()
+        events += 1
+
+    decisions = {p.pid: p.decided for p in processes}
+    live = [p for p in range(n) if p not in crashed]
+    decided_values = {decisions[p] for p in live if decisions[p] is not None}
+    agreement = len(decided_values) <= 1
+    validity = True
+    if len(set(inputs)) == 1:
+        (v,) = set(inputs)
+        validity = all(
+            decisions[p] in (None, v) for p in live
+        )
+    return BenOrResult(
+        decisions=decisions,
+        phases={p.pid: p.phase for p in processes},
+        crashed=crashed,
+        events=events,
+        agreement=agreement,
+        validity=validity,
+    )
+
+
+def termination_statistics(
+    n: int, t: int, trials: int = 50, seed_base: int = 0
+) -> Dict[str, float]:
+    """Empirical support for "decides with probability 1": run many seeded
+    trials with mixed inputs and adversarial-ish crashes, report the
+    decision rate and phase distribution."""
+    decided = 0
+    total_phases = 0
+    worst_phase = 0
+    for trial in range(trials):
+        inputs = [(trial + i) % 2 for i in range(n)]
+        crash_plan = {n - 1: 10 * (trial % 5)} if t >= 1 else None
+        result = run_ben_or(
+            n, t, inputs, seed=seed_base + trial, crash_plan=crash_plan
+        )
+        live = [p for p in range(n) if p not in result.crashed]
+        if all(result.decisions[p] is not None for p in live):
+            decided += 1
+            phases = max(result.phases[p] for p in live)
+            total_phases += phases
+            worst_phase = max(worst_phase, phases)
+    return {
+        "trials": trials,
+        "decided_fraction": decided / trials,
+        "mean_phases": total_phases / max(decided, 1),
+        "worst_phases": worst_phase,
+    }

@@ -1,0 +1,247 @@
+"""The FLP asynchronous message-passing model (§2.2.4).
+
+Configurations are (process states, message buffer); the buffer is an
+unordered multiset of (destination, message) pairs; an *event* delivers
+one buffered message (or the null message) to its destination, which then
+takes one deterministic step — updating its state and sending finitely
+many messages.  The adversary chooses the event order; admissibility says
+every process keeps taking steps and every buffered message is eventually
+delivered.
+
+Protocols are written state-passing style so configurations are hashable
+and the valency machinery of :mod:`repro.impossibility.bivalence` applies
+directly — :class:`AsyncConsensusSystem` is the
+:class:`~repro.impossibility.bivalence.DecisionSystem` instantiation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.freeze import frozendict
+from ..impossibility.bivalence import DecisionSystem
+
+Pid = int
+Message = Hashable
+NULL = ("__null__",)  # the null delivery of the FLP model
+START = ("__start__",)  # self-addressed wake-up delivered as a first event
+
+
+class AsyncProtocol(ABC):
+    """A deterministic asynchronous protocol in state-passing style."""
+
+    name: str = "async-protocol"
+    uses_null_steps: bool = False
+
+    @abstractmethod
+    def initial_state(self, pid: Pid, n: int, input_value: Hashable) -> Hashable:
+        """The initial local state (hashable).  Initial sends are modeled by
+        :meth:`initial_messages`."""
+
+    def initial_messages(
+        self, pid: Pid, n: int, input_value: Hashable
+    ) -> Iterable[Tuple[Pid, Message]]:
+        """Messages in flight before any event.
+
+        The default is a self-addressed START wake-up, so a process's
+        opening broadcast happens as a *step* (deliver START, send) — which
+        is what makes "crash at time zero" (never schedule the process)
+        genuinely withhold its input from the others.
+        """
+        return ((pid, START),)
+
+    @abstractmethod
+    def transition(
+        self, pid: Pid, state: Hashable, message: Message
+    ) -> Tuple[Hashable, Tuple[Tuple[Pid, Message], ...]]:
+        """Deliver ``message`` (possibly NULL): new state plus sends."""
+
+    @abstractmethod
+    def decision(self, state: Hashable) -> Optional[Hashable]:
+        """The decided value, or None.  Decisions must be irrevocable."""
+
+
+# The buffer is a frozendict {(dest, message): count}.
+Buffer = frozendict
+Configuration = Tuple[Tuple[Hashable, ...], Buffer]
+Event = Tuple[str, Pid, Message]  # ("deliver", dest, message)
+
+
+def _buffer_add(buffer: Buffer, items: Iterable[Tuple[Pid, Message]]) -> Buffer:
+    contents = dict(buffer)
+    for dest, msg in items:
+        key = (dest, msg)
+        contents[key] = contents.get(key, 0) + 1
+    return frozendict(contents)
+
+def _buffer_remove(buffer: Buffer, dest: Pid, msg: Message) -> Buffer:
+    contents = dict(buffer)
+    key = (dest, msg)
+    if contents.get(key, 0) <= 0:
+        raise KeyError(f"message {key} not in buffer")
+    contents[key] -= 1
+    if contents[key] == 0:
+        del contents[key]
+    return frozendict(contents)
+
+
+class AsyncConsensusSystem(DecisionSystem):
+    """An asynchronous protocol under adversarial scheduling, as a
+    :class:`DecisionSystem` for valency analysis.
+
+    ``input_vectors`` defaults to all binary vectors, one initial
+    configuration each — the domain of FLP Lemma 2.
+    """
+
+    def __init__(
+        self,
+        protocol: AsyncProtocol,
+        n: int,
+        input_vectors: Optional[Sequence[Sequence[Hashable]]] = None,
+        values: Sequence[Hashable] = (0, 1),
+    ):
+        self.protocol = protocol
+        self.n = n
+        self._values = tuple(values)
+        if input_vectors is None:
+            import itertools
+
+            input_vectors = list(itertools.product(self._values, repeat=n))
+        self.input_vectors = [tuple(v) for v in input_vectors]
+
+    # -- DecisionSystem interface ------------------------------------------
+
+    @property
+    def processes(self) -> Sequence[Pid]:
+        return list(range(self.n))
+
+    @property
+    def values(self) -> Sequence[Hashable]:
+        return self._values
+
+    def initial_configurations(self) -> Iterator[Configuration]:
+        for inputs in self.input_vectors:
+            yield self.configuration_for(inputs)
+
+    def configuration_for(self, inputs: Sequence[Hashable]) -> Configuration:
+        states = tuple(
+            self.protocol.initial_state(pid, self.n, inputs[pid])
+            for pid in range(self.n)
+        )
+        buffer = _buffer_add(
+            frozendict(),
+            (
+                (dest, msg)
+                for pid in range(self.n)
+                for dest, msg in self.protocol.initial_messages(
+                    pid, self.n, inputs[pid]
+                )
+            ),
+        )
+        return (states, buffer)
+
+    def events(self, config: Configuration) -> Iterator[Event]:
+        _states, buffer = config
+        for (dest, msg) in sorted(buffer, key=repr):
+            yield ("deliver", dest, msg)
+        if self.protocol.uses_null_steps:
+            for pid in range(self.n):
+                yield ("deliver", pid, NULL)
+
+    def owner(self, event: Event) -> Pid:
+        return event[1]
+
+    def apply(self, config: Configuration, event: Event) -> Configuration:
+        states, buffer = config
+        _tag, dest, msg = event
+        if msg != NULL:
+            buffer = _buffer_remove(buffer, dest, msg)
+        new_state, sends = self.protocol.transition(dest, states[dest], msg)
+        new_states = states[:dest] + (new_state,) + states[dest + 1:]
+        return (new_states, _buffer_add(buffer, sends))
+
+    def decisions(self, config: Configuration) -> Mapping[Pid, Hashable]:
+        states, _buffer = config
+        out: Dict[Pid, Hashable] = {}
+        for pid, state in enumerate(states):
+            value = self.protocol.decision(state)
+            if value is not None:
+                out[pid] = value
+        return out
+
+    def fair_events(self, config: Configuration) -> Mapping[Pid, Event]:
+        """The oldest-ish pending delivery per process (deterministic pick);
+        null steps are owed only to processes with empty queues (when the
+        protocol uses them)."""
+        _states, buffer = config
+        owed: Dict[Pid, Event] = {}
+        for (dest, msg) in sorted(buffer, key=repr):
+            if dest not in owed:
+                owed[dest] = ("deliver", dest, msg)
+        if self.protocol.uses_null_steps:
+            for pid in range(self.n):
+                owed.setdefault(pid, ("deliver", pid, NULL))
+        return owed
+
+    # -- simulation helpers --------------------------------------------------
+
+    def run_fair(
+        self,
+        inputs: Sequence[Hashable],
+        max_steps: int = 10_000,
+        exclude: Iterable[Pid] = (),
+        seed: Optional[int] = None,
+    ) -> Tuple[Configuration, int]:
+        """Run a fair schedule (round-robin over processes' owed events),
+        optionally *crashing* the processes in ``exclude`` (they take no
+        steps; messages to them rot in the buffer, which the FLP
+        admissibility notion permits for faulty processes).
+
+        Returns (final configuration, steps taken).  Stops when every
+        non-excluded process has decided or nothing is deliverable.
+        """
+        import random
+
+        rng = random.Random(seed) if seed is not None else None
+        excluded = set(exclude)
+        config = self.configuration_for(tuple(inputs))
+        steps = 0
+        order = [p for p in range(self.n) if p not in excluded]
+        cursor = 0
+        while steps < max_steps:
+            live = {
+                pid: event
+                for pid, event in self.fair_events(config).items()
+                if pid not in excluded
+            }
+            undecided = [
+                p for p in order if p not in self.decisions(config)
+            ]
+            if not undecided or not live:
+                break
+            if rng is None:
+                # Round-robin over processes with pending events.
+                for offset in range(len(order)):
+                    pid = order[(cursor + offset) % len(order)]
+                    if pid in live:
+                        cursor = (cursor + offset + 1) % len(order)
+                        config = self.apply(config, live[pid])
+                        break
+                else:
+                    break
+            else:
+                pid = rng.choice(sorted(live))
+                config = self.apply(config, live[pid])
+            steps += 1
+        return config, steps

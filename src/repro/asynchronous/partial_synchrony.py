@@ -1,0 +1,202 @@
+"""Consensus under partial synchrony (§2.2.4, Dwork–Lynch–Stockmeyer [46]).
+
+FLP kills asynchronous consensus; DLS showed how little synchrony revives
+it: if message delays are bounded *eventually* (after an unknown global
+stabilization time, GST), consensus with t < n/2 crash faults is solvable
+— safety holds under arbitrary asynchrony, and termination is guaranteed
+once the network stabilizes.  The survey lists "what are the exact time
+bounds required for consensus" in this model as open question 2.
+
+This module implements the rotating-coordinator algorithm with locks:
+
+* phases rotate a coordinator; each phase: processes report their values,
+  the coordinator proposes the majority report, processes lock and
+  acknowledge the proposal, and the coordinator decides on n - t acks,
+  then broadcasts the decision;
+* a process reports its locked value when it has one, so any decided
+  value is locked by a majority — two different decisions would need two
+  majorities, which intersect: safety with t < n/2, whatever the network
+  does;
+* the adversary drops any messages it likes before GST and nothing after,
+  so some post-GST phase has a live coordinator and completes.
+
+:func:`run_dls` is a deterministic, seeded simulation; the tests sweep
+hostile pre-GST schedules for safety and check termination shortly after
+GST.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import ModelError
+
+
+@dataclass
+class DLSResult:
+    n: int
+    t: int
+    gst_phase: Optional[int]
+    decisions: Dict[int, Optional[int]]
+    phases_run: int
+    crashed: Set[int]
+
+    @property
+    def live(self) -> List[int]:
+        return [p for p in range(self.n) if p not in self.crashed]
+
+    @property
+    def agreement(self) -> bool:
+        decided = {
+            self.decisions[p] for p in self.live
+            if self.decisions[p] is not None
+        }
+        return len(decided) <= 1
+
+    @property
+    def all_live_decided(self) -> bool:
+        return all(self.decisions[p] is not None for p in self.live)
+
+
+class _DLSProcess:
+    def __init__(self, pid: int, n: int, input_value: int):
+        self.pid = pid
+        self.n = n
+        self.value = 1 if input_value else 0
+        self.lock: Optional[Tuple[int, int]] = None  # (phase, value)
+        self.decided: Optional[int] = None
+
+    def report(self) -> Tuple[int, int]:
+        """(lock phase, value) — phase 0 when never locked."""
+        if self.lock is not None:
+            return self.lock
+        return (0, self.value)
+
+    def on_propose(self, phase: int, value: int) -> None:
+        """Accept a proposal from a quorum-anchored coordinator.
+
+        Overwriting an older lock is safe precisely because the proposal
+        was computed from a quorum of reports containing the highest lock
+        (the Paxos-style invariant the safety test sweeps for).
+        """
+        if self.lock is None or phase >= self.lock[0]:
+            self.lock = (phase, value)
+            self.value = value
+
+
+def run_dls(
+    n: int,
+    t: int,
+    inputs: Sequence[int],
+    gst_phase: Optional[int] = 3,
+    seed: int = 0,
+    max_phases: int = 40,
+    crashed: Sequence[int] = (),
+) -> DLSResult:
+    """Run the rotating-coordinator algorithm phase by phase.
+
+    Before ``gst_phase`` every individual message is dropped with
+    probability 1/2 (seeded); from ``gst_phase`` on, delivery is perfect.
+    ``gst_phase=None`` means the network never stabilizes (safety only).
+    Crashed processes send nothing at all.
+    """
+    if 2 * t >= n:
+        raise ModelError("DLS requires t < n/2")
+    if len(crashed) > t:
+        raise ModelError(f"{len(crashed)} crashes exceeds t={t}")
+    rng = random.Random(seed)
+    crashed_set = set(crashed)
+    processes = [_DLSProcess(pid, n, inputs[pid]) for pid in range(n)]
+
+    def delivered(phase: int, src: int, dest: int) -> bool:
+        if src in crashed_set:
+            return False
+        if gst_phase is not None and phase >= gst_phase:
+            return True
+        return rng.random() < 0.5
+
+    phases_run = 0
+    for phase in range(1, max_phases + 1):
+        phases_run = phase
+        if all(
+            p.decided is not None or p.pid in crashed_set for p in processes
+        ):
+            break
+        coordinator = (phase - 1) % n
+
+        # Round 1: everyone reports (lock phase, value) to the coordinator.
+        coord = processes[coordinator]
+        if coordinator in crashed_set:
+            continue
+        reports: Dict[int, Tuple[int, int]] = {coordinator: coord.report()}
+        for proc in processes:
+            if proc.pid != coordinator and delivered(phase, proc.pid, coordinator):
+                reports[proc.pid] = proc.report()
+        # Quorum read: without n - t reports the phase is abandoned — this
+        # is what anchors safety under arbitrary pre-GST loss.
+        if len(reports) < n - t:
+            continue
+        highest_phase = max(lock_phase for (lock_phase, _v) in reports.values())
+        if highest_phase > 0:
+            proposal = next(
+                v for (lock_phase, v) in reports.values()
+                if lock_phase == highest_phase
+            )
+        else:
+            ones = sum(1 for (_p, v) in reports.values() if v == 1)
+            proposal = 1 if 2 * ones >= len(reports) else 0
+
+        # Round 2: proposal goes out; processes lock and ack.
+        acks = 0
+        for proc in processes:
+            if proc.pid in crashed_set:
+                continue
+            if delivered(phase, coordinator, proc.pid):
+                proc.on_propose(phase, proposal)
+                if delivered(phase, proc.pid, coordinator):
+                    acks += 1
+
+        # Round 3: enough acks -> decide and broadcast the decision.
+        if acks >= n - t and coord.decided is None:
+            coord.decided = proposal
+        if coord.decided is not None:
+            for proc in processes:
+                if proc.pid in crashed_set or proc.decided is not None:
+                    continue
+                if delivered(phase, coordinator, proc.pid):
+                    proc.decided = coord.decided
+
+    return DLSResult(
+        n=n,
+        t=t,
+        gst_phase=gst_phase,
+        decisions={p.pid: p.decided for p in processes},
+        phases_run=phases_run,
+        crashed=crashed_set,
+    )
+
+
+def safety_sweep(
+    n: int = 4, t: int = 1, seeds: Sequence[int] = range(30)
+) -> Dict[str, int]:
+    """Safety under hostile asynchrony: never two different decisions,
+    with and without stabilization."""
+    violations = 0
+    decided_without_gst = 0
+    for seed in seeds:
+        inputs = [(seed + i) % 2 for i in range(n)]
+        forever_async = run_dls(n, t, inputs, gst_phase=None, seed=seed)
+        if not forever_async.agreement:
+            violations += 1
+        if any(v is not None for v in forever_async.decisions.values()):
+            decided_without_gst += 1
+        stabilized = run_dls(n, t, inputs, gst_phase=4, seed=seed)
+        if not stabilized.agreement:
+            violations += 1
+    return {
+        "runs": 2 * len(list(seeds)),
+        "agreement_violations": violations,
+        "lucky_decisions_without_gst": decided_without_gst,
+    }

@@ -1,0 +1,152 @@
+"""The sessions problem: a provable time gap between sync and async (§2.2.6).
+
+Arjomandi–Fischer–Lynch [8]: performing s *sessions* — periods in which
+every process produces at least one output ("flash") — takes time about
+``s`` in a synchronous network but time about ``s * diam`` in an
+asynchronous one, where message delay is the time unit.  This was the
+survey's flagship "lower bounds on time can be proved even for
+asynchronous networks".
+
+We build both sides of the gap on a bidirectional ring:
+
+* :func:`run_sync_sessions` — the synchronous system flashes everywhere
+  every round: s rounds, time s.
+* :func:`run_async_sessions` — an asynchronous barrier algorithm
+  (coordinator circulates a go-token, collects completions, separates
+  sessions); a discrete-event simulation with unit message delay measures
+  the real completion time, which grows like s * diam.
+* :func:`stretching_lower_bound` — the paper's bound (s-1) * diam for
+  comparison: any faster algorithm could be "stretched" so that some
+  interval contains no causal path across the ring, merging two sessions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass
+class SessionsOutcome:
+    """Measured behaviour of a sessions algorithm."""
+
+    n: int
+    sessions: int
+    total_time: float
+    messages: int
+    flashes_per_session: List[Dict[int, int]]
+
+    def sessions_completed(self) -> int:
+        return sum(
+            1
+            for flashes in self.flashes_per_session
+            if all(count >= 1 for count in flashes.values())
+        )
+
+
+def ring_diameter(n: int) -> int:
+    return n // 2
+
+
+def run_sync_sessions(n: int, sessions: int) -> SessionsOutcome:
+    """The synchronous system: every process flashes every round."""
+    flashes = [{pid: 1 for pid in range(n)} for _ in range(sessions)]
+    return SessionsOutcome(
+        n=n,
+        sessions=sessions,
+        total_time=float(sessions),
+        messages=0,
+        flashes_per_session=flashes,
+    )
+
+
+def run_async_sessions(n: int, sessions: int) -> SessionsOutcome:
+    """A correct asynchronous sessions algorithm on a bidirectional ring.
+
+    Node 0 coordinates: for each session it floods a ``go`` token both ways
+    around the ring; every node flashes on receipt and sends a ``done``
+    back along the path; when the coordinator has collected all dones, the
+    next session begins.  Messages take exactly one time unit per hop
+    (the worst case the adversary can impose, and the case the lower bound
+    is stated for).
+    """
+    # Discrete-event simulation: heap of (time, seq, dest, msg).
+    heap: List[Tuple[float, int, int, Tuple]] = []
+    seq = 0
+    messages = 0
+    flashes: List[Dict[int, int]] = [
+        {pid: 0 for pid in range(n)} for _ in range(sessions)
+    ]
+
+    def send(time: float, dest: int, msg: Tuple) -> None:
+        nonlocal seq, messages
+        seq += 1
+        messages += 1
+        heapq.heappush(heap, (time + 1.0, seq, dest % n, msg))
+
+    def start_session(k: int, time: float) -> None:
+        flashes[k][0] += 1  # the coordinator flashes immediately
+        if n == 1:
+            finish_or_next(k, time)
+            return
+        # Flood both directions; each token carries its direction and the
+        # remaining hop budget so the two waves cover the whole ring.
+        right_hops = ring_diameter(n)
+        left_hops = n - 1 - right_hops
+        if right_hops > 0:
+            send(time, 1, ("go", k, +1, right_hops))
+        if left_hops > 0:
+            send(time, n - 1, ("go", k, -1, left_hops))
+
+    done_counts = {k: 0 for k in range(sessions)}
+    expected_dones = 2 if n > 2 else (1 if n == 2 else 0)
+    finished_at: Dict[int, float] = {}
+
+    def finish_or_next(k: int, time: float) -> None:
+        finished_at[k] = time
+        if k + 1 < sessions:
+            start_session(k + 1, time)
+
+    start_session(0, 0.0)
+    current_time = 0.0
+    while heap:
+        time, _seq, node, msg = heapq.heappop(heap)
+        current_time = max(current_time, time)
+        kind = msg[0]
+        if kind == "go":
+            _tag, k, direction, hops = msg
+            flashes[k][node] += 1
+            if hops > 1:
+                send(time, node + direction, ("go", k, direction, hops - 1))
+            else:
+                # End of this wave: report completion back to node 0 the
+                # short way (retrace the path).
+                send(time, node - direction, ("done", k, -direction))
+        elif kind == "done":
+            _tag, k, direction = msg
+            if node == 0:
+                done_counts[k] += 1
+                if done_counts[k] >= expected_dones:
+                    finish_or_next(k, time)
+            else:
+                send(time, node + direction, ("done", k, direction))
+
+    total = max(finished_at.values()) if finished_at else 0.0
+    return SessionsOutcome(
+        n=n,
+        sessions=sessions,
+        total_time=total,
+        messages=messages,
+        flashes_per_session=flashes,
+    )
+
+
+def stretching_lower_bound(n: int, sessions: int) -> float:
+    """The Arjomandi–Fischer–Lynch bound on a ring: about (s-1) * diam.
+
+    Between consecutive sessions, information must cross the ring's
+    diameter (otherwise the diagram-stretching argument reorders the two
+    halves and merges the sessions), costing diam time per boundary.
+    """
+    return float(max(0, sessions - 1) * ring_diameter(n))

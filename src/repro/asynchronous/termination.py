@@ -1,0 +1,193 @@
+"""Termination detection and the Chandy–Misra message bound (§2.6).
+
+Chandy and Misra [29] proved that detecting the termination of an
+underlying computation requires at least as many control messages as the
+computation itself sent — every basic message must be "covered", or the
+detector can be fooled by a still-live corner of the system.
+
+Dijkstra–Scholten is the matching algorithm for diffusing computations:
+an engagement tree grows from the root; every basic message is answered
+by exactly one signal (ack); a process leaves the tree when it is idle
+with no outstanding signals; the root declares termination when its own
+deficit clears.  Control messages = basic messages, exactly — the bound
+is tight, and the simulation below measures it.
+
+The workload is a seeded random diffusing computation with a decreasing
+activity budget (guaranteeing termination), run under a seeded
+adversarial scheduler.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.errors import ModelError
+
+
+@dataclass
+class TerminationResult:
+    n: int
+    basic_messages: int
+    control_messages: int
+    detected: bool
+    detection_was_correct: bool
+    steps: int
+
+    @property
+    def chandy_misra_holds(self) -> bool:
+        """control >= basic: the lower bound, met with equality by DS."""
+        return self.control_messages >= self.basic_messages
+
+
+class _DSProcess:
+    """One Dijkstra–Scholten participant over a random workload."""
+
+    def __init__(self, pid: int, n: int, rng: random.Random,
+                 fanout: int, budget: int):
+        self.pid = pid
+        self.n = n
+        self.rng = rng
+        self.fanout = fanout
+        self.engaged = False
+        self.parent: Optional[int] = None
+        self.deficit = 0          # signals we are owed for messages we sent
+        self.pending_work: List[int] = []  # activity budget per activation
+
+    def activate(self, budget: int) -> None:
+        self.pending_work.append(budget)
+
+    def work_step(self) -> List[Tuple[int, int]]:
+        """Perform one unit of local work: possibly send basic messages.
+
+        Returns (dest, child_budget) pairs.
+        """
+        if not self.pending_work:
+            return []
+        budget = self.pending_work.pop()
+        sends = []
+        if budget > 0:
+            for _ in range(self.rng.randrange(self.fanout + 1)):
+                dest = self.rng.randrange(self.n)
+                if dest != self.pid:
+                    sends.append((dest, budget - 1))
+        return sends
+
+    @property
+    def quiet(self) -> bool:
+        """Idle (no pending work) and owed nothing."""
+        return not self.pending_work and self.deficit == 0
+
+
+def run_dijkstra_scholten(
+    n: int = 5,
+    fanout: int = 2,
+    budget: int = 4,
+    seed: int = 0,
+    max_steps: int = 100_000,
+) -> TerminationResult:
+    """Run a random diffusing computation under Dijkstra–Scholten detection.
+
+    Message kinds: ("basic", budget) and ("signal",).  Every basic message
+    is eventually answered by exactly one signal — immediately if the
+    receiver is already engaged, or when the receiver disengages.
+    """
+    rng = random.Random(seed)
+    processes = [
+        _DSProcess(pid, n, random.Random(seed * 7919 + pid), fanout, budget)
+        for pid in range(n)
+    ]
+    root = 0
+    processes[root].engaged = True
+    processes[root].activate(budget)
+
+    in_flight: List[Tuple[int, int, Tuple]] = []  # (src, dest, message)
+    basic = 0
+    control = 0
+    detected = False
+    detection_correct = True
+    steps = 0
+
+    def send_basic(src: int, dest: int, child_budget: int) -> None:
+        nonlocal basic
+        in_flight.append((src, dest, ("basic", child_budget)))
+        processes[src].deficit += 1
+        basic += 1
+
+    def send_signal(src: int, dest: int) -> None:
+        nonlocal control
+        in_flight.append((src, dest, ("signal",)))
+        control += 1
+
+    def maybe_disengage(pid: int) -> None:
+        nonlocal detected
+        proc = processes[pid]
+        if not proc.engaged or not proc.quiet:
+            return
+        if pid == root:
+            detected = True
+            return
+        proc.engaged = False
+        assert proc.parent is not None
+        send_signal(pid, proc.parent)
+        proc.parent = None
+
+    while steps < max_steps:
+        steps += 1
+        # Choose: deliver a message or let an active process work.
+        workers = [p.pid for p in processes if p.pending_work]
+        options: List[Tuple[str, int]] = [("work", w) for w in workers]
+        options += [("deliver", i) for i in range(len(in_flight))]
+        if not options:
+            break
+        kind, index = options[rng.randrange(len(options))]
+        if kind == "work":
+            proc = processes[index]
+            for dest, child_budget in proc.work_step():
+                send_basic(proc.pid, dest, child_budget)
+            maybe_disengage(proc.pid)
+            continue
+        src, dest, message = in_flight.pop(index)
+        proc = processes[dest]
+        if message[0] == "basic":
+            _tag, child_budget = message
+            if proc.engaged:
+                send_signal(dest, src)  # already in the tree: ack at once
+            else:
+                proc.engaged = True
+                proc.parent = src
+            proc.activate(child_budget)
+        else:  # signal
+            proc.deficit -= 1
+            if proc.deficit < 0:
+                raise ModelError("signal accounting went negative")
+            maybe_disengage(dest)
+        if detected:
+            # Verify the claim: nothing is active and nothing is in flight.
+            still_active = any(p.pending_work for p in processes)
+            still_flying = any(m[2][0] == "basic" for m in in_flight)
+            detection_correct = not (still_active or still_flying)
+            break
+
+    return TerminationResult(
+        n=n,
+        basic_messages=basic,
+        control_messages=control,
+        detected=detected,
+        detection_was_correct=detection_correct,
+        steps=steps,
+    )
+
+
+def message_bound_series(
+    seeds: range = range(10), n: int = 5
+) -> List[Tuple[int, int]]:
+    """(basic, control) pairs across seeds — control == basic for DS."""
+    out = []
+    for seed in seeds:
+        result = run_dijkstra_scholten(n=n, seed=seed)
+        if not (result.detected and result.detection_was_correct):
+            raise ModelError(f"detection failed for seed {seed}")
+        out.append((result.basic_messages, result.control_messages))
+    return out

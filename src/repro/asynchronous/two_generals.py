@@ -1,0 +1,251 @@
+"""The Two Generals problem: no consensus over a lossy channel (§2.2.4).
+
+Gray's result [61], the first asynchronous-flavoured impossibility: two
+processes connected by a channel that may lose any suffix of messages
+cannot guarantee coordinated attack.  The proof is a chain argument —
+start from the all-delivered execution and remove the last delivery; the
+non-receiver's view is unchanged, so its decision is unchanged, and
+agreement drags the partner along; induction marches the "attack" decision
+all the way down to the empty execution, where attacking is forbidden.
+
+Mechanized as a constructive adversary: :func:`two_generals_certificate`
+takes an arbitrary deterministic protocol, builds the full delivery chain
+``e_0 .. e_K``, validates every indistinguishability link, and returns the
+concrete loss pattern on which the protocol breaks one of its
+requirements (decide-under-loss, agreement, or the two validity ends).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..core.errors import ModelError
+from ..impossibility.certificate import CounterexampleCertificate
+
+ATTACK = "attack"
+RETREAT = "retreat"
+
+# Received history: tuple of (slot, message) pairs, in slot order.
+History = Tuple[Tuple[int, Hashable], ...]
+
+
+class TwoGeneralsProtocol(ABC):
+    """A deterministic protocol for the coordinated attack problem.
+
+    General 0 holds the order (ATTACK or RETREAT); the two alternate
+    message slots — general 0 sends in odd slots, general 1 in even slots
+    — for ``slots`` total slots.  Every message may be lost; whatever
+    happens, both must decide.
+    """
+
+    name = "two-generals-protocol"
+
+    @property
+    @abstractmethod
+    def slots(self) -> int:
+        """Total number of alternating message slots."""
+
+    @abstractmethod
+    def message(self, pid: int, slot: int, input_value: str,
+                received: History) -> Hashable:
+        """The message sent in ``slot`` (pid 0 on odd slots, 1 on even)."""
+
+    @abstractmethod
+    def decide(self, pid: int, input_value: str, received: History) -> str:
+        """ATTACK or RETREAT, from everything the general saw."""
+
+
+@dataclass
+class TwoGeneralsRun:
+    """One execution: the first ``delivered`` slots arrive, the rest are lost."""
+
+    delivered: int
+    histories: Tuple[History, History]
+    decisions: Tuple[str, str]
+
+    @property
+    def agreement(self) -> bool:
+        return self.decisions[0] == self.decisions[1]
+
+
+def sender_of(slot: int) -> int:
+    """General 0 sends in odd slots, general 1 in even slots."""
+    return 0 if slot % 2 == 1 else 1
+
+
+def run_with_losses(protocol: TwoGeneralsProtocol, order: str,
+                    delivered: int) -> TwoGeneralsRun:
+    """Execute with exactly the first ``delivered`` slots arriving."""
+    inputs = {0: order, 1: RETREAT}  # general 1 has no independent order
+    received: Dict[int, List[Tuple[int, Hashable]]] = {0: [], 1: []}
+    for slot in range(1, protocol.slots + 1):
+        src = sender_of(slot)
+        dst = 1 - src
+        msg = protocol.message(src, slot, inputs[src], tuple(received[src]))
+        if slot <= delivered and msg is not None:
+            received[dst].append((slot, msg))
+    histories = (tuple(received[0]), tuple(received[1]))
+    decisions = (
+        protocol.decide(0, inputs[0], histories[0]),
+        protocol.decide(1, inputs[1], histories[1]),
+    )
+    return TwoGeneralsRun(delivered, histories, decisions)
+
+
+def delivery_chain(protocol: TwoGeneralsProtocol, order: str
+                   ) -> List[TwoGeneralsRun]:
+    """The chain e_K, e_{K-1}, ..., e_0 (descending delivered counts)."""
+    return [
+        run_with_losses(protocol, order, k)
+        for k in range(protocol.slots, -1, -1)
+    ]
+
+
+def validate_chain_links(chain: Sequence[TwoGeneralsRun]) -> None:
+    """Re-check the argument's engine: dropping slot k leaves the slot-k
+    *sender* (the non-receiver) with an identical history."""
+    for left, right in zip(chain, chain[1:]):
+        dropped_slot = left.delivered  # right.delivered == left.delivered - 1
+        keeper = sender_of(dropped_slot)
+        if left.histories[keeper] != right.histories[keeper]:
+            raise ModelError(
+                f"chain link broken at slot {dropped_slot}: general "
+                f"{keeper} distinguishes the two runs"
+            )
+
+
+def two_generals_certificate(
+    protocol: TwoGeneralsProtocol,
+) -> CounterexampleCertificate:
+    """Defeat any deterministic coordinated-attack protocol.
+
+    Requirements checked, in the order the chain argument uses them:
+
+    1. e_K (everything delivered, order=ATTACK): both attack;
+    2. every e_k: agreement;
+    3. e_0 (nothing delivered): both retreat (general 1 knows nothing).
+
+    Returns the certificate naming the first requirement that fails, with
+    the concrete loss count as evidence.  Raises if none fails — which the
+    chain argument proves cannot happen.
+    """
+    chain = delivery_chain(protocol, ATTACK)
+    validate_chain_links(chain)
+
+    full = chain[0]
+    if full.decisions != (ATTACK, ATTACK):
+        return CounterexampleCertificate(
+            claim=(
+                f"{protocol.name}: with every message delivered and the "
+                f"order ATTACK, the generals decide {full.decisions} — "
+                "the protocol never coordinates the attack at all"
+            ),
+            technique="chain (message removal)",
+            evidence=full,
+            details={"delivered": full.delivered},
+        )
+    for run in chain:
+        if not run.agreement:
+            return CounterexampleCertificate(
+                claim=(
+                    f"{protocol.name}: losing all but the first "
+                    f"{run.delivered} messages makes the generals decide "
+                    f"{run.decisions} — uncoordinated attack"
+                ),
+                technique="chain (message removal)",
+                evidence=run,
+                details={"delivered": run.delivered},
+            )
+    empty = chain[-1]
+    if empty.decisions != (RETREAT, RETREAT):
+        return CounterexampleCertificate(
+            claim=(
+                f"{protocol.name}: with no messages delivered the generals "
+                f"decide {empty.decisions} — attacking on no information"
+            ),
+            technique="chain (message removal)",
+            evidence=empty,
+            details={"delivered": 0},
+        )
+    raise ModelError(
+        f"{protocol.name} satisfied every requirement along the chain — "
+        "impossible by the Two Generals theorem; check the harness"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Candidate protocols for the adversary to defeat
+# ---------------------------------------------------------------------------
+
+
+class HandshakeProtocol(TwoGeneralsProtocol):
+    """The k-way handshake: attack once you have seen depth-k confirmation.
+
+    General 0 sends the order; each side acknowledges; a side attacks when
+    it has received at least ``confirmations`` messages.  Every choice of
+    k fails somewhere — the certificate pinpoints the loss count.
+    """
+
+    def __init__(self, rounds: int = 2, confirmations: int = 1):
+        self.rounds = rounds
+        self.confirmations = confirmations
+        self.name = f"handshake-{rounds}-need-{confirmations}"
+
+    @property
+    def slots(self) -> int:
+        return self.rounds
+
+    def message(self, pid, slot, input_value, received):
+        if pid == 0:
+            if input_value != ATTACK:
+                return None
+            return ("order", ATTACK) if slot == 1 else ("ack", len(received))
+        if not received:
+            return None  # nothing to acknowledge yet
+        return ("ack", len(received))
+
+    def decide(self, pid, input_value, received):
+        if pid == 0:
+            if input_value != ATTACK:
+                return RETREAT
+            if self.confirmations == 0:
+                return ATTACK
+            return ATTACK if len(received) >= self.confirmations else RETREAT
+        return ATTACK if len(received) >= self.confirmations else RETREAT
+
+
+class TimidProtocol(TwoGeneralsProtocol):
+    """Never attacks: trivially coordinated, trivially useless — fails the
+    'full delivery means attack' requirement."""
+
+    name = "timid"
+
+    @property
+    def slots(self) -> int:
+        return 2
+
+    def message(self, pid, slot, input_value, received):
+        return ("note", slot)
+
+    def decide(self, pid, input_value, received):
+        return RETREAT
+
+
+class RecklessProtocol(TwoGeneralsProtocol):
+    """General 1 attacks no matter what — fails the empty-run requirement."""
+
+    name = "reckless"
+
+    @property
+    def slots(self) -> int:
+        return 2
+
+    def message(self, pid, slot, input_value, received):
+        return ("order", input_value) if pid == 0 else ("ack", 1)
+
+    def decide(self, pid, input_value, received):
+        if pid == 0:
+            return ATTACK if input_value == ATTACK else RETREAT
+        return ATTACK

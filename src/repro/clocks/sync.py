@@ -1,0 +1,245 @@
+"""Clock synchronization and the epsilon(1 - 1/n) bound (§2.2.6, [77]).
+
+Lundelius and Lynch: on a complete graph of n processes whose message
+delays are known only to within an uncertainty interval of width epsilon,
+no algorithm can synchronize logical clocks closer than
+epsilon * (1 - 1/n) — and averaging the estimated differences achieves
+exactly that.  The lower bound is a *diagram stretching* argument: shift
+one process's clock and retune the delays; nobody can tell, so the
+adjusted clocks shift too.
+
+The model: process i has hardware clock H_i(t) = t + offset_i (drift-free
+for this bound); each ordered pair (i, j) has a fixed delay
+delta_ij in [0, epsilon]; at hardware time 0 every process broadcasts a
+timestamped reading.  Process j's *observation* of i is the local receive
+time of that reading — everything an algorithm may use.
+
+An algorithm is a function from observations to a per-process correction;
+:func:`lundelius_lynch_algorithm` is the optimal midpoint-averaging one.
+:func:`worst_case_skew` measures an algorithm's real worst case over all
+corner delay assignments; :func:`shifted_executions` mechanizes the
+stretching argument, delivering pairs of indistinguishable executions
+whose existence forces the bound on *every* algorithm.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..core.errors import ModelError
+
+# observations[j][i] = local (hardware) time at which j received i's
+# hardware-time-0 broadcast; observations[j][j] = 0.0 by convention.
+Observations = Tuple[Tuple[float, ...], ...]
+Algorithm = Callable[[int, Observations, float], Sequence[float]]
+# signature: (n, observations, epsilon) -> corrections per process
+
+
+@dataclass
+class ClockSyncRun:
+    """One execution: true offsets, delays, observations, corrections."""
+
+    n: int
+    epsilon: float
+    offsets: Tuple[float, ...]
+    delays: Dict[Tuple[int, int], float]
+    observations: Observations
+    corrections: Tuple[float, ...]
+
+    @property
+    def adjusted_offsets(self) -> Tuple[float, ...]:
+        """The adjusted clock of i is H_i + corr_i = t + offset_i + corr_i."""
+        return tuple(
+            o + c for o, c in zip(self.offsets, self.corrections)
+        )
+
+    @property
+    def skew(self) -> float:
+        adjusted = self.adjusted_offsets
+        return max(adjusted) - min(adjusted)
+
+
+def observe(
+    n: int,
+    offsets: Sequence[float],
+    delays: Dict[Tuple[int, int], float],
+    epsilon: float,
+) -> Observations:
+    """Compute each process's observations of the time-0 broadcasts.
+
+    Process i sends when H_i = 0, i.e. at real time -offset_i; process j
+    receives at real time -offset_i + delay_ij, which reads
+    -offset_i + delay_ij + offset_j on j's hardware clock.
+    """
+    rows: List[Tuple[float, ...]] = []
+    for j in range(n):
+        row = []
+        for i in range(n):
+            if i == j:
+                row.append(0.0)
+                continue
+            delay = delays[(i, j)]
+            if not -1e-12 <= delay <= epsilon + 1e-12:
+                raise ModelError(
+                    f"delay {delay} outside [0, {epsilon}] for pair {(i, j)}"
+                )
+            row.append(-offsets[i] + delay + offsets[j])
+        rows.append(tuple(row))
+    return tuple(rows)
+
+
+def run_clock_sync(
+    algorithm: Algorithm,
+    offsets: Sequence[float],
+    delays: Dict[Tuple[int, int], float],
+    epsilon: float,
+) -> ClockSyncRun:
+    n = len(offsets)
+    observations = observe(n, offsets, delays, epsilon)
+    corrections = tuple(algorithm(n, observations, epsilon))
+    if len(corrections) != n:
+        raise ModelError("algorithm must return one correction per process")
+    return ClockSyncRun(
+        n=n,
+        epsilon=epsilon,
+        offsets=tuple(offsets),
+        delays=dict(delays),
+        observations=observations,
+        corrections=corrections,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Algorithms
+# ---------------------------------------------------------------------------
+
+
+def lundelius_lynch_algorithm(
+    n: int, observations: Observations, epsilon: float
+) -> List[float]:
+    """Midpoint difference estimation plus averaging: the optimal algorithm.
+
+    j estimates (offset_i - offset_j) as (epsilon/2 - L_ji) where L_ji is
+    the local receive time: the estimate errs by at most epsilon/2.  The
+    correction is the average estimated difference to all processes
+    (including the zero estimate of itself), which brings the worst-case
+    skew down to epsilon * (1 - 1/n).
+    """
+    corrections = []
+    for j in range(n):
+        estimates = [0.0]  # difference to self
+        for i in range(n):
+            if i == j:
+                continue
+            estimates.append(epsilon / 2.0 - observations[j][i])
+        corrections.append(sum(estimates) / n)
+    return corrections
+
+
+def follow_zero_algorithm(
+    n: int, observations: Observations, epsilon: float
+) -> List[float]:
+    """The naive baseline: everyone adopts its estimate of process 0.
+
+    Worst-case skew epsilon (a factor 1/(1-1/n) worse than optimal): the
+    estimation errors of two followers can point in opposite directions.
+    """
+    corrections = [0.0]
+    for j in range(1, n):
+        corrections.append(epsilon / 2.0 - observations[j][0])
+    return corrections
+
+
+def do_nothing_algorithm(
+    n: int, observations: Observations, epsilon: float
+) -> List[float]:
+    """No synchronization at all; skew = spread of the true offsets."""
+    return [0.0] * n
+
+
+# ---------------------------------------------------------------------------
+# Measurement and the stretching lower bound
+# ---------------------------------------------------------------------------
+
+
+def corner_delay_assignments(n: int, epsilon: float):
+    """Every assignment with each directed delay at 0 or epsilon.
+
+    The worst case of any algorithm that is monotone in the observations
+    is attained at a corner, so this search is exact for our algorithms.
+    """
+    pairs = [(i, j) for i in range(n) for j in range(n) if i != j]
+    for bits in itertools.product((0.0, epsilon), repeat=len(pairs)):
+        yield dict(zip(pairs, bits))
+
+
+def worst_case_skew(
+    algorithm: Algorithm, n: int, epsilon: float = 1.0
+) -> float:
+    """The algorithm's exact worst-case skew over corner delay assignments
+    (true offsets zero — corrections are what create skew)."""
+    worst = 0.0
+    offsets = [0.0] * n
+    for delays in corner_delay_assignments(n, epsilon):
+        run = run_clock_sync(algorithm, offsets, delays, epsilon)
+        worst = max(worst, run.skew)
+    return worst
+
+
+def shifted_executions(
+    algorithm: Algorithm, n: int, epsilon: float, shifted: int
+) -> Tuple[ClockSyncRun, ClockSyncRun]:
+    """The stretching argument's pair of indistinguishable executions.
+
+    Execution A: process ``shifted`` has offset 0, its outgoing delays are
+    0 and incoming delays epsilon.  Execution B: its offset is +epsilon,
+    outgoing delays epsilon, incoming 0.  Every observation is identical
+    (the engine asserts it), so the algorithm computes the same
+    corrections — but the true offset moved by epsilon, so the adjusted
+    clocks cannot be tight in both executions.
+    """
+    half = epsilon / 2.0
+    offsets_a = [0.0] * n
+    offsets_b = [0.0] * n
+    offsets_b[shifted] = epsilon
+    delays_a: Dict[Tuple[int, int], float] = {}
+    delays_b: Dict[Tuple[int, int], float] = {}
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if i == shifted:
+                delays_a[(i, j)], delays_b[(i, j)] = 0.0, epsilon
+            elif j == shifted:
+                delays_a[(i, j)], delays_b[(i, j)] = epsilon, 0.0
+            else:
+                delays_a[(i, j)] = delays_b[(i, j)] = half
+    run_a = run_clock_sync(algorithm, offsets_a, delays_a, epsilon)
+    run_b = run_clock_sync(algorithm, offsets_b, delays_b, epsilon)
+    if run_a.observations != run_b.observations:
+        raise ModelError("shifted executions are distinguishable — engine bug")
+    return run_a, run_b
+
+
+def stretching_bound(algorithm: Algorithm, n: int, epsilon: float = 1.0
+                     ) -> float:
+    """A lower bound on the algorithm's worst-case skew from shifting.
+
+    For each process, the shifted pair forces skew >= epsilon/2 in one of
+    the two executions (the ``shifted`` clock moved epsilon while every
+    correction stayed put).  Returns the strongest bound found — for every
+    algorithm whatsoever this is at least epsilon/2, and the full chain
+    over all processes yields the epsilon(1 - 1/n) of [77].
+    """
+    forced = 0.0
+    for shifted in range(n):
+        run_a, run_b = shifted_executions(algorithm, n, epsilon, shifted)
+        forced = max(forced, max(run_a.skew, run_b.skew, epsilon / 2.0))
+    return forced
+
+
+def optimal_bound(n: int, epsilon: float = 1.0) -> float:
+    """The paper's tight bound: epsilon * (1 - 1/n)."""
+    return epsilon * (1.0 - 1.0 / n)

@@ -1,0 +1,165 @@
+"""Dolev–Strong authenticated broadcast: beating n > 3t with signatures.
+
+With message authentication the 3t+1 process bound evaporates: the
+Dolev–Strong protocol reaches Byzantine *broadcast* agreement for any
+number of faults in t+1 rounds (the round bound still stands — [43, 37]
+extend the t+1 chain argument to authenticated algorithms).
+
+Signatures are simulated: a signature chain is a tuple of pids appended to
+a value.  Unforgeability is a *model constraint*: the adversary classes in
+this module only emit chains they could really produce (their own
+signatures over anything, plus extensions of chains honestly received).
+Honest verifiers also check structural validity — the chain must start at
+the designated sender, contain no duplicates, and carry exactly one
+signature per round of transit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Mapping, Optional, Set, Tuple
+
+from .synchronous import (
+    Adversary,
+    Message,
+    Pid,
+    Round,
+    SyncProcess,
+    SyncProtocol,
+)
+
+# A signed claim: (value, (signer_0, signer_1, ...)).  signer_0 must be the
+# designated sender.
+Chain = Tuple[Hashable, Tuple[Pid, ...]]
+
+DEFAULT_VALUE = 0
+
+
+def chain_valid(chain: Chain, sender: Pid, rnd: Round) -> bool:
+    """Structural validity at the start of round ``rnd``: the chain must be
+    rooted at the sender, duplicate-free, and carry rnd-1 signatures."""
+    if not isinstance(chain, tuple) or len(chain) != 2:
+        return False
+    _value, signers = chain
+    if not isinstance(signers, tuple) or not signers:
+        return False
+    if signers[0] != sender:
+        return False
+    if len(set(signers)) != len(signers):
+        return False
+    return len(signers) == rnd - 1 + 1  # sender's signature plus one per hop
+
+
+class DolevStrongProcess(SyncProcess):
+    """Honest participant.  The designated sender is process 0."""
+
+    SENDER: Pid = 0
+
+    def __init__(self, pid, n, t, input_value):
+        super().__init__(pid, n, t, input_value)
+        self.extracted: Set[Hashable] = set()
+        self.to_relay: Set[Chain] = set()
+        self.rounds_done = 0
+        self.total_rounds = t + 1
+        if pid == self.SENDER:
+            self.extracted.add(input_value)
+            self.to_relay.add((input_value, (self.SENDER,)))
+
+    def message_to(self, rnd: Round, dest: Pid) -> Optional[Message]:
+        if rnd == 1:
+            if self.pid != self.SENDER:
+                return None
+            return frozenset({(self.input_value, (self.SENDER,))})
+        if not self.to_relay:
+            return None
+        return frozenset(self.to_relay)
+
+    def receive(self, rnd: Round, received: Mapping[Pid, Message]) -> None:
+        new_relays: Set[Chain] = set()
+        for src, payload in received.items():
+            if not isinstance(payload, frozenset):
+                continue
+            for chain in payload:
+                if not chain_valid(chain, self.SENDER, rnd):
+                    continue
+                value, signers = chain
+                if signers[-1] != src:
+                    continue  # the last signer must be whoever handed it over
+                if self.pid in signers:
+                    continue
+                if value not in self.extracted:
+                    self.extracted.add(value)
+                    new_relays.add((value, signers + (self.pid,)))
+        self.to_relay = new_relays
+        self.rounds_done = rnd
+
+    def decision(self) -> Optional[Hashable]:
+        if self.rounds_done < self.total_rounds:
+            return None
+        if len(self.extracted) == 1:
+            return next(iter(self.extracted))
+        return DEFAULT_VALUE
+
+
+class DolevStrong(SyncProtocol):
+    """The t+1-round authenticated broadcast protocol (any n >= t + 2)."""
+
+    name = "dolev-strong"
+
+    def rounds(self, n: int, t: int) -> int:
+        return t + 1
+
+    def spawn(self, pid, n, t, input_value) -> DolevStrongProcess:
+        return DolevStrongProcess(pid, n, t, input_value)
+
+
+class EquivocatingSender(Adversary):
+    """A faulty designated sender that signs different values to different
+    recipients — the canonical attack signatures are meant to contain.
+
+    Recipients with even pid receive value_a, odd pids value_b.  From round
+    2 on the sender stays silent.  It forges nothing: every chain it emits
+    carries only its own signature.
+    """
+
+    def __init__(self, value_a: Hashable = 0, value_b: Hashable = 1):
+        super().__init__([DolevStrongProcess.SENDER])
+        self.value_a = value_a
+        self.value_b = value_b
+
+    def transform(self, rnd, src, dest, honest_message):
+        if rnd != 1:
+            return None
+        value = self.value_a if dest % 2 == 0 else self.value_b
+        return frozenset({(value, (src,))})
+
+
+class LateRevealRelay(Adversary):
+    """Sender and a colluding relay: withhold the second value as long as
+    the signature discipline allows, then reveal it to a single victim.
+
+    The faulty sender broadcasts value_a but privately signs value_b for
+    the colluding relay (both signatures are its own — no forgery).  The
+    relay adds its signature and forwards the two-signature chain to one
+    honest victim in round 2, the last round such a chain verifies.  The
+    protocol's t+1 rounds are exactly what gives the victim time to relay
+    the revelation onward, so all honest processes still end with the same
+    extracted set and decide the default together.
+    """
+
+    def __init__(self, relay: Pid, victim: Pid,
+                 value_a: Hashable = 0, value_b: Hashable = 1):
+        super().__init__([DolevStrongProcess.SENDER, relay])
+        self.relay = relay
+        self.victim = victim
+        self.value_a = value_a
+        self.value_b = value_b
+
+    def transform(self, rnd, src, dest, honest_message):
+        sender = DolevStrongProcess.SENDER
+        if src == sender:
+            if rnd == 1:
+                return frozenset({(self.value_a, (sender,))})
+            return None
+        if src == self.relay and rnd == 2 and dest == self.victim:
+            return frozenset({(self.value_b, (sender, self.relay))})
+        return None

@@ -1,0 +1,221 @@
+"""The commit problem and the Dwork–Skeen message lower bound (§2.2.5).
+
+Commit is binary consensus with an asymmetric validity ("commit rule"):
+abort anywhere forces abort; all-commit with no failures forces commit.
+Dwork and Skeen proved every failure-free execution that commits must
+carry at least 2n-2 messages, because information must flow from every
+process to every other — if some path is missing, a participant's abort
+vote could be ignored, or two participants could decide differently.
+
+This module provides:
+
+* :class:`TwoPhaseCommit` — the standard centralized protocol, which
+  meets the 2n-2 bound exactly in failure-free runs;
+* :class:`DecentralizedCommit` — all-to-all votes in one round, the
+  n(n-1)-message baseline (latency 1 round instead of 2);
+* :func:`information_paths_complete` — the lower bound's combinatorial
+  heart as a checker: does the run's message pattern connect every ordered
+  pair of processes through increasing rounds?
+* :class:`BrokenCommit` — a protocol that skips one vote, whose commit-
+  rule violation the checker pins on the missing path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .synchronous import (
+    Pid,
+    Round,
+    SyncProcess,
+    SyncProtocol,
+    SyncRun,
+    run_synchronous,
+)
+
+COMMIT = "commit"
+ABORT = "abort"
+
+
+def commit_rule_holds(run: SyncRun) -> bool:
+    """The commit rule: any abort input forces abort; all-commit inputs in
+    a failure-free run force commit."""
+    decisions = [d for d in run.honest_decisions().values()]
+    if any(d is None for d in decisions):
+        return False
+    if any(v == 0 for v in run.inputs):
+        return all(d == ABORT for d in decisions)
+    if not run.adversary.faulty:
+        return all(d == COMMIT for d in decisions)
+    return True
+
+
+class TwoPhaseCommitProcess(SyncProcess):
+    """Process 0 coordinates; inputs are 1 (vote commit) / 0 (vote abort)."""
+
+    COORDINATOR: Pid = 0
+
+    def __init__(self, pid, n, t, input_value):
+        super().__init__(pid, n, t, input_value)
+        self.votes: Dict[Pid, Hashable] = {pid: input_value}
+        self.outcome: Optional[str] = None
+        self.rounds_done = 0
+
+    def message_to(self, rnd: Round, dest: Pid) -> Optional[Hashable]:
+        if rnd == 1:
+            if self.pid != self.COORDINATOR and dest == self.COORDINATOR:
+                return ("vote", self.input_value)
+            return None
+        if rnd == 2 and self.pid == self.COORDINATOR:
+            all_commit = all(
+                self.votes.get(p) == 1 for p in range(self.n)
+            )
+            return ("decision", COMMIT if all_commit else ABORT)
+        return None
+
+    def receive(self, rnd: Round, received: Mapping[Pid, Hashable]) -> None:
+        if rnd == 1 and self.pid == self.COORDINATOR:
+            for src, msg in received.items():
+                if isinstance(msg, tuple) and msg[0] == "vote":
+                    self.votes[src] = msg[1]
+            all_commit = all(self.votes.get(p) == 1 for p in range(self.n))
+            self.outcome = COMMIT if all_commit else ABORT
+        if rnd == 2 and self.pid != self.COORDINATOR:
+            msg = received.get(self.COORDINATOR)
+            if isinstance(msg, tuple) and msg[0] == "decision":
+                self.outcome = msg[1]
+            else:
+                self.outcome = ABORT  # coordinator silent: presume abort
+        self.rounds_done = rnd
+
+    def decision(self) -> Optional[str]:
+        if self.rounds_done < 2:
+            return None
+        return self.outcome
+
+
+class TwoPhaseCommit(SyncProtocol):
+    """Centralized 2PC: exactly 2(n-1) messages in failure-free runs."""
+
+    name = "two-phase-commit"
+
+    def rounds(self, n: int, t: int) -> int:
+        return 2
+
+    def spawn(self, pid, n, t, input_value):
+        return TwoPhaseCommitProcess(pid, n, t, input_value)
+
+
+class DecentralizedCommitProcess(SyncProcess):
+    """Everyone broadcasts its vote; everyone decides locally."""
+
+    def __init__(self, pid, n, t, input_value):
+        super().__init__(pid, n, t, input_value)
+        self.votes: Dict[Pid, Hashable] = {pid: input_value}
+        self.rounds_done = 0
+
+    def message_to(self, rnd: Round, dest: Pid) -> Optional[Hashable]:
+        if rnd == 1:
+            return ("vote", self.input_value)
+        return None
+
+    def receive(self, rnd: Round, received: Mapping[Pid, Hashable]) -> None:
+        for src, msg in received.items():
+            if isinstance(msg, tuple) and msg[0] == "vote":
+                self.votes[src] = msg[1]
+        self.rounds_done = rnd
+
+    def decision(self) -> Optional[str]:
+        if self.rounds_done < 1:
+            return None
+        if all(self.votes.get(p) == 1 for p in range(self.n)):
+            return COMMIT
+        return ABORT
+
+
+class DecentralizedCommit(SyncProtocol):
+    """One round, n(n-1) messages: the latency/message tradeoff baseline."""
+
+    name = "decentralized-commit"
+
+    def rounds(self, n: int, t: int) -> int:
+        return 1
+
+    def spawn(self, pid, n, t, input_value):
+        return DecentralizedCommitProcess(pid, n, t, input_value)
+
+
+class BrokenCommitProcess(TwoPhaseCommitProcess):
+    """A 2PC variant whose coordinator never waits for process n-1's vote.
+
+    Saves one message below 2n-2; the commit rule breaks exactly the way
+    the Dwork–Skeen path argument predicts (the ignored process's abort is
+    overridden).
+    """
+
+    def message_to(self, rnd: Round, dest: Pid) -> Optional[Hashable]:
+        if rnd == 1 and self.pid == self.n - 1:
+            return None  # this vote is never sent
+        return super().message_to(rnd, dest)
+
+    def receive(self, rnd: Round, received: Mapping[Pid, Hashable]) -> None:
+        if rnd == 1 and self.pid == self.COORDINATOR:
+            self.votes[self.n - 1] = 1  # presume commit without evidence
+        super().receive(rnd, received)
+
+
+class BrokenCommit(SyncProtocol):
+    name = "broken-commit"
+
+    def rounds(self, n: int, t: int) -> int:
+        return 2
+
+    def spawn(self, pid, n, t, input_value):
+        return BrokenCommitProcess(pid, n, t, input_value)
+
+
+def message_count(run: SyncRun) -> int:
+    """Messages actually sent in the run."""
+    return run.messages_sent
+
+
+def information_paths_complete(run: SyncRun) -> Tuple[bool, List[Tuple[Pid, Pid]]]:
+    """Check the Dwork–Skeen path property on a run's message pattern.
+
+    Returns (complete, missing_pairs): for each ordered pair (i, j), is
+    there a chain of messages m1; m2; ... with increasing rounds carrying
+    information from i to j?  A run deciding commit without complete paths
+    cannot be correct — some vote was decided without.
+    """
+    n = run.n
+    # knows[j] = set of processes whose round-0 information j has.
+    knows: Dict[Pid, Set[Pid]] = {p: {p} for p in range(n)}
+    for rnd in range(run.rounds_run):
+        snapshot = {p: set(s) for p, s in knows.items()}
+        for dest in range(n):
+            for src, _msg in run.views[dest].rounds[rnd].items():
+                knows[dest] |= snapshot[src]
+    missing = [
+        (i, j)
+        for i in range(n)
+        for j in range(n)
+        if i != j and i not in knows[j]
+    ]
+    return not missing, missing
+
+
+def failure_free_commit_run(protocol: SyncProtocol, n: int) -> SyncRun:
+    """The canonical all-commit failure-free run."""
+    return run_synchronous(protocol, [1] * n, t=0)
+
+
+def dwork_skeen_series(
+    protocol: SyncProtocol, sizes: Sequence[int]
+) -> Dict[int, Tuple[int, int]]:
+    """For each n: (messages in the failure-free commit run, the 2n-2 bound)."""
+    out: Dict[int, Tuple[int, int]] = {}
+    for n in sizes:
+        run = failure_free_commit_run(protocol, n)
+        out[n] = (message_count(run), 2 * n - 2)
+    return out

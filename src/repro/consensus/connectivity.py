@@ -1,0 +1,334 @@
+"""Network connectivity for Byzantine agreement: conn > 2t (§2.2.1, [39]).
+
+Dolev: Byzantine agreement among correct processes requires network
+connectivity at least 2t + 1 — with a cut of 2t vertices, the faulty
+processes can sit on the cut and present different worlds to the two
+sides.  The survey notes the proof "is essentially another scenario
+argument similar to the one above (using a different scenario alpha)".
+
+We mechanize the canonical instance: the 4-cycle A–B–C–D has connectivity
+2 = 2t for t = 1 ({B, D} is a cut separating A from C), so agreement is
+impossible.  The splice doubles the cycle, rerouting the D-edges across
+the copies:
+
+* within-copy edges: A_c–B_c, B_c–C_c for both copies c;
+* cross-copy edges: A_c–D_c and D_c–C_{1-c}.
+
+Every node still sees a plain 4-cycle.  Running the spliced 8-cycle
+fault-free with copy-0 inputs 0 and copy-1 inputs 1 yields three genuine
+executions of the *real* 4-cycle:
+
+* D faulty, honest A, B, C all start 0  — validity forces 0;
+* D faulty, honest A, B, C all start 1  — validity forces 1;
+* B faulty, honest A (0), D (0), C (1) — agreement forces equal outputs,
+  but A behaves as A0 (deciding 0) and C as C1 (deciding 1).
+
+:func:`connectivity_certificate` runs all three against any given
+protocol on the cycle and reports which requirement broke.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import ModelError
+from ..impossibility.certificate import (
+    FailureWitness,
+    ImpossibilityCertificate,
+)
+
+Node = str  # "A", "B", "C", "D"
+CYCLE_EDGES = {
+    "A": ("B", "D"),
+    "B": ("A", "C"),
+    "C": ("B", "D"),
+    "D": ("A", "C"),
+}
+
+
+class CycleProtocol:
+    """Base for deterministic protocols on the 4-cycle.
+
+    Subclasses implement per-process state machines; a process knows its
+    own node name and talks only to its two neighbours.
+    """
+
+    name = "cycle-protocol"
+    rounds = 4
+
+    def spawn(self, node: Node, input_value: Hashable) -> "CycleProcess":
+        raise NotImplementedError
+
+
+class CycleProcess:
+    def __init__(self, node: Node, input_value: Hashable):
+        self.node = node
+        self.input_value = input_value
+
+    def message_to(self, rnd: int, neighbour: Node) -> Hashable:
+        raise NotImplementedError
+
+    def receive(self, rnd: int, received: Mapping[Node, Hashable]) -> None:
+        raise NotImplementedError
+
+    def decision(self) -> Optional[Hashable]:
+        raise NotImplementedError
+
+
+@dataclass
+class CycleRun:
+    """One execution of the real 4-cycle."""
+
+    inputs: Dict[Node, Hashable]
+    faulty: Node
+    decisions: Dict[Node, Optional[Hashable]]
+    views: Dict[Node, Tuple]
+
+    def honest(self) -> List[Node]:
+        return [n for n in CYCLE_EDGES if n != self.faulty]
+
+
+def run_cycle(
+    protocol: CycleProtocol,
+    inputs: Mapping[Node, Hashable],
+    faulty: Optional[Node] = None,
+    script: Optional[Mapping[Tuple[int, Node, Node], Hashable]] = None,
+) -> CycleRun:
+    """Run the protocol on the real 4-cycle, with one optionally scripted
+    Byzantine node."""
+    processes = {
+        node: protocol.spawn(node, inputs[node]) for node in CYCLE_EDGES
+    }
+    views: Dict[Node, List] = {node: [] for node in CYCLE_EDGES}
+    for rnd in range(1, protocol.rounds + 1):
+        outbox: Dict[Tuple[Node, Node], Hashable] = {}
+        for node, proc in processes.items():
+            for neighbour in CYCLE_EDGES[node]:
+                if node == faulty:
+                    msg = (script or {}).get((rnd, node, neighbour))
+                else:
+                    msg = proc.message_to(rnd, neighbour)
+                if msg is not None:
+                    outbox[(node, neighbour)] = msg
+        for node, proc in processes.items():
+            received = {
+                src: outbox[(src, node)]
+                for src in sorted(CYCLE_EDGES[node])
+                if (src, node) in outbox
+            }
+            views[node].append(tuple(sorted(received.items())))
+            proc.receive(rnd, received)
+    return CycleRun(
+        inputs=dict(inputs),
+        faulty=faulty if faulty is not None else "",
+        decisions={node: proc.decision() for node, proc in processes.items()},
+        views={node: tuple(v) for node, v in views.items()},
+    )
+
+
+# Spliced nodes: (name, copy).
+SNode = Tuple[Node, int]
+
+
+def _spliced_neighbours(node: SNode) -> List[SNode]:
+    """The doubled cycle's adjacency: D-edges cross copies."""
+    name, copy = node
+    out: List[SNode] = []
+    for neighbour in CYCLE_EDGES[name]:
+        if "D" in (name, neighbour):
+            if {name, neighbour} == {"A", "D"}:
+                out.append((neighbour, copy))        # A_c -- D_c
+            else:                                    # C/D edge crosses
+                out.append((neighbour, 1 - copy))    # D_c -- C_{1-c}
+        else:
+            out.append((neighbour, copy))
+    return out
+
+
+@dataclass
+class SplicedCycleRun:
+    inputs: Dict[SNode, Hashable]
+    decisions: Dict[SNode, Optional[Hashable]]
+    messages: Dict[Tuple[int, SNode, SNode], Hashable]
+    views: Dict[SNode, Tuple]
+
+
+def run_spliced_cycle(protocol: CycleProtocol) -> SplicedCycleRun:
+    """Run the doubled 4-cycle fault-free (copy 0 inputs 0, copy 1 inputs 1)."""
+    nodes = [(name, copy) for copy in (0, 1) for name in CYCLE_EDGES]
+    inputs = {node: node[1] for node in nodes}
+    processes = {
+        node: protocol.spawn(node[0], inputs[node]) for node in nodes
+    }
+    messages: Dict[Tuple[int, SNode, SNode], Hashable] = {}
+    views: Dict[SNode, List] = {node: [] for node in nodes}
+    for rnd in range(1, protocol.rounds + 1):
+        outbox: Dict[Tuple[SNode, SNode], Hashable] = {}
+        for node, proc in processes.items():
+            for dest in _spliced_neighbours(node):
+                msg = proc.message_to(rnd, dest[0])
+                if msg is not None:
+                    outbox[(node, dest)] = msg
+                    messages[(rnd, node, dest)] = msg
+        for node, proc in processes.items():
+            gathered: Dict[Node, Hashable] = {}
+            for (src, dest), msg in outbox.items():
+                if dest == node:
+                    gathered[src[0]] = msg
+            # Deliver in sorted neighbour order, matching run_cycle, so
+            # protocols with order-sensitive tie-breaking behave
+            # identically in the splice and in the extracted scenarios.
+            received = {src: gathered[src] for src in sorted(gathered)}
+            views[node].append(tuple(sorted(received.items())))
+            proc.receive(rnd, received)
+    return SplicedCycleRun(
+        inputs=inputs,
+        decisions={node: proc.decision() for node, proc in processes.items()},
+        messages=messages,
+        views={node: tuple(v) for node, v in views.items()},
+    )
+
+
+@dataclass
+class CycleScenario:
+    name: str
+    faulty: Node
+    requirement: str
+    run: CycleRun
+    holds: bool
+
+
+def connectivity_scenarios(protocol: CycleProtocol) -> List[CycleScenario]:
+    """Extract the three real 4-cycle executions from the splice."""
+    spliced = run_spliced_cycle(protocol)
+
+    def script_for(faulty: Node, honest_copy: Mapping[Node, int]
+                   ) -> Dict[Tuple[int, Node, Node], Hashable]:
+        script = {}
+        for rnd in range(1, protocol.rounds + 1):
+            for neighbour in CYCLE_EDGES[faulty]:
+                dest_copy = honest_copy[neighbour]
+                # Which copy of the faulty node feeds this neighbour?
+                for copy in (0, 1):
+                    if (neighbour, dest_copy) in _spliced_neighbours(
+                        (faulty, copy)
+                    ):
+                        msg = spliced.messages.get(
+                            (rnd, (faulty, copy), (neighbour, dest_copy))
+                        )
+                        if msg is not None:
+                            script[(rnd, faulty, neighbour)] = msg
+        return script
+
+    plans = [
+        ("D-faulty, honest side all 0", "D",
+         {"A": 0, "B": 0, "C": 0}, "validity-0"),
+        ("D-faulty, honest side all 1", "D",
+         {"A": 1, "B": 1, "C": 1}, "validity-1"),
+        ("B-faulty, A from copy 0 and C from copy 1", "B",
+         {"A": 0, "D": 0, "C": 1}, "agreement"),
+    ]
+    scenarios = []
+    for name, faulty, honest_copy, requirement in plans:
+        inputs = {
+            node: (honest_copy[node] if node in honest_copy else 0)
+            for node in CYCLE_EDGES
+        }
+        run = run_cycle(
+            protocol, inputs, faulty=faulty,
+            script=script_for(faulty, honest_copy),
+        )
+        for node, copy in honest_copy.items():
+            if run.views[node] != spliced.views[(node, copy)]:
+                raise ModelError(
+                    f"splice error: {node}'s view diverged from "
+                    f"{(node, copy)} in scenario {name!r}"
+                )
+        decisions = [run.decisions[node] for node in honest_copy]
+        if any(d is None for d in decisions):
+            holds = False
+        elif requirement == "validity-0":
+            holds = all(d == 0 for d in decisions)
+        elif requirement == "validity-1":
+            holds = all(d == 1 for d in decisions)
+        else:
+            holds = len(set(decisions)) == 1
+        scenarios.append(CycleScenario(name, faulty, requirement, run, holds))
+    return scenarios
+
+
+def connectivity_certificate(protocol: CycleProtocol) -> ImpossibilityCertificate:
+    """Defeat any Byzantine agreement protocol on the 4-cycle (conn 2 = 2t)."""
+    scenarios = connectivity_scenarios(protocol)
+    failures = [s for s in scenarios if not s.holds]
+    if not failures:
+        raise ModelError(
+            "all connectivity scenarios passed — splice invariant broken"
+        )
+    return ImpossibilityCertificate(
+        claim=(
+            f"{protocol.name} cannot solve Byzantine agreement on the "
+            "4-cycle with t=1: connectivity 2 <= 2t"
+        ),
+        scope=f"this protocol, the canonical {{B, D}} cut, {protocol.rounds} rounds",
+        technique="scenario (connectivity splice)",
+        witnesses=[
+            FailureWitness(
+                candidate=protocol.name,
+                property_violated=f"{s.requirement} in scenario {s.name!r}",
+                evidence=s.run,
+            )
+            for s in failures
+        ],
+        details={"scenarios_violated": [s.name for s in failures]},
+    )
+
+
+# ---------------------------------------------------------------------------
+# A concrete candidate for the certificate to defeat
+# ---------------------------------------------------------------------------
+
+
+class FloodVote(CycleProtocol):
+    """Flood (origin, value) claims for several rounds; decide by majority
+    of origins' values, ties broken towards the smaller value (everyone
+    tallies the same claim multiset fault-free, so fault-free agreement
+    holds).  A sensible protocol on a cycle — and, per the theorem,
+    necessarily defeated by the connectivity splice."""
+
+    name = "flood-vote"
+    rounds = 4
+
+    def spawn(self, node, input_value):
+        return _FloodVoteProcess(node, input_value)
+
+
+class _FloodVoteProcess(CycleProcess):
+    def __init__(self, node, input_value):
+        super().__init__(node, input_value)
+        self.claims: Dict[Node, Hashable] = {node: input_value}
+        self.rounds_done = 0
+        self.total_rounds = FloodVote.rounds
+
+    def message_to(self, rnd, neighbour):
+        return tuple(sorted(self.claims.items()))
+
+    def receive(self, rnd, received):
+        for _src, payload in received.items():
+            try:
+                entries = dict(payload)
+            except (TypeError, ValueError):
+                continue
+            for origin, value in entries.items():
+                if origin in CYCLE_EDGES and origin not in self.claims:
+                    self.claims[origin] = value
+        self.rounds_done = rnd
+
+    def decision(self):
+        if self.rounds_done < self.total_rounds:
+            return None
+        votes = Counter(self.claims.values())
+        best = max(votes.values())
+        return min(v for v, count in votes.items() if count == best)

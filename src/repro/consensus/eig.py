@@ -1,0 +1,110 @@
+"""Exponential Information Gathering: Byzantine agreement for n > 3t.
+
+The classic algorithm from Pease–Shostak–Lamport [89], in the EIG-tree
+formulation: for t+1 rounds processes relay everything they have heard,
+building a tree whose node ``(p1, ..., pk)`` holds "what p_k said p_{k-1}
+said ... p_1's input was".  Decisions are taken by resolving the tree
+bottom-up with majority voting.
+
+With n > 3t the algorithm satisfies agreement and validity against any
+Byzantine adversary; with n <= 3t it does not, and the scenario engine in
+:mod:`repro.consensus.scenarios` constructs the adversary that defeats it —
+the two sides of the survey's §2.2.1.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from .synchronous import Pid, Round, SyncProcess, SyncProtocol
+
+Label = Tuple[Pid, ...]
+
+DEFAULT_VALUE = 0
+
+
+class EIGProcess(SyncProcess):
+    """One participant of the EIG Byzantine agreement protocol."""
+
+    def __init__(self, pid, n, t, input_value, default: Hashable = DEFAULT_VALUE):
+        super().__init__(pid, n, t, input_value)
+        self.default = default
+        # Root: own input.  Level-1 node (pid,): what "pid said", which for
+        # ourselves is again the input (we never receive it from the wire).
+        self.vals: Dict[Label, Hashable] = {(): input_value, (pid,): input_value}
+        self.rounds_done = 0
+        self.total_rounds = t + 1
+
+    def message_to(self, rnd: Round, dest: Pid) -> Hashable:
+        # Relay every level-(rnd-1) value whose label does not contain the
+        # sender itself (a process never relays its own relays).
+        level = rnd - 1
+        payload = {
+            label: value
+            for label, value in self.vals.items()
+            if len(label) == level and self.pid not in label
+        }
+        return tuple(sorted(payload.items()))
+
+    def receive(self, rnd: Round, received: Mapping[Pid, Hashable]) -> None:
+        level = rnd - 1
+        # The classic formulation has every process broadcast to itself as
+        # well; the network omits self-delivery, so replay it locally.
+        for label in [
+            lb for lb, _v in self.vals.items()
+            if len(lb) == level and self.pid not in lb
+        ]:
+            self.vals[label + (self.pid,)] = self.vals[label]
+        for sender, payload in received.items():
+            try:
+                entries = dict(payload)
+            except (TypeError, ValueError):
+                continue  # garbage from a Byzantine sender; treat as silence
+            for label, value in entries.items():
+                if (
+                    isinstance(label, tuple)
+                    and len(label) == level
+                    and len(set(label)) == len(label)
+                    and all(isinstance(p, int) and 0 <= p < self.n for p in label)
+                    and sender not in label
+                    and len(label) + 1 <= self.total_rounds
+                ):
+                    self.vals[label + (sender,)] = value
+        self.rounds_done = rnd
+
+    def _resolve(self, label: Label) -> Hashable:
+        if len(label) == self.total_rounds:
+            return self.vals.get(label, self.default)
+        children = [
+            self._resolve(label + (j,))
+            for j in range(self.n)
+            if j not in label
+        ]
+        if not children:
+            return self.vals.get(label, self.default)
+        counts = Counter(children)
+        value, count = counts.most_common(1)[0]
+        if count * 2 > len(children):
+            return value
+        return self.default
+
+    def decision(self) -> Optional[Hashable]:
+        if self.rounds_done < self.total_rounds:
+            return None
+        return self._resolve(())
+
+
+class EIGByzantine(SyncProtocol):
+    """The t+1-round EIG protocol (requires n > 3t for correctness)."""
+
+    name = "eig-byzantine"
+
+    def __init__(self, default: Hashable = DEFAULT_VALUE):
+        self.default = default
+
+    def rounds(self, n: int, t: int) -> int:
+        return t + 1
+
+    def spawn(self, pid, n, t, input_value) -> EIGProcess:
+        return EIGProcess(pid, n, t, input_value, default=self.default)

@@ -1,0 +1,88 @@
+"""Phase King: Byzantine agreement with constant-size messages (n > 4t).
+
+Berman–Garay's algorithm trades the EIG tree's exponential messages for a
+weaker resilience bound: t+1 phases of two rounds each, every message a
+single value.  Phase k's "king" is process k-1; a process adopts the
+king's tie-breaker only when its own tally is not overwhelming.  Since
+there are t+1 phases and at most t faulty processes, some phase has an
+honest king, after which all honest processes lock on one value.
+
+Included both as a cited positive result and as a baseline for the
+message-complexity comparisons: EIG sends O(n^(t+1))-size state around,
+Phase King O(n^2) single-value messages total per phase.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Optional
+
+from .synchronous import Pid, Round, SyncProcess, SyncProtocol
+
+
+class PhaseKingProcess(SyncProcess):
+    """One participant of the Phase King protocol (binary values)."""
+
+    def __init__(self, pid, n, t, input_value):
+        super().__init__(pid, n, t, input_value)
+        self.value = 1 if input_value else 0
+        self.total_rounds = 2 * (t + 1)
+        self.rounds_done = 0
+        self._last_counts = (0, 0)
+
+    @staticmethod
+    def _phase_of(rnd: Round) -> int:
+        """Phases are 1-based; rounds 2k-1 and 2k belong to phase k."""
+        return (rnd + 1) // 2
+
+    def _king_of(self, phase: int) -> Pid:
+        return (phase - 1) % self.n
+
+    def message_to(self, rnd: Round, dest: Pid) -> Optional[Hashable]:
+        phase = self._phase_of(rnd)
+        if rnd % 2 == 1:
+            # Voting round: everyone broadcasts its current value.
+            return self.value
+        # King round: only the phase king speaks.
+        if self.pid == self._king_of(phase):
+            return self.value
+        return None
+
+    def receive(self, rnd: Round, received: Mapping[Pid, Hashable]) -> None:
+        phase = self._phase_of(rnd)
+        if rnd % 2 == 1:
+            votes = [1 if v else 0 for v in received.values()]
+            votes.append(self.value)  # own vote
+            ones = sum(votes)
+            zeros = len(votes) - ones
+            self._last_counts = (zeros, ones)
+            self.value = 1 if ones >= zeros else 0
+        else:
+            king = self._king_of(phase)
+            zeros, ones = self._last_counts
+            majority_count = max(zeros, ones)
+            # Keep own value only when the tally was overwhelming; otherwise
+            # defer to the king's tie-breaker.
+            if majority_count < self.n - self.t:
+                if self.pid == king:
+                    pass  # the king keeps its own value
+                else:
+                    king_value = received.get(king)
+                    self.value = 1 if king_value else 0
+        self.rounds_done = rnd
+
+    def decision(self) -> Optional[Hashable]:
+        if self.rounds_done < self.total_rounds:
+            return None
+        return self.value
+
+
+class PhaseKing(SyncProtocol):
+    """The 2(t+1)-round Phase King protocol (requires n > 4t)."""
+
+    name = "phase-king"
+
+    def rounds(self, n: int, t: int) -> int:
+        return 2 * (t + 1)
+
+    def spawn(self, pid, n, t, input_value) -> PhaseKingProcess:
+        return PhaseKingProcess(pid, n, t, input_value)

@@ -1,0 +1,355 @@
+"""Scenario arguments: the Fischer–Lynch–Merritt ring splice (§2.2.1).
+
+The survey's favourite proof ("the most pleasing proof I know") that
+Byzantine agreement needs n > 3t: take any claimed solution, join *two
+copies* of it into a ring, run the ring fault-free, and read off three
+genuine executions of the real system in which some correctness property
+must fail.
+
+This module mechanizes the argument as a constructive adversary.  Given an
+arbitrary ``n``-process protocol and a partition of the processes into
+three groups A, B, C each of size <= t:
+
+1. :func:`run_spliced_ring` builds the hexagon — six group-copies
+   ``A0 B0 C0 A1 B1 C1`` in a ring, where copy-0 processes get input 0 and
+   copy-1 processes input 1 — and runs it fault-free, recording every
+   message.
+
+2. :func:`byzantine_scenarios` turns the recording into three concrete
+   executions of the *real* n-process system, each with one group
+   Byzantine (replaying the spliced messages via
+   :class:`~repro.consensus.synchronous.ScriptedByzantine`):
+
+   * scenario "C faulty": honest A, B start with 0 — validity forces 0;
+   * scenario "A faulty": honest B, C start with 1 — validity forces 1;
+   * scenario "B faulty": honest A (input 0) and C (input 1) — agreement
+     forces equal decisions.
+
+   By construction the honest views in these runs equal the corresponding
+   hexagon views (the engine checks this), so the decisions are those of
+   the hexagon nodes — and A0's decision cannot be 0, equal to C1's, and
+   have C1's be 1.  :func:`flm_certificate` finds the property that breaks
+   for the protocol under test and packages the witnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import ModelError
+from ..impossibility.certificate import (
+    FailureWitness,
+    ImpossibilityCertificate,
+)
+from .synchronous import (
+    Message,
+    Pid,
+    ProcessView,
+    Round,
+    ScriptedByzantine,
+    SyncProtocol,
+    SyncRun,
+    run_synchronous,
+)
+
+Copy = int  # 0 or 1
+Node = Tuple[Pid, Copy]
+
+
+def balanced_three_partition(n: int) -> Tuple[Tuple[Pid, ...], ...]:
+    """Split pids 0..n-1 into three contiguous groups of near-equal size."""
+    if n < 3:
+        raise ModelError("need at least three processes to form three groups")
+    base, extra = divmod(n, 3)
+    sizes = [base + (1 if i < extra else 0) for i in range(3)]
+    groups: List[Tuple[Pid, ...]] = []
+    start = 0
+    for size in sizes:
+        groups.append(tuple(range(start, start + size)))
+        start += size
+    return tuple(groups)
+
+
+def _group_of(pid: Pid, groups: Sequence[Sequence[Pid]]) -> int:
+    for g, members in enumerate(groups):
+        if pid in members:
+            return g
+    raise ModelError(f"pid {pid} not in any group")
+
+
+def _dest_copy(src_group: int, dst_group: int, src_copy: Copy) -> Copy:
+    """Which copy of the destination group a spliced message lands in.
+
+    The six group-copies form the ring A0 B0 C0 A1 B1 C1: crossing the
+    A–C boundary switches copies; all other group crossings (and
+    intra-group messages) stay within the copy.
+    """
+    if src_group == dst_group:
+        return src_copy
+    if {src_group, dst_group} == {0, 2}:
+        return 1 - src_copy
+    return src_copy
+
+
+@dataclass
+class SplicedRun:
+    """The fault-free execution of the doubled ring."""
+
+    protocol_name: str
+    n: int
+    t: int
+    groups: Tuple[Tuple[Pid, ...], ...]
+    inputs: Dict[Node, Hashable]
+    rounds_run: int
+    decisions: Dict[Node, Optional[Hashable]]
+    views: Dict[Node, ProcessView]
+    messages: Dict[Tuple[Round, Node, Node], Message]
+
+    def sent_from_to(self, rnd: Round, src: Node, dst: Node) -> Optional[Message]:
+        return self.messages.get((rnd, src, dst))
+
+
+def run_spliced_ring(
+    protocol: SyncProtocol,
+    n: int,
+    t: int,
+    groups: Optional[Sequence[Sequence[Pid]]] = None,
+    value_low: Hashable = 0,
+    value_high: Hashable = 1,
+) -> SplicedRun:
+    """Run two spliced copies of the protocol, fault-free.
+
+    Every process instance believes it is in an ordinary ``n``-process
+    system; the splice only redirects *where* cross-group messages land.
+    """
+    groups = tuple(tuple(g) for g in (groups or balanced_three_partition(n)))
+    group_index = {pid: _group_of(pid, groups) for pid in range(n)}
+    inputs: Dict[Node, Hashable] = {}
+    processes: Dict[Node, object] = {}
+    spawn_tagged = getattr(protocol, "spawn_tagged", None)
+    for copy in (0, 1):
+        value = value_low if copy == 0 else value_high
+        for pid in range(n):
+            inputs[(pid, copy)] = value
+            if spawn_tagged is not None:
+                # Randomized protocols: the two copies of a role must draw
+                # independent coins, and the scenario extraction must be
+                # able to reuse exactly the right copy's coin sequence.
+                processes[(pid, copy)] = spawn_tagged(pid, n, t, value, copy)
+            else:
+                processes[(pid, copy)] = protocol.spawn(pid, n, t, value)
+
+    total_rounds = protocol.rounds(n, t)
+    messages: Dict[Tuple[Round, Node, Node], Message] = {}
+    view_rounds: Dict[Node, List[Dict[Pid, Message]]] = {
+        node: [] for node in processes
+    }
+
+    for rnd in range(1, total_rounds + 1):
+        outbox: Dict[Tuple[Node, Node], Message] = {}
+        for (pid, copy), proc in processes.items():
+            src_group = group_index[pid]
+            for dest in range(n):
+                if dest == pid:
+                    continue
+                dst_copy = _dest_copy(src_group, group_index[dest], copy)
+                msg = proc.message_to(rnd, dest)
+                if msg is not None:
+                    outbox[((pid, copy), (dest, dst_copy))] = msg
+        for (src, dst), msg in outbox.items():
+            messages[(rnd, src, dst)] = msg
+        for (pid, copy), proc in processes.items():
+            received: Dict[Pid, Message] = {}
+            for ((src_pid, src_copy), (dst_pid, dst_copy)), msg in outbox.items():
+                if (dst_pid, dst_copy) == (pid, copy):
+                    received[src_pid] = msg
+            view_rounds[(pid, copy)].append(received)
+            proc.receive(rnd, received)
+
+    decisions = {node: proc.decision() for node, proc in processes.items()}
+    views = {
+        node: ProcessView(node[0], inputs[node], tuple(view_rounds[node]))
+        for node in processes
+    }
+    return SplicedRun(
+        protocol_name=protocol.name,
+        n=n,
+        t=t,
+        groups=groups,
+        inputs=inputs,
+        rounds_run=total_rounds,
+        decisions=decisions,
+        views=views,
+        messages=messages,
+    )
+
+
+class _TaggedSpawnShim(SyncProtocol):
+    """Spawns a randomized protocol's processes with the hexagon-copy tags
+    the scenario requires, so honest coin sequences match their hexagon
+    counterparts exactly (faulty processes' tags are irrelevant)."""
+
+    def __init__(self, protocol: SyncProtocol, honest_copy_of: Mapping[Pid, Copy]):
+        self._protocol = protocol
+        self._copies = dict(honest_copy_of)
+        self.name = protocol.name
+
+    def rounds(self, n: int, t: int) -> int:
+        return self._protocol.rounds(n, t)
+
+    def spawn(self, pid, n, t, input_value):
+        tag = self._copies.get(pid, 0)
+        return self._protocol.spawn_tagged(pid, n, t, input_value, tag)
+
+
+@dataclass
+class Scenario:
+    """One real execution extracted from the splice."""
+
+    name: str
+    faulty_group: int
+    run: SyncRun
+    honest_copy_of: Dict[Pid, Copy]
+    requirement: str  # human-readable property this run must satisfy
+    holds: bool
+
+
+def _script_for_faulty_group(
+    spliced: SplicedRun,
+    faulty_group: int,
+    honest_copy_of: Mapping[Pid, Copy],
+) -> Dict[Tuple[Round, Pid, Pid], Message]:
+    """Messages the Byzantine group must replay so every honest process sees
+    exactly its hexagon view."""
+    groups = spliced.groups
+    group_index = {pid: _group_of(pid, groups) for pid in range(spliced.n)}
+    script: Dict[Tuple[Round, Pid, Pid], Message] = {}
+    for rnd in range(1, spliced.rounds_run + 1):
+        for src in groups[faulty_group]:
+            for dest in range(spliced.n):
+                if dest == src or group_index[dest] == faulty_group:
+                    continue
+                dest_copy = honest_copy_of[dest]
+                # Which copy of the faulty group feeds this honest node in
+                # the hexagon?  The copy whose messages land in dest_copy.
+                for src_copy in (0, 1):
+                    if _dest_copy(group_index[src], group_index[dest], src_copy) == dest_copy:
+                        msg = spliced.sent_from_to(
+                            rnd, (src, src_copy), (dest, dest_copy)
+                        )
+                        if msg is not None:
+                            script[(rnd, src, dest)] = msg
+    return script
+
+
+def byzantine_scenarios(
+    protocol: SyncProtocol,
+    spliced: SplicedRun,
+) -> List[Scenario]:
+    """Extract the three real executions and evaluate their requirements."""
+    groups = spliced.groups
+    n, t = spliced.n, spliced.t
+    plans = [
+        # (name, faulty group, honest copies, requirement checker)
+        ("C-faulty: honest A,B all start 0", 2,
+         {pid: 0 for g in (0, 1) for pid in groups[g]},
+         "validity-0"),
+        ("A-faulty: honest B,C all start 1", 0,
+         {pid: 1 for g in (1, 2) for pid in groups[g]},
+         "validity-1"),
+        ("B-faulty: honest A starts 0, honest C starts 1", 1,
+         {**{pid: 0 for pid in groups[0]}, **{pid: 1 for pid in groups[2]}},
+         "agreement"),
+    ]
+    scenarios: List[Scenario] = []
+    for name, faulty_group, honest_copy_of, requirement in plans:
+        inputs = [
+            spliced.inputs[(pid, honest_copy_of[pid])]
+            if pid in honest_copy_of
+            else 0  # faulty processes' inputs are irrelevant
+            for pid in range(n)
+        ]
+        script = _script_for_faulty_group(spliced, faulty_group, honest_copy_of)
+        adversary = ScriptedByzantine(groups[faulty_group], script)
+        runner = protocol
+        if getattr(protocol, "spawn_tagged", None) is not None:
+            runner = _TaggedSpawnShim(protocol, honest_copy_of)
+        run = run_synchronous(runner, inputs, adversary=adversary, t=t)
+        # Sanity: every honest process's view matches its hexagon node.
+        for pid, copy in honest_copy_of.items():
+            if run.views[pid].key()[1:] != spliced.views[(pid, copy)].key()[1:]:
+                raise ModelError(
+                    f"splice engine error: view of honest {pid} diverged "
+                    f"from hexagon node {(pid, copy)} in scenario {name!r}"
+                )
+        holds = _requirement_holds(run, requirement, honest_copy_of)
+        scenarios.append(
+            Scenario(name, faulty_group, run, dict(honest_copy_of),
+                     requirement, holds)
+        )
+    return scenarios
+
+
+def _requirement_holds(run: SyncRun, requirement: str,
+                       honest_copy_of: Mapping[Pid, Copy]) -> bool:
+    decisions = [run.decisions[pid] for pid in honest_copy_of]
+    if any(d is None for d in decisions):
+        return False  # termination is part of every requirement
+    if requirement == "validity-0":
+        return all(d == 0 for d in decisions)
+    if requirement == "validity-1":
+        return all(d == 1 for d in decisions)
+    if requirement == "agreement":
+        return len(set(decisions)) == 1
+    raise ModelError(f"unknown requirement {requirement!r}")
+
+
+def flm_certificate(
+    protocol: SyncProtocol, n: int, t: int
+) -> ImpossibilityCertificate:
+    """Defeat a claimed n-process, t-fault Byzantine agreement protocol
+    with n <= 3t, by the ring-splice argument.
+
+    Returns a certificate whose witnesses are the scenarios whose
+    requirements failed.  Raises :class:`ModelError` if all three scenarios
+    somehow pass (impossible — the hexagon constraints are contradictory —
+    so it would indicate an engine bug) or if n > 3t (outside the theorem).
+    """
+    if n > 3 * t:
+        raise ModelError(
+            f"n={n}, t={t} is outside the impossibility region (n <= 3t)"
+        )
+    spliced = run_spliced_ring(protocol, n, t)
+    scenarios = byzantine_scenarios(protocol, spliced)
+    failures = [s for s in scenarios if not s.holds]
+    if not failures:
+        raise ModelError(
+            "all three spliced scenarios satisfied their requirements — "
+            "engine invariant broken"
+        )
+    witnesses = [
+        FailureWitness(
+            candidate=protocol.name,
+            property_violated=f"{s.requirement} in scenario {s.name!r}",
+            evidence=s.run,
+        )
+        for s in failures
+    ]
+    return ImpossibilityCertificate(
+        claim=(
+            f"{protocol.name} cannot solve Byzantine agreement with "
+            f"n={n}, t={t} (n <= 3t)"
+        ),
+        scope=f"this protocol, groups {spliced.groups}, {spliced.rounds_run} rounds",
+        technique="scenario (ring splice)",
+        witnesses=witnesses,
+        details={
+            "scenarios_violated": [s.name for s in failures],
+            "hexagon_decisions": {
+                str(node): dec for node, dec in sorted(
+                    spliced.decisions.items(), key=lambda kv: str(kv[0])
+                )
+            },
+        },
+    )

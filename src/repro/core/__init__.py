@@ -1,0 +1,87 @@
+"""Core formal-model layer: I/O automata, executions, exploration.
+
+This subpackage implements the unified model Lynch's survey advocates
+(§3.6): input/output automata with composition, fairness (tasks), and the
+execution/trace machinery every other subsystem builds on.
+"""
+
+from .automaton import (
+    Action,
+    FunctionAutomaton,
+    IOAutomaton,
+    Signature,
+    State,
+    TableAutomaton,
+)
+from .composition import Composition, compose
+from .errors import (
+    CertificateError,
+    ExecutionError,
+    InvariantViolation,
+    ModelError,
+    ReproError,
+    SearchBudgetExceeded,
+)
+from .execution import Execution, check_execution
+from .exploration import (
+    ReachabilityResult,
+    assert_invariant,
+    can_reach_from,
+    check_invariant,
+    explore,
+    find_state,
+    reachable_states_satisfying,
+)
+from .freeze import freeze, frozendict, is_frozen, thaw
+from .indistinguishability import (
+    IndistinguishabilityChain,
+    View,
+    ViewExtractor,
+    decisions_constant_along_chain,
+)
+from .scheduler import (
+    FixedScheduler,
+    GreedyAdversary,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+
+__all__ = [
+    "Action",
+    "State",
+    "Signature",
+    "IOAutomaton",
+    "TableAutomaton",
+    "FunctionAutomaton",
+    "Composition",
+    "compose",
+    "Execution",
+    "check_execution",
+    "Scheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "GreedyAdversary",
+    "FixedScheduler",
+    "explore",
+    "check_invariant",
+    "assert_invariant",
+    "find_state",
+    "reachable_states_satisfying",
+    "can_reach_from",
+    "ReachabilityResult",
+    "freeze",
+    "thaw",
+    "frozendict",
+    "is_frozen",
+    "View",
+    "ViewExtractor",
+    "IndistinguishabilityChain",
+    "decisions_constant_along_chain",
+    "ReproError",
+    "ModelError",
+    "ExecutionError",
+    "InvariantViolation",
+    "SearchBudgetExceeded",
+    "CertificateError",
+]

@@ -1,0 +1,305 @@
+"""The I/O automaton model.
+
+Lynch's survey repeatedly stresses (§3.2, §3.6) that impossibility proofs
+need a rigorous formal model that (a) separates problem statements from
+implementations, (b) treats *admissibility* (liveness of the environment)
+explicitly, and (c) distinguishes who controls each action.  The
+input/output automaton model of Lynch and Tuttle [79, 80] is the unified
+model the paper advocates, and it is the foundation of this library.
+
+An I/O automaton consists of:
+
+* a **signature** partitioning actions into *input*, *output* and *internal*
+  actions; input actions are controlled by the environment, output and
+  internal actions (together, the *locally controlled* actions) by the
+  automaton itself;
+* a set of **start states**;
+* a **transition relation**: a set of ``(state, action, state)`` triples,
+  with the *input-enabling* requirement that every input action is enabled
+  in every state;
+* a partition of the locally controlled actions into **tasks** (fairness
+  classes): in a fair execution, every task that is enabled infinitely often
+  takes infinitely many steps.
+
+States must be hashable (use :mod:`repro.core.freeze`) so that executions,
+reachability analysis and valency analysis can put them in sets.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .errors import ModelError
+
+Action = Hashable
+State = Hashable
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An action signature: disjoint input, output and internal action sets.
+
+    Signatures here are *extensional* (explicit finite sets).  This is what
+    exhaustive exploration needs, and every system in the survey we model has
+    a finite action alphabet once its parameters (process count, value
+    domain, message alphabet) are fixed.
+    """
+
+    inputs: FrozenSet[Action] = frozenset()
+    outputs: FrozenSet[Action] = frozenset()
+    internals: FrozenSet[Action] = frozenset()
+
+    def __post_init__(self):
+        inputs = frozenset(self.inputs)
+        outputs = frozenset(self.outputs)
+        internals = frozenset(self.internals)
+        object.__setattr__(self, "inputs", inputs)
+        object.__setattr__(self, "outputs", outputs)
+        object.__setattr__(self, "internals", internals)
+        overlap = (inputs & outputs) | (inputs & internals) | (outputs & internals)
+        if overlap:
+            raise ModelError(
+                f"signature classes must be disjoint; overlapping: {sorted(map(repr, overlap))}"
+            )
+
+    @property
+    def external(self) -> FrozenSet[Action]:
+        """Externally visible actions: inputs and outputs."""
+        return self.inputs | self.outputs
+
+    @property
+    def locally_controlled(self) -> FrozenSet[Action]:
+        """Actions under the automaton's own control: outputs and internals."""
+        return self.outputs | self.internals
+
+    @property
+    def all_actions(self) -> FrozenSet[Action]:
+        return self.inputs | self.outputs | self.internals
+
+    def classify(self, action: Action) -> str:
+        """Return 'input', 'output' or 'internal' for ``action``."""
+        if action in self.inputs:
+            return "input"
+        if action in self.outputs:
+            return "output"
+        if action in self.internals:
+            return "internal"
+        raise ModelError(f"action {action!r} is not in the signature")
+
+    def hide(self, actions: Iterable[Action]) -> "Signature":
+        """Reclassify the given output actions as internal (action hiding)."""
+        actions = frozenset(actions)
+        stray = actions - self.outputs
+        if stray:
+            raise ModelError(f"can only hide output actions; not outputs: {sorted(map(repr, stray))}")
+        return Signature(
+            inputs=self.inputs,
+            outputs=self.outputs - actions,
+            internals=self.internals | actions,
+        )
+
+
+class IOAutomaton(ABC):
+    """Abstract base class for I/O automata.
+
+    Concrete automata implement :meth:`initial_states`,
+    :meth:`enabled_actions` (locally controlled actions enabled in a state)
+    and :meth:`apply` (the successor states for a state/action pair).
+
+    The transition relation may be nondeterministic: ``apply`` returns an
+    iterable of successor states.  Input actions must be enabled in every
+    state — ``apply(state, input_action)`` must return at least one
+    successor for every reachable ``state``.
+    """
+
+    name: str = "automaton"
+
+    @property
+    @abstractmethod
+    def signature(self) -> Signature:
+        """The automaton's action signature."""
+
+    @abstractmethod
+    def initial_states(self) -> Iterable[State]:
+        """The (nonempty) set of start states."""
+
+    @abstractmethod
+    def enabled_actions(self, state: State) -> Iterable[Action]:
+        """Locally controlled actions enabled in ``state``."""
+
+    @abstractmethod
+    def apply(self, state: State, action: Action) -> Iterable[State]:
+        """Successor states reached by performing ``action`` from ``state``.
+
+        Must raise :class:`ModelError` for actions outside the signature and
+        return an empty iterable for locally controlled actions that are not
+        enabled.
+        """
+
+    def tasks(self) -> Sequence[FrozenSet[Action]]:
+        """The fairness partition of the locally controlled actions.
+
+        The default is a single task containing every locally controlled
+        action, i.e. plain weak fairness for the automaton as a whole.
+        """
+        return [self.signature.locally_controlled]
+
+    # -- convenience -----------------------------------------------------
+
+    def step(self, state: State, action: Action) -> State:
+        """Apply ``action`` expecting exactly one successor; return it."""
+        succs = list(self.apply(state, action))
+        if len(succs) != 1:
+            raise ModelError(
+                f"{self.name}: expected deterministic step for {action!r}, got {len(succs)} successors"
+            )
+        return succs[0]
+
+    def is_enabled(self, state: State, action: Action) -> bool:
+        """True if ``action`` (of any class) has a successor from ``state``."""
+        kind = self.signature.classify(action)
+        if kind == "input":
+            return True
+        return any(a == action for a in self.enabled_actions(state))
+
+    def is_quiescent(self, state: State) -> bool:
+        """True if no locally controlled action is enabled in ``state``."""
+        return not any(True for _ in self.enabled_actions(state))
+
+    def rename(self, name: str) -> "IOAutomaton":
+        """Set this automaton's display name and return it (fluent)."""
+        self.name = name
+        return self
+
+    def validate_input_enabling(self, states: Iterable[State]) -> None:
+        """Check input enabling over the given states; raise on violation."""
+        for state in states:
+            for action in self.signature.inputs:
+                if not list(self.apply(state, action)):
+                    raise ModelError(
+                        f"{self.name}: input action {action!r} not enabled in state {state!r}"
+                    )
+
+
+class TableAutomaton(IOAutomaton):
+    """An I/O automaton given by explicit tables.
+
+    This is the workhorse for small, hand-authored automata in tests and for
+    automata synthesized by exhaustive protocol search: the transition
+    relation is a dict mapping ``(state, action)`` to a tuple of successor
+    states.
+    """
+
+    def __init__(
+        self,
+        signature: Signature,
+        initial: Iterable[State],
+        transitions: Dict[Tuple[State, Action], Sequence[State]],
+        tasks: Optional[Sequence[Iterable[Action]]] = None,
+        name: str = "table-automaton",
+    ):
+        self._signature = signature
+        self._initial = tuple(initial)
+        if not self._initial:
+            raise ModelError("automaton must have at least one start state")
+        self._transitions = {k: tuple(v) for k, v in transitions.items()}
+        self._tasks = (
+            [frozenset(t) for t in tasks]
+            if tasks is not None
+            else [signature.locally_controlled]
+        )
+        self.name = name
+        for (_state, action) in self._transitions:
+            signature.classify(action)  # raises for unknown actions
+        for task in self._tasks:
+            stray = task - signature.locally_controlled
+            if stray:
+                raise ModelError(
+                    f"tasks may only contain locally controlled actions; stray: {sorted(map(repr, stray))}"
+                )
+
+    @property
+    def signature(self) -> Signature:
+        return self._signature
+
+    def initial_states(self) -> Iterable[State]:
+        return self._initial
+
+    def enabled_actions(self, state: State) -> Iterator[Action]:
+        for (st, action), succs in self._transitions.items():
+            if st == state and succs and action in self._signature.locally_controlled:
+                yield action
+
+    def apply(self, state: State, action: Action) -> Sequence[State]:
+        kind = self._signature.classify(action)
+        succs = self._transitions.get((state, action), ())
+        if kind == "input" and not succs:
+            # Default input behaviour: ignore (self-loop). This keeps small
+            # table automata input-enabled without tabulating every input.
+            return (state,)
+        return succs
+
+    def tasks(self) -> Sequence[FrozenSet[Action]]:
+        return self._tasks
+
+
+class FunctionAutomaton(IOAutomaton):
+    """An I/O automaton given by Python functions.
+
+    Useful for substrates whose state spaces are too large to tabulate:
+    the transition relation is computed on demand.
+    """
+
+    def __init__(
+        self,
+        signature: Signature,
+        initial: Iterable[State],
+        enabled: Callable[[State], Iterable[Action]],
+        transition: Callable[[State, Action], Iterable[State]],
+        tasks: Optional[Sequence[Iterable[Action]]] = None,
+        name: str = "function-automaton",
+    ):
+        self._signature = signature
+        self._initial = tuple(initial)
+        if not self._initial:
+            raise ModelError("automaton must have at least one start state")
+        self._enabled = enabled
+        self._transition = transition
+        self._tasks = (
+            [frozenset(t) for t in tasks]
+            if tasks is not None
+            else [signature.locally_controlled]
+        )
+        self.name = name
+
+    @property
+    def signature(self) -> Signature:
+        return self._signature
+
+    def initial_states(self) -> Iterable[State]:
+        return self._initial
+
+    def enabled_actions(self, state: State) -> Iterable[Action]:
+        return self._enabled(state)
+
+    def apply(self, state: State, action: Action) -> Iterable[State]:
+        self._signature.classify(action)
+        return self._transition(state, action)
+
+    def tasks(self) -> Sequence[FrozenSet[Action]]:
+        return self._tasks

@@ -1,0 +1,143 @@
+"""Parallel composition of I/O automata.
+
+Composition is what lets the library build systems out of parts the way the
+survey's models do: processes composed with shared variables, nodes composed
+with channels, an algorithm composed with its environment.
+
+Compatibility (Lynch–Tuttle):
+
+* no action is an output of two components;
+* no internal action of one component is an action of another.
+
+In the composite, an action is performed simultaneously by every component
+that has it in its signature; components that do not have it take no step.
+An action is an output of the composite iff it is an output of some
+component; it is an input iff it is an input of some component and an output
+of none.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+
+from .automaton import Action, IOAutomaton, Signature, State
+from .errors import ModelError
+
+
+class Composition(IOAutomaton):
+    """The parallel composition of a sequence of compatible I/O automata.
+
+    A composite state is a tuple of component states, in component order.
+    """
+
+    def __init__(self, components: Sequence[IOAutomaton], name: str = "composition"):
+        if not components:
+            raise ModelError("composition requires at least one component")
+        self.components: Tuple[IOAutomaton, ...] = tuple(components)
+        self.name = name
+        self._signature = self._compose_signatures()
+        # For each action, the indices of components that participate in it.
+        self._participants: Dict[Action, Tuple[int, ...]] = {}
+        for action in self._signature.all_actions:
+            self._participants[action] = tuple(
+                i
+                for i, comp in enumerate(self.components)
+                if action in comp.signature.all_actions
+            )
+
+    def _compose_signatures(self) -> Signature:
+        outputs: set = set()
+        inputs: set = set()
+        internals: set = set()
+        for i, comp in enumerate(self.components):
+            sig = comp.signature
+            dup = sig.outputs & outputs
+            if dup:
+                raise ModelError(
+                    f"components share output actions: {sorted(map(repr, dup))}"
+                )
+            for j, other in enumerate(self.components):
+                if i == j:
+                    continue
+                clash = sig.internals & other.signature.all_actions
+                if clash:
+                    raise ModelError(
+                        f"internal actions of {comp.name} appear in {other.name}: "
+                        f"{sorted(map(repr, clash))}"
+                    )
+            outputs |= sig.outputs
+            inputs |= sig.inputs
+            internals |= sig.internals
+        inputs -= outputs
+        return Signature(
+            inputs=frozenset(inputs),
+            outputs=frozenset(outputs),
+            internals=frozenset(internals),
+        )
+
+    @property
+    def signature(self) -> Signature:
+        return self._signature
+
+    def initial_states(self) -> Iterator[State]:
+        def product(prefix: Tuple[State, ...], rest: Sequence[IOAutomaton]):
+            if not rest:
+                yield prefix
+                return
+            for s in rest[0].initial_states():
+                yield from product(prefix + (s,), rest[1:])
+
+        yield from product((), self.components)
+
+    def enabled_actions(self, state: State) -> Iterator[Action]:
+        seen = set()
+        for i, comp in enumerate(self.components):
+            for action in comp.enabled_actions(state[i]):
+                if action in seen:
+                    continue
+                # The controlling component enables it; every other
+                # participant has it as an input, hence always enabled.
+                seen.add(action)
+                yield action
+
+    def apply(self, state: State, action: Action) -> Iterator[State]:
+        self._signature.classify(action)
+        participants = self._participants[action]
+
+        def expand(idx: int, current: Tuple[State, ...]) -> Iterator[Tuple[State, ...]]:
+            if idx == len(participants):
+                yield current
+                return
+            comp_index = participants[idx]
+            comp = self.components[comp_index]
+            for succ in comp.apply(state[comp_index], action):
+                nxt = current[:comp_index] + (succ,) + current[comp_index + 1:]
+                yield from expand(idx + 1, nxt)
+
+        # For a locally controlled action, the controlling component must
+        # actually enable it; apply() on that component returns no successors
+        # otherwise, which makes the composite correctly return nothing.
+        yield from expand(0, tuple(state))
+
+    def tasks(self) -> Sequence[FrozenSet[Action]]:
+        """Component tasks are preserved: fairness is per component task."""
+        tasks: List[FrozenSet[Action]] = []
+        for comp in self.components:
+            tasks.extend(comp.tasks())
+        return tasks
+
+    def component_state(self, state: State, index: int) -> State:
+        """Project a composite state onto component ``index``."""
+        return state[index]
+
+    def component_named(self, name: str) -> int:
+        """Index of the component with the given name."""
+        for i, comp in enumerate(self.components):
+            if comp.name == name:
+                return i
+        raise ModelError(f"no component named {name!r}")
+
+
+def compose(*components: IOAutomaton, name: str = "composition") -> Composition:
+    """Convenience wrapper: ``compose(a, b, c)``."""
+    return Composition(components, name=name)

@@ -1,0 +1,169 @@
+"""Executions, traces and schedules of I/O automata.
+
+An *execution fragment* is an alternating sequence
+``s0, a1, s1, a2, s2, ...`` of states and actions where each
+``(s_{i-1}, a_i, s_i)`` is a transition.  An *execution* is a fragment whose
+first state is a start state.  The *trace* of an execution is its
+subsequence of external actions; the *schedule* is its subsequence of all
+actions.
+
+The survey's proofs manipulate executions constantly — splicing them,
+comparing process views, extending them — so this module makes executions
+first-class immutable values with cheap extension (persistent cons-list
+style sharing is unnecessary at our scale; we copy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from .automaton import Action, IOAutomaton, State
+from .errors import ExecutionError
+
+
+@dataclass(frozen=True)
+class Execution:
+    """A finite execution (or execution fragment) of an I/O automaton.
+
+    ``states`` has exactly one more element than ``actions``.
+    """
+
+    automaton: IOAutomaton
+    states: Tuple[State, ...]
+    actions: Tuple[Action, ...]
+
+    def __post_init__(self):
+        if len(self.states) != len(self.actions) + 1:
+            raise ExecutionError(
+                f"execution must have len(states) == len(actions) + 1; "
+                f"got {len(self.states)} states, {len(self.actions)} actions"
+            )
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def initial(cls, automaton: IOAutomaton, state: Optional[State] = None) -> "Execution":
+        """The empty execution starting at ``state`` (default: first start state)."""
+        if state is None:
+            state = next(iter(automaton.initial_states()))
+        return cls(automaton, (state,), ())
+
+    def extend(self, action: Action, next_state: Optional[State] = None) -> "Execution":
+        """Return this execution extended by one step.
+
+        If ``next_state`` is None the step must be deterministic and is
+        computed via :meth:`IOAutomaton.step`.
+        """
+        if next_state is None:
+            next_state = self.automaton.step(self.last_state, action)
+        else:
+            succs = list(self.automaton.apply(self.last_state, action))
+            if next_state not in succs:
+                raise ExecutionError(
+                    f"({self.last_state!r}, {action!r}, {next_state!r}) is not a transition"
+                )
+        return Execution(
+            self.automaton, self.states + (next_state,), self.actions + (action,)
+        )
+
+    @classmethod
+    def run(
+        cls,
+        automaton: IOAutomaton,
+        actions: Iterable[Action],
+        start: Optional[State] = None,
+    ) -> "Execution":
+        """Run a deterministic automaton over a schedule of actions."""
+        execution = cls.initial(automaton, start)
+        for action in actions:
+            execution = execution.extend(action)
+        return execution
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def first_state(self) -> State:
+        return self.states[0]
+
+    @property
+    def last_state(self) -> State:
+        return self.states[-1]
+
+    def __len__(self) -> int:
+        """Number of steps (actions)."""
+        return len(self.actions)
+
+    def trace(self) -> Tuple[Action, ...]:
+        """The externally visible behaviour: the subsequence of external actions."""
+        external = self.automaton.signature.external
+        return tuple(a for a in self.actions if a in external)
+
+    def schedule(self) -> Tuple[Action, ...]:
+        """All actions, in order."""
+        return self.actions
+
+    def prefix(self, steps: int) -> "Execution":
+        """The prefix with the given number of steps."""
+        if not 0 <= steps <= len(self.actions):
+            raise ExecutionError(f"prefix length {steps} out of range 0..{len(self.actions)}")
+        return Execution(
+            self.automaton, self.states[: steps + 1], self.actions[:steps]
+        )
+
+    def steps(self) -> Iterable[Tuple[State, Action, State]]:
+        """Iterate over transitions as (pre-state, action, post-state) triples."""
+        for i, action in enumerate(self.actions):
+            yield self.states[i], action, self.states[i + 1]
+
+    def project_actions(
+        self, keep: Callable[[Action], bool]
+    ) -> Tuple[Action, ...]:
+        """The subsequence of actions satisfying ``keep``.
+
+        This is the building block of indistinguishability arguments: the
+        *view* of process p is (roughly) the projection of the schedule onto
+        p's actions.
+        """
+        return tuple(a for a in self.actions if keep(a))
+
+    def satisfies_invariant(self, invariant: Callable[[State], bool]) -> bool:
+        """True if every state along the execution satisfies ``invariant``."""
+        return all(invariant(s) for s in self.states)
+
+    def first_violation(
+        self, invariant: Callable[[State], bool]
+    ) -> Optional[int]:
+        """Index of the first state violating ``invariant``, or None."""
+        for i, state in enumerate(self.states):
+            if not invariant(state):
+                return i
+        return None
+
+    def describe(self, max_steps: int = 20) -> str:
+        """A short human-readable rendering for assertion messages."""
+        parts: List[str] = [f"{self.automaton.name}: {self.first_state!r}"]
+        for i, (pre, action, post) in enumerate(self.steps()):
+            if i >= max_steps:
+                parts.append(f"... ({len(self) - max_steps} more steps)")
+                break
+            parts.append(f"  --{action!r}--> {post!r}")
+        return "\n".join(parts)
+
+
+def check_execution(execution: Execution) -> None:
+    """Re-validate every transition of ``execution`` against its automaton.
+
+    Used by certificate re-validation: a counterexample execution found by
+    search is independently replayed before being reported.
+    """
+    automaton = execution.automaton
+    if execution.first_state not in set(automaton.initial_states()):
+        raise ExecutionError(
+            f"first state {execution.first_state!r} is not a start state"
+        )
+    for pre, action, post in execution.steps():
+        if post not in set(automaton.apply(pre, action)):
+            raise ExecutionError(
+                f"invalid transition ({pre!r}, {action!r}, {post!r})"
+            )

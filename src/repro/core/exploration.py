@@ -1,0 +1,228 @@
+"""State-space exploration: reachability, invariant checking, CTL-lite.
+
+The mechanized impossibility checkers reduce the survey's arguments to
+finite graph questions over configuration spaces:
+
+* *pigeonhole* arguments become reachability plus counting;
+* *bivalence* arguments become valency labelling of the reachable graph;
+* exhaustive protocol search enumerates automata and asks reachability
+  questions about each.
+
+This module provides the shared graph machinery: breadth-first reachability
+with budgets, invariant checking with counterexample extraction, and
+detection of reachable states satisfying a predicate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .automaton import Action, IOAutomaton, State
+from .errors import InvariantViolation, SearchBudgetExceeded
+from .execution import Execution
+
+
+@dataclass
+class ReachabilityResult:
+    """Outcome of a breadth-first exploration.
+
+    ``parents`` maps each discovered state to the ``(state, action)`` edge
+    it was first discovered through, enabling path reconstruction.
+    """
+
+    automaton: IOAutomaton
+    reachable: Set[State]
+    parents: Dict[State, Optional[Tuple[State, Action]]]
+    complete: bool
+
+    def path_to(self, target: State) -> Execution:
+        """Reconstruct a shortest execution from a start state to ``target``."""
+        states: List[State] = [target]
+        actions: List[Action] = []
+        cursor = target
+        while self.parents[cursor] is not None:
+            prev, action = self.parents[cursor]  # type: ignore[misc]
+            states.append(prev)
+            actions.append(action)
+            cursor = prev
+        states.reverse()
+        actions.reverse()
+        return Execution(self.automaton, tuple(states), tuple(actions))
+
+
+def explore(
+    automaton: IOAutomaton,
+    max_states: int = 100_000,
+    include_inputs: bool = False,
+    actions_filter: Optional[Callable[[State, Action], bool]] = None,
+    initial_states: Optional[Iterable[State]] = None,
+) -> ReachabilityResult:
+    """Breadth-first search of the reachable state graph.
+
+    By default only locally controlled actions are explored (closed
+    systems); set ``include_inputs`` to also fire every input action in
+    every state (open systems under a maximally hostile environment).
+
+    Raises :class:`SearchBudgetExceeded` when more than ``max_states``
+    distinct states are discovered.
+    """
+    starts = list(initial_states if initial_states is not None else automaton.initial_states())
+    reachable: Set[State] = set()
+    parents: Dict[State, Optional[Tuple[State, Action]]] = {}
+    queue: deque = deque()
+    for s in starts:
+        if s not in reachable:
+            reachable.add(s)
+            parents[s] = None
+            queue.append(s)
+
+    while queue:
+        state = queue.popleft()
+        candidate_actions = list(automaton.enabled_actions(state))
+        if include_inputs:
+            candidate_actions.extend(automaton.signature.inputs)
+        for action in candidate_actions:
+            if actions_filter is not None and not actions_filter(state, action):
+                continue
+            for succ in automaton.apply(state, action):
+                if succ in reachable:
+                    continue
+                if len(reachable) >= max_states:
+                    raise SearchBudgetExceeded(
+                        f"exploration of {automaton.name} exceeded {max_states} states"
+                    )
+                reachable.add(succ)
+                parents[succ] = (state, action)
+                queue.append(succ)
+    return ReachabilityResult(automaton, reachable, parents, complete=True)
+
+
+def check_invariant(
+    automaton: IOAutomaton,
+    invariant: Callable[[State], bool],
+    max_states: int = 100_000,
+    include_inputs: bool = False,
+) -> Optional[Execution]:
+    """Search for a reachable state violating ``invariant``.
+
+    Returns a shortest counterexample execution, or None when the invariant
+    holds over the entire (budget-bounded) reachable space.
+    """
+    starts = list(automaton.initial_states())
+    reachable: Set[State] = set()
+    parents: Dict[State, Optional[Tuple[State, Action]]] = {}
+    queue: deque = deque()
+    result = ReachabilityResult(automaton, reachable, parents, complete=False)
+    for s in starts:
+        if s in reachable:
+            continue
+        reachable.add(s)
+        parents[s] = None
+        if not invariant(s):
+            return result.path_to(s)
+        queue.append(s)
+
+    while queue:
+        state = queue.popleft()
+        candidate_actions = list(automaton.enabled_actions(state))
+        if include_inputs:
+            candidate_actions.extend(automaton.signature.inputs)
+        for action in candidate_actions:
+            for succ in automaton.apply(state, action):
+                if succ in reachable:
+                    continue
+                if len(reachable) >= max_states:
+                    raise SearchBudgetExceeded(
+                        f"invariant check on {automaton.name} exceeded {max_states} states"
+                    )
+                reachable.add(succ)
+                parents[succ] = (state, action)
+                if not invariant(succ):
+                    return result.path_to(succ)
+                queue.append(succ)
+    return None
+
+
+def assert_invariant(
+    automaton: IOAutomaton,
+    invariant: Callable[[State], bool],
+    description: str,
+    max_states: int = 100_000,
+    include_inputs: bool = False,
+) -> int:
+    """Raise :class:`InvariantViolation` with a witness if the invariant fails.
+
+    Returns the number of states checked when the invariant holds.
+    """
+    witness = check_invariant(
+        automaton, invariant, max_states=max_states, include_inputs=include_inputs
+    )
+    if witness is not None:
+        raise InvariantViolation(
+            f"invariant violated: {description}\n{witness.describe()}", witness=witness
+        )
+    # Re-explore to count states (check_invariant stops early only on failure).
+    return len(
+        explore(
+            automaton, max_states=max_states, include_inputs=include_inputs
+        ).reachable
+    )
+
+
+def find_state(
+    automaton: IOAutomaton,
+    goal: Callable[[State], bool],
+    max_states: int = 100_000,
+    include_inputs: bool = False,
+) -> Optional[Execution]:
+    """Find a shortest execution reaching a state satisfying ``goal``."""
+    return check_invariant(
+        automaton,
+        invariant=lambda s: not goal(s),
+        max_states=max_states,
+        include_inputs=include_inputs,
+    )
+
+
+def reachable_states_satisfying(
+    automaton: IOAutomaton,
+    predicate: Callable[[State], bool],
+    max_states: int = 100_000,
+    include_inputs: bool = False,
+) -> List[State]:
+    """All reachable states satisfying ``predicate`` (exploration-complete)."""
+    result = explore(
+        automaton, max_states=max_states, include_inputs=include_inputs
+    )
+    return [s for s in result.reachable if predicate(s)]
+
+
+def can_reach_from(
+    automaton: IOAutomaton,
+    start: State,
+    goal: Callable[[State], bool],
+    max_states: int = 100_000,
+) -> bool:
+    """Reachability of ``goal`` from a specific configuration.
+
+    This is the primitive valency analysis builds on: "is a 0-decision
+    reachable from C?".
+    """
+    try:
+        result = explore(
+            automaton, max_states=max_states, initial_states=[start]
+        )
+    except SearchBudgetExceeded:
+        raise
+    return any(goal(s) for s in result.reachable)

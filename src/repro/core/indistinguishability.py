@@ -1,0 +1,171 @@
+"""Indistinguishability: the one idea behind all hundred proofs.
+
+The survey's §3.1 is unambiguous: *"There is only one fundamental underlying
+idea on which all of the proofs in this area are based, and that is the
+limitation imposed by local knowledge in a distributed system.  If a process
+sees the same thing in two executions, it will behave the same in both."*
+
+This module makes "sees the same thing" computable.  A :class:`View`
+extracts, from an execution, what one process can observe: its own sequence
+of local states and the actions it participates in.  Two executions are
+*indistinguishable to p* when p's views are equal.  Scenario arguments,
+chain arguments and stretching arguments all reduce to exhibiting
+executions with equal views but incompatible required behaviours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from .automaton import Action, State
+from .execution import Execution
+
+
+@dataclass(frozen=True)
+class View:
+    """What a single observer sees of an execution.
+
+    ``local_states`` is the observer's own state after each of its steps
+    (beginning with its initial local state); ``observed_actions`` is the
+    subsequence of actions it participates in.
+    """
+
+    observer: Hashable
+    local_states: Tuple[State, ...]
+    observed_actions: Tuple[Action, ...]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, View):
+            return NotImplemented
+        return (
+            self.observer == other.observer
+            and self.local_states == other.local_states
+            and self.observed_actions == other.observed_actions
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.observer, self.local_states, self.observed_actions))
+
+
+class ViewExtractor:
+    """Extracts a process's view from a system execution.
+
+    Parameterized by two functions describing the system model:
+
+    * ``local_state(system_state, observer)`` — the observer's component of
+      a global state;
+    * ``participates(action, observer)`` — whether the observer takes part
+      in (hence observes) a given action.
+    """
+
+    def __init__(
+        self,
+        local_state: Callable[[State, Hashable], State],
+        participates: Callable[[Action, Hashable], bool],
+    ):
+        self._local_state = local_state
+        self._participates = participates
+
+    def view(self, execution: Execution, observer: Hashable) -> View:
+        """The observer's view of ``execution``.
+
+        The view records the observer's local state only at the points where
+        the observer takes a step (plus initially) — between its own steps
+        an asynchronous process cannot observe global time passing.
+        """
+        locals_seen: List[State] = [
+            self._local_state(execution.first_state, observer)
+        ]
+        observed: List[Action] = []
+        for _pre, action, post in execution.steps():
+            if self._participates(action, observer):
+                observed.append(action)
+                locals_seen.append(self._local_state(post, observer))
+        return View(observer, tuple(locals_seen), tuple(observed))
+
+    def indistinguishable(
+        self,
+        execution_a: Execution,
+        execution_b: Execution,
+        observer: Hashable,
+    ) -> bool:
+        """True when the observer cannot tell the two executions apart."""
+        return self.view(execution_a, observer) == self.view(execution_b, observer)
+
+    def distinguishing_observers(
+        self,
+        execution_a: Execution,
+        execution_b: Execution,
+        observers: Iterable[Hashable],
+    ) -> List[Hashable]:
+        """The observers whose views differ between the two executions."""
+        return [
+            obs
+            for obs in observers
+            if not self.indistinguishable(execution_a, execution_b, obs)
+        ]
+
+
+@dataclass(frozen=True)
+class IndistinguishabilityChain:
+    """A chain of executions, each consecutive pair indistinguishable to someone.
+
+    Chain arguments (the t+1-round lower bound, Two Generals) construct a
+    sequence ``e_0, ..., e_k`` where ``e_0`` forces decision 0, ``e_k``
+    forces decision 1, and each consecutive pair looks the same to some
+    nonfaulty process — so the decision value cannot change anywhere along
+    the chain: contradiction.
+
+    ``links[i]`` is the observer that cannot distinguish ``executions[i]``
+    from ``executions[i+1]``.
+    """
+
+    executions: Tuple[Execution, ...]
+    links: Tuple[Hashable, ...]
+
+    def __post_init__(self):
+        if len(self.links) != len(self.executions) - 1:
+            raise ValueError(
+                "a chain of k+1 executions needs exactly k links; got "
+                f"{len(self.executions)} executions, {len(self.links)} links"
+            )
+
+    def __len__(self) -> int:
+        return len(self.executions)
+
+    def validate(self, extractor: ViewExtractor) -> None:
+        """Re-check every link; raises AssertionError on a broken chain."""
+        for i, observer in enumerate(self.links):
+            if not extractor.indistinguishable(
+                self.executions[i], self.executions[i + 1], observer
+            ):
+                raise AssertionError(
+                    f"chain link {i} broken: observer {observer!r} can "
+                    f"distinguish executions {i} and {i + 1}"
+                )
+
+
+def decisions_constant_along_chain(
+    chain: IndistinguishabilityChain,
+    decision_of: Callable[[Execution, Hashable], Optional[Hashable]],
+) -> bool:
+    """Check the chain-argument conclusion: decision value never changes.
+
+    ``decision_of(execution, observer)`` returns the value the observer
+    decides in that execution (None if it never decides).  For a valid
+    agreement protocol, the decision of the linking observer must be equal
+    in the two linked executions, and agreement forces every process in one
+    execution to that same value — so the value propagates along the chain.
+    Returns True when the chain exhibits constant decisions, meaning the
+    construction successfully proves that all-0 and all-1 scenarios cannot
+    both behave correctly.
+    """
+    first = chain.executions[0]
+    reference = decision_of(first, chain.links[0])
+    for i, observer in enumerate(chain.links):
+        left = decision_of(chain.executions[i], observer)
+        right = decision_of(chain.executions[i + 1], observer)
+        if left is None or right is None or left != right or left != reference:
+            return False
+    return True

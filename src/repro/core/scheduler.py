@@ -1,0 +1,151 @@
+"""Schedulers: the adversaries that resolve nondeterminism.
+
+Every impossibility argument in the survey is a game against a scheduler —
+the entity choosing which process moves next, which message is delivered,
+which fault occurs.  This module provides the schedulers the simulators and
+experiments use:
+
+* :class:`RoundRobinScheduler` — cycles through tasks, giving each enabled
+  task a turn; its infinite runs are fair, so its finite runs approximate
+  admissible executions.
+* :class:`RandomScheduler` — seeded uniform choice among enabled actions;
+  used for randomized-algorithm experiments (Ben-Or, Itai–Rodeh).
+* :class:`GreedyAdversary` — picks the enabled action minimizing/maximizing
+  a user-supplied score; used to build *bad* executions (e.g. stalling
+  consensus, maximizing message counts).
+
+All schedulers are deterministic functions of their seed and the run so
+far, which keeps every test and benchmark reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from .automaton import Action, IOAutomaton, State
+from .errors import ExecutionError
+from .execution import Execution
+
+
+class Scheduler(ABC):
+    """Chooses the next action of an execution."""
+
+    @abstractmethod
+    def choose(self, execution: Execution, enabled: Sequence[Action]) -> Action:
+        """Pick one of the enabled locally controlled actions."""
+
+    def resolve_state(
+        self, execution: Execution, action: Action, successors: Sequence[State]
+    ) -> State:
+        """Pick among nondeterministic successor states (default: first)."""
+        return successors[0]
+
+    def run(
+        self,
+        automaton: IOAutomaton,
+        max_steps: int,
+        start: Optional[State] = None,
+        stop_when: Optional[Callable[[State], bool]] = None,
+    ) -> Execution:
+        """Generate an execution of up to ``max_steps`` steps.
+
+        Stops early when the automaton is quiescent or ``stop_when`` holds
+        in the current state.
+        """
+        execution = Execution.initial(automaton, start)
+        for _ in range(max_steps):
+            state = execution.last_state
+            if stop_when is not None and stop_when(state):
+                break
+            enabled = list(automaton.enabled_actions(state))
+            if not enabled:
+                break
+            action = self.choose(execution, enabled)
+            successors = list(automaton.apply(state, action))
+            if not successors:
+                raise ExecutionError(
+                    f"scheduler chose {action!r} but it has no successors"
+                )
+            next_state = self.resolve_state(execution, action, successors)
+            execution = execution.extend(action, next_state)
+        return execution
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle over the automaton's tasks, giving each a turn when enabled.
+
+    This implements weak fairness over the task partition: in any
+    sufficiently long run, every continuously enabled task takes steps at a
+    bounded interval.  Finite prefixes of its runs are the library's
+    stand-in for admissible executions.
+    """
+
+    def __init__(self, automaton: IOAutomaton):
+        self._tasks = list(automaton.tasks())
+        self._cursor = 0
+
+    def choose(self, execution: Execution, enabled: Sequence[Action]) -> Action:
+        enabled_set = set(enabled)
+        for offset in range(len(self._tasks)):
+            task = self._tasks[(self._cursor + offset) % len(self._tasks)]
+            candidates = sorted(task & enabled_set, key=repr)
+            if candidates:
+                self._cursor = (self._cursor + offset + 1) % len(self._tasks)
+                return candidates[0]
+        # Enabled actions outside any task (shouldn't happen for well-formed
+        # automata); fall back to a deterministic choice.
+        return sorted(enabled, key=repr)[0]
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random choice among enabled actions, from a seed."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def choose(self, execution: Execution, enabled: Sequence[Action]) -> Action:
+        ordered = sorted(enabled, key=repr)
+        return ordered[self._rng.randrange(len(ordered))]
+
+    def resolve_state(
+        self, execution: Execution, action: Action, successors: Sequence[State]
+    ) -> State:
+        ordered = sorted(successors, key=repr)
+        return ordered[self._rng.randrange(len(ordered))]
+
+
+class GreedyAdversary(Scheduler):
+    """Choose the enabled action maximizing ``score(execution, action)``.
+
+    Ties are broken deterministically by repr ordering.  Used to construct
+    bad executions: e.g. score = "does this step keep the configuration
+    bivalent?" yields FLP-style stalling adversaries.
+    """
+
+    def __init__(self, score: Callable[[Execution, Action], float]):
+        self._score = score
+
+    def choose(self, execution: Execution, enabled: Sequence[Action]) -> Action:
+        ordered = sorted(enabled, key=repr)
+        return max(ordered, key=lambda a: self._score(execution, a))
+
+
+class FixedScheduler(Scheduler):
+    """Replay a fixed schedule of actions; used to re-validate certificates."""
+
+    def __init__(self, schedule: Iterable[Action]):
+        self._schedule: List[Action] = list(schedule)
+        self._index = 0
+
+    def choose(self, execution: Execution, enabled: Sequence[Action]) -> Action:
+        if self._index >= len(self._schedule):
+            raise ExecutionError("fixed schedule exhausted")
+        action = self._schedule[self._index]
+        self._index += 1
+        if action not in set(enabled):
+            raise ExecutionError(
+                f"scheduled action {action!r} is not enabled; enabled: {sorted(map(repr, enabled))}"
+            )
+        return action

@@ -1,0 +1,35 @@
+"""Communication protocols over lossy physical channels (survey §2.5)."""
+
+from .impossibility import bounded_header_attack, crash_attack, packet_growth
+from .protocols import (
+    AlternatingBitReceiver,
+    AlternatingBitSender,
+    StenningReceiver,
+    StenningSender,
+)
+from .simulate import (
+    ChannelAdversary,
+    DataLinkReceiver,
+    DataLinkResult,
+    DataLinkSender,
+    FairLossyScheduler,
+    ScriptedAdversary,
+    run_datalink,
+)
+
+__all__ = [
+    "DataLinkSender",
+    "DataLinkReceiver",
+    "DataLinkResult",
+    "ChannelAdversary",
+    "FairLossyScheduler",
+    "ScriptedAdversary",
+    "run_datalink",
+    "AlternatingBitSender",
+    "AlternatingBitReceiver",
+    "StenningSender",
+    "StenningReceiver",
+    "crash_attack",
+    "bounded_header_attack",
+    "packet_growth",
+]

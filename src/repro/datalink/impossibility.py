@@ -1,0 +1,165 @@
+"""Data-link impossibility demonstrations (§2.5, [78]).
+
+Lynch–Mansour–Fekete: reliable message delivery over typical physical
+channels is impossible (1) if crashes can erase protocol memory, or
+(2) with bounded packet headers and a bounded best case, over channels
+that duplicate/reorder.  Their proofs let the channel "steal" packets and
+replay them to fool the receiver; the constructive adversaries here do
+exactly that to concrete protocols:
+
+* :func:`crash_attack` — against the alternating-bit protocol: a receiver
+  crash between delivery and acknowledgement resets its expected bit, and
+  the retransmission gets delivered *again*;
+* :func:`bounded_header_attack` — against Stenning-with-modulus: an old
+  packet is duplicated into the channel and replayed one "wrap" later,
+  where its stolen header is indistinguishable from the expected one —
+  while the same script leaves the unbounded-header protocol unharmed;
+* :func:`packet_growth` — the quantitative corollary: the correct
+  unbounded protocol pays for safety with headers that grow with the
+  message count, and retransmission counts that grow with loss.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import ModelError
+from ..impossibility.certificate import CounterexampleCertificate
+from .protocols import (
+    AlternatingBitReceiver,
+    AlternatingBitSender,
+    StenningReceiver,
+    StenningSender,
+)
+from .simulate import (
+    DataLinkResult,
+    FairLossyScheduler,
+    ScriptedAdversary,
+    run_datalink,
+)
+
+
+def crash_attack() -> CounterexampleCertificate:
+    """Defeat the alternating-bit protocol with one receiver crash.
+
+    Deliver message 0; destroy the ack; crash the receiver (its expected
+    bit resets); let the sender retransmit.  The receiver, fresh out of
+    its crash, accepts the same packet again: duplication.
+    """
+    script = [
+        ("transmit",),            # ("data", 0, "m0") enters the channel
+        ("deliver", "fwd", 0),    # receiver delivers m0, acks
+        ("drop", "bwd", 0),       # the ack dies
+        ("crash", "receiver"),    # expected bit resets to 0
+        ("transmit",),            # sender retransmits ("data", 0, "m0")
+        ("deliver", "fwd", 0),    # receiver delivers m0 AGAIN
+        ("halt",),
+    ]
+    result = run_datalink(
+        AlternatingBitSender(), AlternatingBitReceiver(),
+        ["m0", "m1"], ScriptedAdversary(script),
+    )
+    if result.delivered != ["m0", "m0"]:
+        raise ModelError(
+            f"crash attack failed: delivered {result.delivered!r}"
+        )
+    return CounterexampleCertificate(
+        claim=(
+            "reliable delivery is impossible when crashes erase protocol "
+            "memory: one receiver crash makes the alternating-bit protocol "
+            "deliver m0 twice"
+        ),
+        technique="message stealing (crash replay)",
+        evidence=result,
+        replay=lambda: run_datalink(
+            AlternatingBitSender(), AlternatingBitReceiver(),
+            ["m0", "m1"], ScriptedAdversary(script),
+        ).delivered == ["m0", "m0"],
+        details={"delivered": result.delivered},
+    )
+
+
+def _wraparound_script() -> List[Tuple]:
+    """The packet-stealing script: steal a duplicate of the first data
+    packet, progress the protocol one full header wrap, then replay."""
+    return [
+        ("transmit",),            # ("data", 0, a)
+        ("dup", "fwd", 0),        # the channel steals a copy
+        ("deliver", "fwd", 0),    # a delivered, acked
+        ("deliver", "bwd", 0),    # sender advances to b
+        ("transmit",),            # ("data", 1, b)  [stolen copy is index 0]
+        ("deliver", "fwd", 1),    # b delivered, acked
+        ("deliver", "bwd", 0),    # sender advances to c
+        ("transmit",),            # ("data", 0 mod 2, c)
+        ("drop", "fwd", 1),       # c vanishes
+        ("deliver", "fwd", 0),    # the STOLEN copy of a arrives instead
+        ("deliver", "bwd", 0),    # its ack convinces the sender c arrived
+        ("halt",),
+    ]
+
+
+def bounded_header_attack(modulus: int = 2) -> CounterexampleCertificate:
+    """Defeat bounded-header Stenning by replaying a stolen packet one
+    header wrap later; verify the unbounded protocol survives the very
+    same channel behaviour."""
+    script = _wraparound_script()
+    messages = ["a", "b", "c"]
+    bounded = run_datalink(
+        StenningSender(modulus=modulus), StenningReceiver(modulus=modulus),
+        messages, ScriptedAdversary(script),
+    )
+    unbounded = run_datalink(
+        StenningSender(), StenningReceiver(),
+        messages, ScriptedAdversary(script),
+    )
+    if bounded.exactly_once_in_order:
+        raise ModelError("bounded-header protocol unexpectedly survived")
+    if unbounded.duplicates:
+        raise ModelError("unbounded-header protocol was fooled — engine bug")
+    return CounterexampleCertificate(
+        claim=(
+            f"with headers bounded to {modulus} values, a stolen packet "
+            "replayed one wrap later is indistinguishable from fresh data: "
+            f"the receiver delivered {bounded.delivered!r} for "
+            f"{messages!r}, and the sender believes it is done"
+        ),
+        technique="message stealing (header wraparound)",
+        evidence=(bounded, unbounded),
+        details={
+            "bounded_delivered": bounded.delivered,
+            "bounded_sender_done": bounded.sender_done,
+            "unbounded_delivered": unbounded.delivered,
+        },
+    )
+
+
+def packet_growth(
+    message_counts: Sequence[int] = (4, 8, 16, 32),
+    loss: float = 0.4,
+    seed: int = 7,
+) -> Dict[int, Dict[str, float]]:
+    """Measure what correctness costs the unbounded protocol.
+
+    For each message count: the packets sent per message under the fair
+    lossy channel, and the header bits needed (log2 of the largest
+    sequence number) — the quantity the survey's open question 5 is about.
+    """
+    out: Dict[int, Dict[str, float]] = {}
+    for count in message_counts:
+        messages = [f"m{i}" for i in range(count)]
+        result = run_datalink(
+            StenningSender(), StenningReceiver(), messages,
+            FairLossyScheduler(loss=loss, seed=seed, reorder=True),
+            max_steps=200_000,
+        )
+        if not result.exactly_once_in_order:
+            raise ModelError(
+                f"unbounded Stenning failed under fair loss: {result.delivered!r}"
+            )
+        out[count] = {
+            "packets_per_message": result.data_packets / count,
+            "header_bits": math.ceil(math.log2(max(count, 2))),
+            "total_packets": float(result.data_packets),
+        }
+    return out

@@ -1,0 +1,131 @@
+"""Data-link protocols: alternating bit and Stenning's protocol (§2.5).
+
+Two classic constructions over lossy physical channels:
+
+* :class:`AlternatingBitSender` / :class:`AlternatingBitReceiver` — one
+  header bit, correct over lossy *FIFO* channels with fair delivery;
+* :class:`StenningSender` / :class:`StenningReceiver` — unbounded sequence
+  numbers, correct even under reordering and duplication; the
+  ``modulus`` parameter caps the header space, manufacturing exactly the
+  bounded-header protocols whose impossibility
+  :mod:`repro.datalink.impossibility` demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from .simulate import DataLinkReceiver, DataLinkSender
+
+
+class AlternatingBitSender(DataLinkSender):
+    """Retransmit the current message tagged with a bit; flip on ack."""
+
+    def __init__(self):
+        self.queue: List[Hashable] = []
+        self.bit = 0
+        self.cursor = 0
+
+    def load(self, messages: Sequence[Hashable]) -> None:
+        self.queue = list(messages)
+        self.cursor = 0
+        self.bit = 0
+
+    def next_packet(self) -> Optional[Hashable]:
+        if self.done():
+            return None
+        return ("data", self.bit, self.queue[self.cursor])
+
+    def on_ack(self, packet: Hashable) -> None:
+        if packet == ("ack", self.bit):
+            self.cursor += 1
+            self.bit ^= 1
+
+    def done(self) -> bool:
+        return self.cursor >= len(self.queue)
+
+    def crash(self) -> None:
+        # Volatile state lost: the bit resets; the message queue is stable
+        # storage (the impossibility concerns the protocol state).
+        self.bit = 0
+
+
+class AlternatingBitReceiver(DataLinkReceiver):
+    """Deliver packets whose bit matches the expected bit; always ack."""
+
+    def __init__(self):
+        self.expected = 0
+
+    def on_packet(self, packet: Hashable) -> Tuple[List[Hashable], Optional[Hashable]]:
+        if not (isinstance(packet, tuple) and packet[0] == "data"):
+            return [], None
+        _tag, bit, message = packet
+        if bit == self.expected:
+            self.expected ^= 1
+            return [message], ("ack", bit)
+        return [], ("ack", bit)
+
+    def crash(self) -> None:
+        self.expected = 0
+
+
+class StenningSender(DataLinkSender):
+    """Retransmit the current message with its sequence number.
+
+    ``modulus`` wraps the sequence numbers to a finite header space; None
+    means unbounded headers (the correct protocol).
+    """
+
+    def __init__(self, modulus: Optional[int] = None):
+        self.queue: List[Hashable] = []
+        self.cursor = 0
+        self.modulus = modulus
+
+    def _seq(self, index: int) -> int:
+        return index if self.modulus is None else index % self.modulus
+
+    def load(self, messages: Sequence[Hashable]) -> None:
+        self.queue = list(messages)
+        self.cursor = 0
+
+    def next_packet(self) -> Optional[Hashable]:
+        if self.done():
+            return None
+        return ("data", self._seq(self.cursor), self.queue[self.cursor])
+
+    def on_ack(self, packet: Hashable) -> None:
+        if (
+            isinstance(packet, tuple)
+            and packet[0] == "ack"
+            and packet[1] == self._seq(self.cursor)
+        ):
+            self.cursor += 1
+
+    def done(self) -> bool:
+        return self.cursor >= len(self.queue)
+
+    def crash(self) -> None:
+        self.cursor = 0  # volatile progress lost
+
+
+class StenningReceiver(DataLinkReceiver):
+    """Deliver each expected sequence number once; ack what arrives."""
+
+    def __init__(self, modulus: Optional[int] = None):
+        self.expected = 0
+        self.modulus = modulus
+
+    def _seq(self, index: int) -> int:
+        return index if self.modulus is None else index % self.modulus
+
+    def on_packet(self, packet: Hashable) -> Tuple[List[Hashable], Optional[Hashable]]:
+        if not (isinstance(packet, tuple) and packet[0] == "data"):
+            return [], None
+        _tag, seq, message = packet
+        if seq == self._seq(self.expected):
+            self.expected += 1
+            return [message], ("ack", seq)
+        return [], ("ack", seq)
+
+    def crash(self) -> None:
+        self.expected = 0

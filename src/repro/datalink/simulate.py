@@ -1,0 +1,219 @@
+"""The data-link layer simulation: senders, receivers, hostile channels.
+
+The survey's §2.5 results (Lynch–Mansour–Fekete [78], Spinelli [97], and
+the folk wisdom they formalize) are about implementing reliable message
+delivery over *physical channels* that lose, duplicate and reorder
+packets — and about what crashes and bounded packet headers cost.
+
+This module is the execution harness: a :class:`ChannelAdversary` owns
+both directions of the physical channel and decides, step by step, which
+buffered packet to deliver, duplicate, or drop.  The harness records what
+the receiver delivered so the correctness conditions — exactly-once,
+in-order delivery of the sent message sequence — can be checked directly.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..core.errors import ModelError
+
+
+class DataLinkSender(ABC):
+    """Sender-side protocol: turn messages into packets, react to acks."""
+
+    @abstractmethod
+    def load(self, messages: Sequence[Hashable]) -> None:
+        """Accept the message sequence to transmit."""
+
+    @abstractmethod
+    def next_packet(self) -> Optional[Hashable]:
+        """The packet to (re)transmit now, or None if idle/done."""
+
+    @abstractmethod
+    def on_ack(self, packet: Hashable) -> None:
+        """An acknowledgement packet arrived."""
+
+    @abstractmethod
+    def done(self) -> bool:
+        """All loaded messages acknowledged."""
+
+    def crash(self) -> None:
+        """Lose all volatile state (survey: crashes that erase memory)."""
+
+
+class DataLinkReceiver(ABC):
+    """Receiver-side protocol: packets in, delivered messages + acks out."""
+
+    @abstractmethod
+    def on_packet(self, packet: Hashable) -> Tuple[List[Hashable], Optional[Hashable]]:
+        """React to a data packet: (messages to deliver, ack packet)."""
+
+    def crash(self) -> None:
+        """Lose all volatile state."""
+
+
+@dataclass
+class DataLinkResult:
+    sent_messages: Tuple[Hashable, ...]
+    delivered: List[Hashable]
+    data_packets: int
+    ack_packets: int
+    steps: int
+    sender_done: bool
+
+    @property
+    def exactly_once_in_order(self) -> bool:
+        return list(self.delivered) == list(self.sent_messages)
+
+    @property
+    def duplicates(self) -> bool:
+        return len(self.delivered) > len(set(
+            (i, m) for i, m in enumerate(self.delivered)
+        )) or self._has_dup()
+
+    def _has_dup(self) -> bool:
+        # A duplicate is a delivered subsequence item appearing more often
+        # than it was sent.
+        from collections import Counter
+
+        sent = Counter(self.sent_messages)
+        got = Counter(self.delivered)
+        return any(got[m] > sent[m] for m in got)
+
+
+class ChannelAdversary(ABC):
+    """Controls both channel directions, one scheduling decision at a time.
+
+    Each step the adversary sees the forward buffer (data packets in
+    flight) and backward buffer (acks) and returns one action:
+
+    * ("transmit",)            — let the sender (re)send its packet;
+    * ("deliver", "fwd", i)    — deliver forward buffer item i (removed);
+    * ("deliver", "bwd", i)    — deliver backward buffer item i;
+    * ("drop", "fwd"/"bwd", i) — destroy a buffered packet;
+    * ("dup", "fwd"/"bwd", i)  — duplicate a buffered packet;
+    * ("crash", "sender"/"receiver") — erase an endpoint's state;
+    * ("halt",)                — end the run.
+    """
+
+    @abstractmethod
+    def act(self, fwd: List[Hashable], bwd: List[Hashable],
+            sender_done: bool, steps: int) -> Tuple:
+        ...
+
+
+class FairLossyScheduler(ChannelAdversary):
+    """Randomly drops packets with probability ``loss``, but is fair: it
+    keeps delivering, so a retransmitting protocol eventually succeeds.
+    FIFO delivery (index 0 only) unless ``reorder`` is set."""
+
+    def __init__(self, loss: float = 0.3, seed: int = 0,
+                 reorder: bool = False):
+        self.loss = loss
+        self.rng = random.Random(seed)
+        self.reorder = reorder
+
+    def act(self, fwd, bwd, sender_done, steps):
+        choices = []
+        if fwd:
+            choices.append("fwd")
+        if bwd:
+            choices.append("bwd")
+        if not sender_done:
+            choices.append("transmit")
+        if not choices:
+            return ("halt",)
+        pick = choices[self.rng.randrange(len(choices))]
+        if pick == "transmit":
+            return ("transmit",)
+        buffer = fwd if pick == "fwd" else bwd
+        index = self.rng.randrange(len(buffer)) if self.reorder else 0
+        if self.rng.random() < self.loss:
+            return ("drop", pick, index)
+        return ("deliver", pick, index)
+
+
+class ScriptedAdversary(ChannelAdversary):
+    """Replays an explicit action script, then halts."""
+
+    def __init__(self, script: Sequence[Tuple]):
+        self.script = list(script)
+        self.cursor = 0
+
+    def act(self, fwd, bwd, sender_done, steps):
+        if self.cursor >= len(self.script):
+            return ("halt",)
+        action = self.script[self.cursor]
+        self.cursor += 1
+        return action
+
+
+def run_datalink(
+    sender: DataLinkSender,
+    receiver: DataLinkReceiver,
+    messages: Sequence[Hashable],
+    adversary: ChannelAdversary,
+    max_steps: int = 50_000,
+) -> DataLinkResult:
+    """Run the protocol against the adversary; return what was delivered."""
+    sender.load(messages)
+    fwd: List[Hashable] = []
+    bwd: List[Hashable] = []
+    delivered: List[Hashable] = []
+    data_packets = 0
+    ack_packets = 0
+    steps = 0
+    while steps < max_steps:
+        steps += 1
+        action = adversary.act(list(fwd), list(bwd), sender.done(), steps)
+        kind = action[0]
+        if kind == "halt":
+            break
+        if kind == "transmit":
+            packet = sender.next_packet()
+            if packet is not None:
+                fwd.append(packet)
+                data_packets += 1
+            continue
+        if kind in ("deliver", "drop", "dup"):
+            _tag, side, index = action
+            buffer = fwd if side == "fwd" else bwd
+            if not buffer:
+                continue
+            index = min(index, len(buffer) - 1)
+            if kind == "drop":
+                buffer.pop(index)
+                continue
+            if kind == "dup":
+                buffer.append(buffer[index])
+                continue
+            packet = buffer.pop(index)
+            if side == "fwd":
+                out, ack = receiver.on_packet(packet)
+                delivered.extend(out)
+                if ack is not None:
+                    bwd.append(ack)
+                    ack_packets += 1
+            else:
+                sender.on_ack(packet)
+            continue
+        if kind == "crash":
+            _tag, who = action
+            if who == "sender":
+                sender.crash()
+            else:
+                receiver.crash()
+            continue
+        raise ModelError(f"unknown adversary action {action!r}")
+    return DataLinkResult(
+        sent_messages=tuple(messages),
+        delivered=delivered,
+        data_packets=data_packets,
+        ack_packets=ack_packets,
+        steps=steps,
+        sender_done=sender.done(),
+    )

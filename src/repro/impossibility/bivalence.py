@@ -1,0 +1,413 @@
+"""Bivalence (valency) arguments, the FLP proof engine.
+
+The survey (§2.2.4) presents the Fischer–Lynch–Paterson proof and its many
+descendants (Dolev–Dwork–Stockmeyer, Loui–Abu-Amara, Herlihy,
+Bridgeland–Watro, Moran–Wolfstahl) as *bivalence arguments*: label each
+reachable configuration with its **valency** — the set of decision values
+still reachable from it — and show that a putative fault-tolerant protocol
+must (a) have a bivalent initial configuration and (b) admit an admissible
+execution that stays bivalent forever, so it never decides.
+
+This module implements that argument generically over a
+:class:`DecisionSystem`: any step-deterministic system whose events are
+owned by processes and whose configurations expose per-process decisions.
+The asynchronous message-passing model (FLP), asynchronous read/write
+shared memory (Loui–Abu-Amara) and wait-free object systems (Herlihy) all
+instantiate it; see :mod:`repro.asynchronous.flp` and
+:mod:`repro.registers.herlihy`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.errors import SearchBudgetExceeded
+
+Configuration = Hashable
+Event = Hashable
+ProcessId = Hashable
+
+
+class DecisionSystem(ABC):
+    """A step-deterministic decision protocol under adversarial scheduling.
+
+    Configurations are global states; events are atomic steps, each owned
+    by one process; applying an event to a configuration yields exactly one
+    successor.  Nondeterminism lives entirely in the *order* of events —
+    which is the adversary's to choose.  This matches the FLP model (an
+    event is "deliver message m to p, who then acts deterministically") and
+    the shared-memory model (an event is "p performs its next access").
+    """
+
+    @property
+    @abstractmethod
+    def processes(self) -> Sequence[ProcessId]:
+        """The process identifiers."""
+
+    @property
+    @abstractmethod
+    def values(self) -> Sequence[Hashable]:
+        """The possible decision values (usually (0, 1))."""
+
+    @abstractmethod
+    def initial_configurations(self) -> Iterable[Configuration]:
+        """All initial configurations (one per input assignment)."""
+
+    @abstractmethod
+    def events(self, config: Configuration) -> Iterable[Event]:
+        """Events applicable in ``config``."""
+
+    @abstractmethod
+    def owner(self, event: Event) -> ProcessId:
+        """The process that takes the step."""
+
+    @abstractmethod
+    def apply(self, config: Configuration, event: Event) -> Configuration:
+        """The unique successor configuration."""
+
+    @abstractmethod
+    def decisions(self, config: Configuration) -> Mapping[ProcessId, Hashable]:
+        """The processes that have irrevocably decided, with their values."""
+
+    def fair_events(self, config: Configuration) -> Mapping[ProcessId, Event]:
+        """For each process, the event admissibility owes it next.
+
+        Default: the first applicable event owned by each process (in the
+        deterministic iteration order of :meth:`events`).  Asynchronous
+        network systems override this to return "deliver the *oldest*
+        pending message", which is what makes the stalling adversary's runs
+        admissible.
+        """
+        owed: Dict[ProcessId, Event] = {}
+        for event in self.events(config):
+            pid = self.owner(event)
+            if pid not in owed:
+                owed[pid] = event
+        return owed
+
+    def decided_values(self, config: Configuration) -> FrozenSet[Hashable]:
+        return frozenset(self.decisions(config).values())
+
+
+@dataclass
+class ValencyAnalyzer:
+    """Computes valencies with global memoization.
+
+    The valency of C is the set of values v such that some configuration
+    reachable from C has a process decided on v.  Configurations are
+    classified *v-valent* (singleton valency {v}), *bivalent* (≥2 values)
+    or *null-valent* (no decision reachable — a protocol bug).
+    """
+
+    system: DecisionSystem
+    max_configurations: int = 200_000
+    _valency_cache: Dict[Configuration, FrozenSet[Hashable]] = field(
+        default_factory=dict
+    )
+
+    def valency(self, config: Configuration) -> FrozenSet[Hashable]:
+        """The valency of ``config`` (memoized over the whole analyzer)."""
+        if config in self._valency_cache:
+            return self._valency_cache[config]
+        # Iterative DFS computing, for every config in the reachable cone,
+        # the union of decided values over its descendants.
+        reachable: List[Configuration] = []
+        seen: Dict[Configuration, FrozenSet[Hashable]] = {}
+        order: List[Configuration] = []
+        stack: List[Configuration] = [config]
+        succs: Dict[Configuration, List[Configuration]] = {}
+        while stack:
+            current = stack.pop()
+            if current in seen or current in self._valency_cache:
+                continue
+            seen[current] = self.system.decided_values(current)
+            order.append(current)
+            if len(seen) + len(self._valency_cache) > self.max_configurations:
+                raise SearchBudgetExceeded(
+                    f"valency analysis exceeded {self.max_configurations} configurations"
+                )
+            children = [
+                self.system.apply(current, event)
+                for event in self.system.events(current)
+            ]
+            succs[current] = children
+            for child in children:
+                if child not in seen and child not in self._valency_cache:
+                    stack.append(child)
+        # Propagate decided values backwards until fixpoint.  The cone may
+        # contain cycles, so iterate.
+        changed = True
+        while changed:
+            changed = False
+            for current in order:
+                acc = seen[current]
+                for child in succs[current]:
+                    child_vals = self._valency_cache.get(child) or seen.get(
+                        child, frozenset()
+                    )
+                    if not child_vals <= acc:
+                        acc = acc | child_vals
+                if acc != seen[current]:
+                    seen[current] = acc
+                    changed = True
+        self._valency_cache.update(seen)
+        return self._valency_cache[config]
+
+    def is_bivalent(self, config: Configuration) -> bool:
+        return len(self.valency(config)) >= 2
+
+    def is_univalent(self, config: Configuration) -> bool:
+        return len(self.valency(config)) == 1
+
+    def classify_initial(self) -> List[Tuple[Configuration, FrozenSet[Hashable]]]:
+        """Valency of every initial configuration."""
+        return [
+            (config, self.valency(config))
+            for config in self.system.initial_configurations()
+        ]
+
+    def bivalent_initial_configuration(self) -> Optional[Configuration]:
+        """FLP Lemma 2 mechanized: find a bivalent initial configuration.
+
+        For a correct 1-resilient binary consensus protocol one must exist;
+        returning None for a protocol claimed correct is itself evidence of
+        a validity or resilience defect (e.g. a constant protocol).
+        """
+        for config, val in self.classify_initial():
+            if len(val) >= 2:
+                return config
+        return None
+
+    def find_agreement_violation(
+        self, max_configurations: Optional[int] = None
+    ) -> Optional[Configuration]:
+        """Search the full reachable space for two processes deciding differently."""
+        budget = max_configurations or self.max_configurations
+        seen = set()
+        queue: deque = deque(self.system.initial_configurations())
+        while queue:
+            config = queue.popleft()
+            if config in seen:
+                continue
+            seen.add(config)
+            if len(seen) > budget:
+                raise SearchBudgetExceeded(
+                    f"agreement check exceeded {budget} configurations"
+                )
+            if len(self.system.decided_values(config)) >= 2:
+                return config
+            for event in self.system.events(config):
+                child = self.system.apply(config, event)
+                if child not in seen:
+                    queue.append(child)
+        return None
+
+
+@dataclass
+class DeciderWitness:
+    """A configuration from which one process controls the decision.
+
+    Bridgeland–Watro deciders: from ``config``, process ``process`` can on
+    its own drive the system to 0-valence via ``schedule_to[0]`` and to
+    1-valence via ``schedule_to[1]``.  The survey's Figure 2.  A protocol
+    with a reachable decider cannot be 1-resilient: the other processes
+    must be able to finish without p, but cannot know which way p decided.
+    """
+
+    config: Configuration
+    process: ProcessId
+    schedule_to: Dict[Hashable, Tuple[Event, ...]]
+
+
+@dataclass
+class StallResult:
+    """Outcome of running the FLP stalling adversary.
+
+    ``schedule`` is the bivalence-preserving event sequence constructed;
+    ``stages`` counts completed fairness stages (each stage services the
+    oldest obligation of one process).  ``stuck_at`` is set when the
+    adversary could not preserve bivalence while honouring an obligation —
+    for a *correct* protocol this never happens (that is FLP Lemma 3); when
+    it does happen the protocol has a hook the resilience analysis can
+    exploit, recorded in ``decider``.
+    """
+
+    schedule: Tuple[Event, ...]
+    final_config: Configuration
+    stages: int
+    stuck_at: Optional[Configuration] = None
+    decider: Optional[DeciderWitness] = None
+
+    @property
+    def stayed_bivalent(self) -> bool:
+        return self.stuck_at is None
+
+
+class StallingAdversary:
+    """The FLP adversary: keep the configuration bivalent forever, fairly.
+
+    Given a bivalent configuration, repeatedly pick the process whose
+    fairness obligation is oldest and search for a finite schedule, ending
+    with that obligation's event, that lands in a bivalent configuration
+    (FLP Lemma 3 guarantees one exists for correct protocols).  The
+    resulting run is admissible — every process keeps taking steps, every
+    owed event is eventually performed — yet no process ever decides.
+    """
+
+    def __init__(
+        self,
+        analyzer: ValencyAnalyzer,
+        extension_budget: int = 10_000,
+    ):
+        self.analyzer = analyzer
+        self.system = analyzer.system
+        self.extension_budget = extension_budget
+
+    def extend_bivalent(
+        self, config: Configuration, obligation_process: ProcessId
+    ) -> Optional[Tuple[Tuple[Event, ...], Configuration]]:
+        """Find a schedule whose last event is owed to ``obligation_process``
+        and which leaves the configuration bivalent.
+
+        BFS over schedules; the *final* event applied is always the current
+        fairness obligation of the target process at the point of
+        application (i.e. its oldest pending event there), so honouring it
+        genuinely discharges the obligation.
+        """
+        queue: deque = deque([(config, ())])
+        seen = {config}
+        explored = 0
+        while queue:
+            current, schedule = queue.popleft()
+            explored += 1
+            if explored > self.extension_budget:
+                return None
+            owed = self.system.fair_events(current)
+            if obligation_process in owed:
+                candidate = self.system.apply(current, owed[obligation_process])
+                if self.analyzer.is_bivalent(candidate):
+                    return schedule + (owed[obligation_process],), candidate
+            for event in self.system.events(current):
+                child = self.system.apply(current, event)
+                if child not in seen and self.analyzer.is_bivalent(child):
+                    seen.add(child)
+                    queue.append((child, schedule + (event,)))
+        return None
+
+    def run(self, start: Configuration, stages: int) -> StallResult:
+        """Drive ``stages`` fairness stages from a bivalent configuration."""
+        if not self.analyzer.is_bivalent(start):
+            raise ValueError("stalling adversary needs a bivalent start configuration")
+        config = start
+        schedule: Tuple[Event, ...] = ()
+        process_order = list(self.system.processes)
+        completed = 0
+        for stage in range(stages):
+            target = process_order[stage % len(process_order)]
+            if target not in self.system.fair_events(config):
+                # Nothing owed to this process right now (it is quiescent);
+                # the obligation is vacuously discharged.
+                completed += 1
+                continue
+            extension = self.extend_bivalent(config, target)
+            if extension is None:
+                decider = self._diagnose_decider(config)
+                return StallResult(
+                    schedule=schedule,
+                    final_config=config,
+                    stages=completed,
+                    stuck_at=config,
+                    decider=decider,
+                )
+            ext_schedule, config = extension
+            schedule = schedule + ext_schedule
+            completed += 1
+        return StallResult(schedule=schedule, final_config=config, stages=completed)
+
+    def _diagnose_decider(self, config: Configuration) -> Optional[DeciderWitness]:
+        """When stalling fails, look for the decider the proof predicts."""
+        for process in self.system.processes:
+            schedules: Dict[Hashable, Tuple[Event, ...]] = {}
+            for value in self.system.values:
+                found = self._solo_schedule_to_valency(config, process, value)
+                if found is not None:
+                    schedules[value] = found
+            if len(schedules) >= 2:
+                return DeciderWitness(config, process, schedules)
+        return None
+
+    def _solo_schedule_to_valency(
+        self, config: Configuration, process: ProcessId, value: Hashable
+    ) -> Optional[Tuple[Event, ...]]:
+        """Can ``process``, stepping alone, force valency {value}?"""
+        queue: deque = deque([(config, ())])
+        seen = {config}
+        explored = 0
+        while queue:
+            current, schedule = queue.popleft()
+            explored += 1
+            if explored > self.extension_budget:
+                return None
+            if self.analyzer.valency(current) == frozenset([value]):
+                return schedule
+            for event in self.system.events(current):
+                if self.system.owner(event) != process:
+                    continue
+                child = self.system.apply(current, event)
+                if child not in seen:
+                    seen.add(child)
+                    queue.append((child, schedule + (event,)))
+        return None
+
+
+def find_herlihy_decider(
+    analyzer: ValencyAnalyzer,
+    max_configurations: int = 100_000,
+) -> Optional[Tuple[Configuration, Dict[Event, FrozenSet[Hashable]]]]:
+    """Find a *critical* configuration: bivalent, all successors univalent.
+
+    This is Herlihy's notion of decider (survey §2.3): in a wait-free
+    consensus protocol, the adversary can always drive the system to such a
+    configuration, and case analysis on which pairs of steps commute then
+    gives the consensus-number separations.  Returns the configuration and
+    the valency of each successor event.
+    """
+    system = analyzer.system
+    seen = set()
+    queue: deque = deque(system.initial_configurations())
+    while queue:
+        config = queue.popleft()
+        if config in seen:
+            continue
+        seen.add(config)
+        if len(seen) > max_configurations:
+            raise SearchBudgetExceeded(
+                f"decider search exceeded {max_configurations} configurations"
+            )
+        events = list(system.events(config))
+        if events and analyzer.is_bivalent(config):
+            successor_valencies = {
+                event: analyzer.valency(system.apply(config, event))
+                for event in events
+            }
+            if all(len(v) == 1 for v in successor_valencies.values()):
+                return config, successor_valencies
+        for event in events:
+            child = system.apply(config, event)
+            if child not in seen:
+                queue.append(child)
+    return None

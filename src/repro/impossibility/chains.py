@@ -1,0 +1,108 @@
+"""Chain arguments: connect extreme scenarios through single-change steps.
+
+Chain proofs (the t+1-round bound [56], Two Generals [61], approximate
+agreement rate bounds [36]) all share a skeleton:
+
+1. build a finite sequence of executions from an "all 0" extreme to an
+   "all 1" extreme, each consecutive pair differing in one small way
+   (one input flipped, one message removed, one fault added);
+2. show each consecutive pair is indistinguishable to some nonfaulty
+   process, so decisions cannot change across the link;
+3. conclude the extremes decide identically — contradicting validity.
+
+This module provides the combinatorial chain builders; the model-specific
+indistinguishability checks live with their models.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+T = TypeVar("T")
+
+
+def input_vector_chain(
+    n: int, low: Hashable = 0, high: Hashable = 1
+) -> List[Tuple[Hashable, ...]]:
+    """The chain of input vectors from all-``low`` to all-``high``.
+
+    Consecutive vectors differ in exactly one coordinate, flipped in index
+    order: (0,0,0), (1,0,0), (1,1,0), (1,1,1).  This is the spine of the
+    validity end of every chain argument.
+    """
+    chain: List[Tuple[Hashable, ...]] = []
+    current = [low] * n
+    chain.append(tuple(current))
+    for i in range(n):
+        current[i] = high
+        chain.append(tuple(current))
+    return chain
+
+
+def chain_link_indices(chain_length: int) -> Iterator[Tuple[int, int]]:
+    """Indices of consecutive pairs along a chain."""
+    for i in range(chain_length - 1):
+        yield i, i + 1
+
+
+def verify_chain(
+    chain: Sequence[T],
+    linked: Callable[[T, T], bool],
+) -> Optional[int]:
+    """Check every consecutive pair satisfies the link relation.
+
+    Returns the index of the first broken link, or None when the chain is
+    intact.
+    """
+    for i, j in chain_link_indices(len(chain)):
+        if not linked(chain[i], chain[j]):
+            return i
+    return None
+
+
+def find_changing_link(
+    chain: Sequence[T],
+    label: Callable[[T], Hashable],
+) -> Optional[Tuple[int, Hashable, Hashable]]:
+    """Find the first link where a label (e.g. the decision value) changes.
+
+    A chain argument concludes by observing that the label differs at the
+    two ends, hence must change across *some* link — and that link is the
+    contradiction, since its two sides are indistinguishable to a process
+    that must output the label.  Returns ``(index, left_label,
+    right_label)`` or None if the label is constant.
+    """
+    for i, j in chain_link_indices(len(chain)):
+        left, right = label(chain[i]), label(chain[j])
+        if left != right:
+            return i, left, right
+    return None
+
+
+def matrix_flip_chain(
+    rows: int, cols: int, low: Hashable = 0, high: Hashable = 1
+) -> List[Tuple[Tuple[Hashable, ...], ...]]:
+    """Chain of matrices from all-``low`` to all-``high``, one entry per step.
+
+    Entries flip down the columns, matching the r-round lower-bound
+    construction in [56] where the matrix records "the value process j
+    reported about process i".
+    """
+    chain: List[Tuple[Tuple[Hashable, ...], ...]] = []
+    matrix = [[low] * cols for _ in range(rows)]
+    chain.append(tuple(tuple(r) for r in matrix))
+    for c in range(cols):
+        for r in range(rows):
+            matrix[r][c] = high
+            chain.append(tuple(tuple(row) for row in matrix))
+    return chain

@@ -1,0 +1,90 @@
+"""Pigeonhole arguments over shared-memory values.
+
+The earliest impossibility proofs in the survey (Cremers–Hibbard [35],
+Burns et al. [26]) work by pigeonhole: run the algorithm through a family
+of situations, observe that the shared variable can take only V values, so
+two "incompatible" situations must leave the memory (and some process's
+local state) identical — and indistinguishability then forces incorrect
+behaviour in one of them.
+
+This module provides the collision machinery those mechanized proofs use.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+T = TypeVar("T")
+K = TypeVar("K", bound=Hashable)
+
+
+def collisions(
+    items: Iterable[T], key: Callable[[T], K]
+) -> Dict[K, List[T]]:
+    """Group items by key, keeping only keys hit more than once.
+
+    The classic use: items are *situations* (execution fragments), the key
+    is ``(shared memory value, local state of p)`` — any returned group is
+    a set of situations that p cannot tell apart.
+    """
+    groups: Dict[K, List[T]] = defaultdict(list)
+    for item in items:
+        groups[key(item)].append(item)
+    return {k: v for k, v in groups.items() if len(v) > 1}
+
+
+def first_collision(
+    items: Iterable[T], key: Callable[[T], K]
+) -> Optional[Tuple[T, T]]:
+    """Return the first pair of distinct items sharing a key, if any."""
+    seen: Dict[K, T] = {}
+    for item in items:
+        k = key(item)
+        if k in seen:
+            return seen[k], item
+        seen[k] = item
+    return None
+
+
+def guaranteed_collision_count(item_count: int, hole_count: int) -> int:
+    """How many pigeons must share the fullest hole: ceil(items/holes).
+
+    Used to state the quantitative form of the argument: with n processes
+    leaving values in a V-valued variable, some value is left by at least
+    ceil(n/V) of them.
+    """
+    if hole_count <= 0:
+        raise ValueError("hole_count must be positive")
+    return -(-item_count // hole_count)
+
+
+def incompatible_collision(
+    items: Sequence[T],
+    key: Callable[[T], K],
+    incompatible: Callable[[T, T], bool],
+) -> Optional[Tuple[T, T]]:
+    """Find two key-colliding items that are *incompatible*.
+
+    ``incompatible(a, b)`` captures "the problem statement requires
+    different behaviour in a and b".  A returned pair is exactly the
+    contradiction of a pigeonhole impossibility proof: same observable
+    situation, different obligations.
+    """
+    groups = collisions(items, key)
+    for group in groups.values():
+        for i, a in enumerate(group):
+            for b in group[i + 1:]:
+                if incompatible(a, b):
+                    return a, b
+    return None

@@ -1,0 +1,123 @@
+"""Knowledge-theoretic analyses: common knowledge and coordination (§2.6).
+
+Halpern–Moses' knowledge-flavoured rendering of the Two Generals result:
+over an unreliable channel, *common knowledge cannot be gained*.  We build
+the Kripke structure whose points are the delivery-chain executions of a
+concrete protocol and compute the operators exactly:
+
+* after k deliveries, E^k("the order was sent") holds but E^(k+1) does
+  not — each delivery buys exactly one level of nesting;
+* the indistinguishability component of every point reaches the empty
+  execution, where the fact fails — so C(fact) is false everywhere:
+  common knowledge is never attained, at any finite message count.
+
+For contrast, :func:`simultaneous_broadcast_system` models a synchronous
+reliable broadcast, where one round *does* create common knowledge — the
+difference the survey attributes to synchrony.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Tuple
+
+from ..asynchronous.two_generals import (
+    ATTACK,
+    HandshakeProtocol,
+    TwoGeneralsProtocol,
+    run_with_losses,
+)
+from ..impossibility.certificate import ImpossibilityCertificate
+from .kripke import PointSystem
+
+
+def two_generals_point_system(
+    protocol: TwoGeneralsProtocol = None,
+) -> PointSystem:
+    """Points = delivery counts of the chain; views = the generals'
+    message histories in the corresponding run."""
+    protocol = protocol or HandshakeProtocol(rounds=6, confirmations=3)
+    runs = {
+        k: run_with_losses(protocol, ATTACK, k)
+        for k in range(protocol.slots + 1)
+    }
+
+    def view(agent: int, point: int) -> Hashable:
+        return runs[point].histories[agent]
+
+    return PointSystem(points=list(runs), agents=[0, 1], view=view)
+
+
+def delivery_knowledge_profile(
+    protocol: TwoGeneralsProtocol = None,
+) -> Dict[int, Dict[str, object]]:
+    """For each delivery count k: who knows what, to what nesting depth.
+
+    The fact analysed is "at least one message was delivered" (equivalently
+    here: general 1 has heard the attack order), which is false only at
+    the empty point k = 0.
+    """
+    protocol = protocol or HandshakeProtocol(rounds=6, confirmations=3)
+    system = two_generals_point_system(protocol)
+    fact = lambda k: k >= 1  # noqa: E731 — the delivered fact
+
+    profile: Dict[int, Dict[str, object]] = {}
+    for k in system.points:
+        profile[k] = {
+            "holds": system.holds(fact, k),
+            "g0_knows": system.knows(0, fact, k),
+            "g1_knows": system.knows(1, fact, k),
+            "everyone": system.everyone_knows(fact, k),
+            "depth": system.knowledge_depth(fact, k, max_depth=20),
+            "common": system.common_knowledge(fact, k),
+        }
+    return profile
+
+
+def common_knowledge_certificate(
+    protocol: TwoGeneralsProtocol = None,
+) -> ImpossibilityCertificate:
+    """Certify: common knowledge of delivery is never attained.
+
+    Every point's indistinguishability component contains the k = 0 point
+    (where nothing was delivered), and knowledge depth at point k is
+    exactly k — one nesting level per successful delivery, never infinity.
+    """
+    protocol = protocol or HandshakeProtocol(rounds=6, confirmations=3)
+    profile = delivery_knowledge_profile(protocol)
+    max_k = max(profile)
+    if any(entry["common"] for entry in profile.values()):
+        raise AssertionError(
+            "common knowledge attained over a lossy channel — engine bug"
+        )
+    depths = {k: entry["depth"] for k, entry in profile.items()}
+    return ImpossibilityCertificate(
+        claim=(
+            "common knowledge of message delivery cannot be gained over an "
+            "unreliable channel: k deliveries buy exactly k-1 levels of "
+            "nested knowledge, never C"
+        ),
+        scope=(
+            f"{protocol.name}, delivery chain of {max_k + 1} points, "
+            "operators computed exactly"
+        ),
+        technique="knowledge (indistinguishability fixpoint)",
+        details={"knowledge_depths": depths},
+    )
+
+
+def simultaneous_broadcast_system(n: int = 3) -> Tuple[PointSystem, Callable]:
+    """The synchronous contrast: a reliable simultaneous broadcast.
+
+    Points: "sent" and "idle" worlds.  After the broadcast round every
+    agent's view separates the two worlds completely, so the fact "the
+    value was broadcast" is common knowledge at the sent point.
+    """
+    points = ["sent", "idle"]
+    agents = list(range(n))
+
+    def view(agent: int, point: str) -> Hashable:
+        # Reliable synchronous broadcast: everyone observed the round.
+        return point
+
+    fact = lambda p: p == "sent"  # noqa: E731
+    return PointSystem(points, agents, view), fact

@@ -1,0 +1,117 @@
+"""Knowledge in distributed systems: Kripke structures over runs (§2.6).
+
+Halpern–Moses [64], Chandy–Misra [29] and the Dwork–Moses program recast
+indistinguishability as *knowledge*: an agent knows a fact at a point if
+the fact holds at every point the agent cannot distinguish from it.
+"Everyone knows" iterates over agents; *common knowledge* is the fixpoint
+— truth at every point reachable through any agent's indistinguishability,
+to any depth.
+
+The model here is finite and concrete: a :class:`PointSystem` is a set of
+points (global states / cut of a run), a view function per agent, and
+facts as predicates.  The operators are computed exactly, which is all
+the survey's knowledge-flavoured results need on bounded instances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Sequence,
+    Set,
+)
+
+from ..core.errors import ModelError
+
+Point = Hashable
+Agent = Hashable
+Fact = Callable[[Point], bool]
+
+
+class PointSystem:
+    """A finite Kripke structure built from agents' views of points."""
+
+    def __init__(
+        self,
+        points: Iterable[Point],
+        agents: Sequence[Agent],
+        view: Callable[[Agent, Point], Hashable],
+    ):
+        self.points: List[Point] = list(points)
+        if not self.points:
+            raise ModelError("a point system needs at least one point")
+        self.agents = list(agents)
+        self._view = view
+        # Partition points by each agent's view.
+        self._cells: Dict[Agent, Dict[Hashable, List[Point]]] = {}
+        for agent in self.agents:
+            cells: Dict[Hashable, List[Point]] = {}
+            for point in self.points:
+                cells.setdefault(view(agent, point), []).append(point)
+            self._cells[agent] = cells
+
+    def indistinguishable(self, agent: Agent, point: Point) -> List[Point]:
+        """All points the agent considers possible at ``point``."""
+        return self._cells[agent][self._view(agent, point)]
+
+    # -- operators -----------------------------------------------------------
+
+    def holds(self, fact: Fact, point: Point) -> bool:
+        return bool(fact(point))
+
+    def knows(self, agent: Agent, fact: Fact, point: Point) -> bool:
+        """K_agent(fact) at ``point``."""
+        return all(fact(p) for p in self.indistinguishable(agent, point))
+
+    def everyone_knows(self, fact: Fact, point: Point) -> bool:
+        """E(fact): every agent knows it."""
+        return all(self.knows(agent, fact, point) for agent in self.agents)
+
+    def nested_knowledge(self, fact: Fact, point: Point, depth: int) -> bool:
+        """E^depth(fact): everyone knows that everyone knows that ..."""
+        current = fact
+        for _ in range(depth):
+            previous = current
+
+            def lifted(p, prev=previous):
+                return self.everyone_knows(prev, p)
+
+            current = lifted
+        return current(point)
+
+    def reachable_points(self, point: Point) -> Set[Point]:
+        """The points reachable through any agent's indistinguishability —
+        the connected component that common knowledge quantifies over."""
+        seen: Set[Point] = {point}
+        queue: deque = deque([point])
+        while queue:
+            current = queue.popleft()
+            for agent in self.agents:
+                for other in self.indistinguishable(agent, current):
+                    if other not in seen:
+                        seen.add(other)
+                        queue.append(other)
+        return seen
+
+    def common_knowledge(self, fact: Fact, point: Point) -> bool:
+        """C(fact): the fact holds throughout the reachable component."""
+        return all(fact(p) for p in self.reachable_points(point))
+
+    def knowledge_depth(self, fact: Fact, point: Point, max_depth: int = 50
+                        ) -> int:
+        """The largest k <= max_depth with E^k(fact) at ``point``.
+
+        Quantifies "how close to common knowledge" the system got — the
+        Two Generals analysis shows this stuck at the number of deliveries.
+        """
+        depth = 0
+        while depth < max_depth and self.nested_knowledge(fact, point, depth + 1):
+            depth += 1
+        return depth

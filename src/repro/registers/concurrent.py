@@ -1,0 +1,192 @@
+"""A cooperative-concurrency harness for register constructions (§2.3).
+
+Wait-free constructions (snapshots, multi-reader registers, ...) are
+algorithms whose operations consist of many base-register accesses; their
+correctness claims quantify over all interleavings of those accesses.
+This harness runs operations as Python generators that *yield* base
+accesses; a seeded (or scripted) scheduler interleaves them one access at
+a time, and a :class:`~repro.registers.history.HistoryRecorder` logs the
+invocation/response history for the linearizability checker.
+
+Base registers come in two strengths:
+
+* ``atomic`` — reads and writes are single indivisible accesses;
+* ``regular`` — a read overlapping a write may return either the old or
+  the new value (the scheduler's choice, adversarially seeded).  This is
+  Lamport's regular register [71], the substrate his impossibility remark
+  concerns: atomicity cannot be wrung out of regularity for free.
+
+Each process runs its operations sequentially (a process is a thread of
+operations); different processes' operations interleave.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.errors import ModelError
+from .history import HistoryRecorder, Operation
+
+# What an operation generator yields:
+#   ("read", register_name)             -> the value read
+#   ("write", register_name, value)     -> None
+Access = Tuple
+
+# An operation implementation: argument -> generator of accesses.
+OpImpl = Callable[[Any], Generator[Access, Any, Any]]
+
+
+@dataclass
+class ScheduledOp:
+    """One operation instance: who runs it, what it is, how it works."""
+
+    process: Hashable
+    kind: str
+    argument: Any
+    implementation: OpImpl
+
+
+@dataclass
+class _PendingWrite:
+    old: Any
+    new: Any
+
+
+class RegisterSpace:
+    """The base registers, with atomic or regular read semantics."""
+
+    def __init__(self, initial: Dict[str, Any], semantics: str = "atomic",
+                 seed: int = 0,
+                 flux_chooser: Optional[Callable[[str, Any, Any], Any]] = None):
+        if semantics not in ("atomic", "regular"):
+            raise ModelError(f"unknown register semantics {semantics!r}")
+        self.values: Dict[str, Any] = dict(initial)
+        self.semantics = semantics
+        self.rng = random.Random(seed)
+        # Adversarial override: decide which value an in-flux read returns.
+        self.flux_chooser = flux_chooser
+        # For regular semantics a write spans two scheduler slots; between
+        # them the register is in flux and reads may see either value.
+        self.in_flux: Dict[str, _PendingWrite] = {}
+
+    def read(self, register: str) -> Any:
+        if register not in self.values:
+            raise ModelError(f"unknown register {register!r}")
+        flux = self.in_flux.get(register)
+        if flux is not None and self.semantics == "regular":
+            if self.flux_chooser is not None:
+                return self.flux_chooser(register, flux.old, flux.new)
+            return flux.old if self.rng.randrange(2) == 0 else flux.new
+        return self.values[register]
+
+    def begin_write(self, register: str, value: Any) -> None:
+        if register not in self.values:
+            raise ModelError(f"unknown register {register!r}")
+        if self.semantics == "atomic":
+            self.values[register] = value
+            return
+        current = self.values[register]
+        self.in_flux[register] = _PendingWrite(current, value)
+
+    def end_write(self, register: str) -> None:
+        if self.semantics == "atomic":
+            return
+        flux = self.in_flux.pop(register, None)
+        if flux is not None:
+            self.values[register] = flux.new
+
+
+class _Thread:
+    """One process's queue of operations."""
+
+    def __init__(self, process: Hashable, ops: List[ScheduledOp]):
+        self.process = process
+        self.queue = ops
+        self.current: Optional[Generator] = None
+        self.current_op: Optional[ScheduledOp] = None
+        self.resume_value: Any = None
+        self.open_write: Optional[str] = None
+
+    @property
+    def done(self) -> bool:
+        return self.current is None and not self.queue
+
+
+def run_concurrent(
+    registers: RegisterSpace,
+    ops: Sequence[ScheduledOp],
+    seed: int = 0,
+    schedule: Optional[Sequence[Hashable]] = None,
+) -> List[Operation]:
+    """Interleave the operations access-by-access; return the history.
+
+    Operations of the same process run back-to-back in list order; each
+    scheduler slot advances one process by one base access.  ``schedule``
+    (a sequence of process names) scripts the interleaving; otherwise a
+    seeded uniform scheduler drives it.
+    """
+    recorder = HistoryRecorder()
+    rng = random.Random(seed)
+    threads: Dict[Hashable, _Thread] = {}
+    for op in ops:
+        threads.setdefault(op.process, _Thread(op.process, [])).queue.append(op)
+
+    script = iter(schedule) if schedule is not None else None
+
+    def live_processes() -> List[Hashable]:
+        return [p for p, t in threads.items() if not t.done]
+
+    def pick() -> Hashable:
+        live = live_processes()
+        if script is not None:
+            while True:
+                choice = next(script, None)
+                if choice is None:
+                    return live[0]
+                if choice in live:
+                    return choice
+        return live[rng.randrange(len(live))]
+
+    while live_processes():
+        process = pick()
+        thread = threads[process]
+        if thread.current is None:
+            thread.current_op = thread.queue.pop(0)
+            thread.current = thread.current_op.implementation(
+                thread.current_op.argument
+            )
+            recorder.invoke(process, thread.current_op.kind,
+                            thread.current_op.argument)
+            thread.resume_value = None
+        # Close the second half of a regular write before the next access.
+        if thread.open_write is not None:
+            registers.end_write(thread.open_write)
+            thread.open_write = None
+        try:
+            access = thread.current.send(thread.resume_value)
+        except StopIteration as stop:
+            recorder.respond(process, stop.value)
+            thread.current = None
+            thread.current_op = None
+            continue
+        if access[0] == "read":
+            thread.resume_value = registers.read(access[1])
+        elif access[0] == "write":
+            registers.begin_write(access[1], access[2])
+            thread.open_write = access[1]
+            thread.resume_value = None
+        else:
+            raise ModelError(f"unknown access {access!r}")
+    return recorder.history

@@ -1,0 +1,181 @@
+"""Exhaustive search over small read/write consensus protocols (§2.3).
+
+The hierarchy results in :mod:`repro.registers.herlihy` defeat *given*
+protocols; this module quantifies over a whole bounded class, the same
+methodology as the Cremers–Hibbard search (E1): enumerate every symmetric
+2-process protocol in which each process owns one binary register and
+runs a depth-bounded decision-tree program —
+
+* non-branching step: write 0 / 1 / own input to the own register;
+* branching step: read the other's register (branch on 0 / 1, with the
+  initial value also readable);
+* leaf: decide 0 / 1 / own input / last value read.
+
+Every candidate is model-checked exhaustively for agreement, validity and
+wait-freedom over all interleavings; the certificate records that **no
+candidate solves 2-process wait-free consensus**, which is the
+Loui–Abu-Amara / Herlihy impossibility restricted to the stated class —
+with the class bound honest in the certificate, and deep enough to
+contain the natural write-then-read-then-decide protocols.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Iterator, List, Optional, Tuple
+
+from ..core.errors import ModelError
+from ..impossibility.certificate import ImpossibilityCertificate
+from ..shared_memory.variables import Access, read, write
+from .herlihy import (
+    ObjectConsensusProtocol,
+    ObjectConsensusSystem,
+    WaitFreeVerdict,
+    wait_free_verdict,
+)
+
+# A program tree, as nested tuples (registers start at 0):
+#   ("decide", leaf)                 leaf in {"zero", "one", "own", "seen"}
+#   ("write", value, subtree)        value in {"zero", "one", "own"}
+#   ("read", subtree_if_0, subtree_if_1)
+Program = Tuple
+
+LEAVES = ("zero", "one", "own", "seen")
+WRITE_VALUES = ("zero", "one", "own")
+
+
+def enumerate_programs(depth: int) -> Iterator[Program]:
+    """Every program of the class with at most ``depth`` accesses."""
+    if depth == 0:
+        for leaf in LEAVES:
+            yield ("decide", leaf)
+        return
+    for program in enumerate_programs(0):
+        yield program
+    subprograms = list(enumerate_programs(depth - 1))
+    for value in WRITE_VALUES:
+        for sub in subprograms:
+            yield ("write", value, sub)
+    for if0 in subprograms:
+        for if1 in subprograms:
+            yield ("read", if0, if1)
+
+
+def count_programs(depth: int) -> int:
+    if depth == 0:
+        return len(LEAVES)
+    inner = count_programs(depth - 1)
+    return len(LEAVES) + len(WRITE_VALUES) * inner + inner ** 2
+
+
+class ProgramConsensus(ObjectConsensusProtocol):
+    """A symmetric 2-process protocol defined by one program tree."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.name = f"program-consensus-{hash(program) & 0xFFFF:04x}"
+
+    def initial_memory(self, n):
+        return {f"r{i}": 0 for i in range(n)}
+
+    def initial_local(self, pid, n, input_value):
+        # (pid, own input, last read value, current subtree)
+        return (pid, input_value, None, self.program)
+
+    def _resolve(self, tag, input_value, seen):
+        if tag == "zero":
+            return 0
+        if tag == "one":
+            return 1
+        if tag == "own":
+            return input_value
+        # "seen": the last value read; before any read, fall back to own.
+        if seen is None:
+            return input_value
+        return seen
+
+    def pending_access(self, local) -> Optional[Access]:
+        pid, input_value, seen, tree = local
+        if tree[0] == "decide":
+            return None
+        if tree[0] == "write":
+            return write(f"r{pid}", self._resolve(tree[1], input_value, seen))
+        return read(f"r{1 - pid}")
+
+    def after_access(self, local, response):
+        pid, input_value, seen, tree = local
+        if tree[0] == "write":
+            return (pid, input_value, seen, tree[2])
+        return (pid, input_value, response, tree[1 + int(bool(response))])
+
+    def decision(self, local):
+        pid, input_value, seen, tree = local
+        if tree[0] != "decide":
+            return None
+        return self._resolve(tree[1], input_value, seen)
+
+
+@dataclass
+class RegisterSearchOutcome:
+    depth: int
+    candidates: int
+    solutions: List[Program]
+    agreement_failures: int
+    validity_failures: int
+    wait_freedom_failures: int
+
+
+def search_register_consensus(depth: int = 2) -> RegisterSearchOutcome:
+    """Model-check every program in the class; collect the failure census."""
+    solutions: List[Program] = []
+    agreement = validity = wait_freedom = 0
+    total = 0
+    for program in enumerate_programs(depth):
+        total += 1
+        system = ObjectConsensusSystem(ProgramConsensus(program), 2)
+        verdict = wait_free_verdict(system, solo_bound=depth + 2)
+        if verdict.solves_consensus:
+            solutions.append(program)
+        elif verdict.failure_kind == "agreement":
+            agreement += 1
+        elif verdict.failure_kind == "validity":
+            validity += 1
+        else:
+            wait_freedom += 1
+    return RegisterSearchOutcome(
+        depth=depth,
+        candidates=total,
+        solutions=solutions,
+        agreement_failures=agreement,
+        validity_failures=validity,
+        wait_freedom_failures=wait_freedom,
+    )
+
+
+def register_consensus_certificate(depth: int = 2) -> ImpossibilityCertificate:
+    """Certify: no program in the class solves wait-free 2-consensus."""
+    outcome = search_register_consensus(depth)
+    if outcome.solutions:
+        raise ModelError(
+            f"found {len(outcome.solutions)} register consensus programs — "
+            "the impossibility claim fails for this class"
+        )
+    return ImpossibilityCertificate(
+        claim=(
+            "no symmetric 2-process wait-free consensus protocol exists "
+            "over one binary single-writer register per process with at "
+            f"most {depth} accesses"
+        ),
+        scope=(
+            f"decision-tree programs, depth <= {depth}, exhaustive over "
+            f"{outcome.candidates} candidates"
+        ),
+        technique="bivalence / exhaustive model checking",
+        candidates_checked=outcome.candidates,
+        details={
+            "agreement_failures": outcome.agreement_failures,
+            "validity_failures": outcome.validity_failures,
+            "wait_freedom_failures": outcome.wait_freedom_failures,
+        },
+    )

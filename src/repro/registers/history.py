@@ -1,0 +1,213 @@
+"""Concurrent operation histories and a linearizability checker (§2.3).
+
+The register results in the survey are all statements about which
+*histories* an implementation can exhibit: an atomic (linearizable) object
+must make overlapping operations appear instantaneous.  This module gives
+histories a concrete form — operations with invocation/response timestamps
+— and decides linearizability by the classic Wing–Gong search: find a
+total order of the operations that (a) extends the real-time partial
+order and (b) is legal for the object's sequential specification.
+
+Sequential specifications are tiny mutable classes with an ``apply``
+method; register, queue and snapshot specs are provided.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One completed operation in a history."""
+
+    process: Hashable
+    kind: str  # e.g. "read", "write", "enqueue", "snapshot"
+    argument: Any
+    result: Any
+    invoked_at: float
+    responded_at: float
+
+    def __post_init__(self):
+        if self.responded_at < self.invoked_at:
+            raise ValueError("response cannot precede invocation")
+
+    def precedes(self, other: "Operation") -> bool:
+        """Real-time order: this op responded before the other was invoked."""
+        return self.responded_at < other.invoked_at
+
+
+class SequentialSpec(ABC):
+    """A sequential object: apply operations one at a time."""
+
+    @abstractmethod
+    def apply(self, kind: str, argument: Any) -> Any:
+        """Perform the operation, returning the result it *should* have."""
+
+    @abstractmethod
+    def copy(self) -> "SequentialSpec":
+        """An independent copy with the same current state."""
+
+
+class RegisterSpec(SequentialSpec):
+    """A single read/write register."""
+
+    def __init__(self, initial: Any = None):
+        self.value = initial
+
+    def apply(self, kind: str, argument: Any) -> Any:
+        if kind == "read":
+            return self.value
+        if kind == "write":
+            self.value = argument
+            return None
+        raise ValueError(f"unknown register operation {kind!r}")
+
+    def copy(self) -> "RegisterSpec":
+        return RegisterSpec(self.value)
+
+
+class QueueSpec(SequentialSpec):
+    """A FIFO queue (enqueue / dequeue)."""
+
+    def __init__(self, items: Optional[Sequence[Any]] = None):
+        self.items: List[Any] = list(items or [])
+
+    def apply(self, kind: str, argument: Any) -> Any:
+        if kind == "enqueue":
+            self.items.append(argument)
+            return None
+        if kind == "dequeue":
+            return self.items.pop(0) if self.items else None
+        raise ValueError(f"unknown queue operation {kind!r}")
+
+    def copy(self) -> "QueueSpec":
+        return QueueSpec(self.items)
+
+
+class SnapshotSpec(SequentialSpec):
+    """An n-segment atomic snapshot object: update own segment, scan all."""
+
+    def __init__(self, n: int, segments: Optional[Tuple[Any, ...]] = None):
+        self.n = n
+        self.segments: List[Any] = list(segments or [None] * n)
+
+    def apply(self, kind: str, argument: Any) -> Any:
+        if kind == "update":
+            index, value = argument
+            self.segments[index] = value
+            return None
+        if kind == "scan":
+            return tuple(self.segments)
+        raise ValueError(f"unknown snapshot operation {kind!r}")
+
+    def copy(self) -> "SnapshotSpec":
+        return SnapshotSpec(self.n, tuple(self.segments))
+
+
+def is_linearizable(
+    history: Sequence[Operation],
+    spec_factory: Callable[[], SequentialSpec],
+    max_nodes: int = 2_000_000,
+) -> Optional[List[Operation]]:
+    """Search for a linearization of ``history``.
+
+    Returns a witness order (a list of the operations in a legal sequential
+    order extending real-time precedence), or None when the history is not
+    linearizable.  Backtracking search in the style of Wing & Gong: at each
+    step, try every *minimal* pending operation (one not real-time-preceded
+    by another pending operation) whose result matches the spec.
+    """
+    operations = list(history)
+    n = len(operations)
+    preceded_by: List[List[int]] = [[] for _ in range(n)]
+    for i, a in enumerate(operations):
+        for j, b in enumerate(operations):
+            if i != j and a.precedes(b):
+                preceded_by[j].append(i)
+
+    chosen: List[int] = []
+    chosen_set: set = set()
+    nodes = 0
+
+    def backtrack(spec: SequentialSpec) -> bool:
+        nonlocal nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise RuntimeError("linearizability search budget exceeded")
+        if len(chosen) == n:
+            return True
+        for i in range(n):
+            if i in chosen_set:
+                continue
+            if any(j not in chosen_set for j in preceded_by[i]):
+                continue  # a predecessor is still pending
+            op = operations[i]
+            trial = spec.copy()
+            result = trial.apply(op.kind, op.argument)
+            if not _results_match(op, result):
+                continue
+            chosen.append(i)
+            chosen_set.add(i)
+            if backtrack(trial):
+                return True
+            chosen.pop()
+            chosen_set.remove(i)
+        return False
+
+    if backtrack(spec_factory()):
+        return [operations[i] for i in chosen]
+    return None
+
+
+def _results_match(op: Operation, spec_result: Any) -> bool:
+    """Writes/updates have no observable result; everything else must match."""
+    if op.kind in ("write", "update", "enqueue"):
+        return True
+    return op.result == spec_result
+
+
+def check_register_history(
+    history: Sequence[Operation], initial: Any = None
+) -> Optional[List[Operation]]:
+    return is_linearizable(history, lambda: RegisterSpec(initial))
+
+
+@dataclass
+class HistoryRecorder:
+    """Accumulates operations with a logical clock for harness use."""
+
+    clock: float = 0.0
+    operations: List[Operation] = field(default_factory=list)
+    _pending: Dict[Hashable, Tuple[str, Any, float]] = field(default_factory=dict)
+
+    def tick(self) -> float:
+        self.clock += 1.0
+        return self.clock
+
+    def invoke(self, process: Hashable, kind: str, argument: Any) -> None:
+        if process in self._pending:
+            raise ValueError(f"process {process!r} already has a pending operation")
+        self._pending[process] = (kind, argument, self.tick())
+
+    def respond(self, process: Hashable, result: Any) -> Operation:
+        kind, argument, invoked = self._pending.pop(process)
+        op = Operation(process, kind, argument, result, invoked, self.tick())
+        self.operations.append(op)
+        return op
+
+    @property
+    def history(self) -> List[Operation]:
+        return list(self.operations)

@@ -1,0 +1,192 @@
+"""Regular vs. atomic registers: Lamport's boundary (§2.3, [71]).
+
+Lamport's regular register guarantees only that a read overlapping a
+write returns the old or the new value; atomicity additionally forbids
+*new/old inversion* between consecutive reads.  His impossibility remark
+— atomic registers cannot be implemented from regular ones "unless the
+readers write" — is mechanized here as three machine-checked exhibits:
+
+1. :func:`inversion_history` — a regular register itself exhibits a
+   non-linearizable history (read 1 sees the new value, read 2 the old);
+
+2. :func:`SingleReaderMonotonic` — with ONE reader, sequence numbers plus
+   reader-local monotonicity already restore atomicity (checked over many
+   adversarial schedules): the impossibility is specifically about
+   multiple readers;
+
+3. :func:`two_reader_failure` — the same construction with TWO readers
+   (who do not write anything shared) is defeated: an adversarial flux
+   choice hands reader A the new value and reader B, later, the old one,
+   and no local bookkeeping can repair it — readers would have to write.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from .concurrent import RegisterSpace, ScheduledOp, run_concurrent
+from .history import Operation, RegisterSpec, is_linearizable
+
+REG = "r"
+
+
+# -- raw regular-register operations ----------------------------------------
+
+def raw_read(_argument: Any) -> Generator:
+    value = yield ("read", REG)
+    return value
+
+
+def raw_write(value: Any) -> Generator:
+    yield ("write", REG, value)
+    return None
+
+
+def inversion_history() -> List[Operation]:
+    """Produce the canonical new/old inversion on one regular register.
+
+    Writer begins writing 1 over 0; reader A reads during the write and is
+    given the new value; reader B reads later (still during the write) and
+    is given the old value.  Non-linearizable as an atomic register.
+    """
+    first_flux_read = {"served": 0}
+
+    def chooser(register, old, new):
+        first_flux_read["served"] += 1
+        return new if first_flux_read["served"] == 1 else old
+
+    space = RegisterSpace({REG: 0}, semantics="regular", flux_chooser=chooser)
+    ops = [
+        ScheduledOp("writer", "write", 1, raw_write),
+        ScheduledOp("readerA", "read", None, raw_read),
+        ScheduledOp("readerB", "read", None, raw_read),
+    ]
+    # Writer yields its write (flux opens); A reads (new); B reads (old);
+    # then everyone finishes.
+    schedule = ["writer", "readerA", "readerA", "readerB", "readerB", "writer"]
+    return run_concurrent(space, ops, schedule=schedule)
+
+
+# -- sequence-numbered construction, one reader -------------------------------
+
+class SingleReaderMonotonic:
+    """SRSW atomic register from a regular register.
+
+    The writer writes (seq, value); the reader remembers the highest
+    (seq, value) it has returned and never goes backwards.  With a single
+    reader this eliminates new/old inversion — reads are totally ordered
+    at one process, so monotonicity in seq is exactly atomicity.
+    """
+
+    def __init__(self):
+        self.last: Tuple[int, Any] = (0, None)
+
+    def write_impl(self, argument: Tuple[int, Any]) -> Generator:
+        yield ("write", REG, argument)
+        return None
+
+    def read_impl(self, _argument: Any) -> Generator:
+        seen = yield ("read", REG)
+        if seen[0] >= self.last[0]:
+            self.last = seen
+        return self.last[1]
+
+
+def single_reader_histories(
+    writes: int = 3, reads: int = 4, seeds: Sequence[int] = range(20)
+) -> List[List[Operation]]:
+    """Generate seeded adversarial histories of the SRSW construction."""
+    histories = []
+    for seed in seeds:
+        construction = SingleReaderMonotonic()
+        space = RegisterSpace({REG: (0, None)}, semantics="regular", seed=seed)
+        ops: List[ScheduledOp] = []
+        for k in range(writes):
+            ops.append(
+                ScheduledOp("writer", "write", (k + 1, f"v{k + 1}"),
+                            construction.write_impl)
+            )
+        for _ in range(reads):
+            ops.append(
+                ScheduledOp("reader", "read", None, construction.read_impl)
+            )
+        histories.append(run_concurrent(space, ops, seed=seed))
+    return histories
+
+
+def check_seq_register_history(history: Sequence[Operation]
+                               ) -> Optional[List[Operation]]:
+    """Linearizability against a register holding values, where writes carry
+    (seq, value) pairs but reads return bare values."""
+
+    class _Spec(RegisterSpec):
+        def apply(self, kind, argument):
+            if kind == "write":
+                self.value = argument[1]
+                return None
+            return self.value
+
+        def copy(self):
+            spec = _Spec()
+            spec.value = self.value
+            return spec
+
+    return is_linearizable(history, _Spec)
+
+
+# -- the two-reader failure ---------------------------------------------------
+
+class TwoReaderMonotonic:
+    """The same construction with two readers and no shared reader state.
+
+    Each reader keeps only private monotonic memory — readers do not
+    write.  Lamport's remark predicts failure, and
+    :func:`two_reader_failure` constructs it.
+    """
+
+    def __init__(self):
+        self.last: Dict[str, Tuple[int, Any]] = {}
+
+    def write_impl(self, argument: Tuple[int, Any]) -> Generator:
+        yield ("write", REG, argument)
+        return None
+
+    def make_read_impl(self, reader: str):
+        def read_impl(_argument: Any) -> Generator:
+            seen = yield ("read", REG)
+            last = self.last.get(reader, (0, None))
+            if seen[0] >= last[0]:
+                self.last[reader] = seen
+                return seen[1]
+            return last[1]
+
+        return read_impl
+
+
+def two_reader_failure() -> List[Operation]:
+    """A non-linearizable history of the two-reader construction.
+
+    During one write of (1, "new") over (0, "old"), reader A is served the
+    new value and reader B — whose entire read happens after A's — the old
+    one.  Neither reader's private memory can see the other's, so the
+    inversion stands.
+    """
+    calls = {"count": 0}
+
+    def chooser(register, old, new):
+        calls["count"] += 1
+        return new if calls["count"] == 1 else old
+
+    construction = TwoReaderMonotonic()
+    space = RegisterSpace(
+        {REG: (0, "old")}, semantics="regular", flux_chooser=chooser
+    )
+    ops = [
+        ScheduledOp("writer", "write", (1, "new"), construction.write_impl),
+        ScheduledOp("readerA", "read", None,
+                    construction.make_read_impl("readerA")),
+        ScheduledOp("readerB", "read", None,
+                    construction.make_read_impl("readerB")),
+    ]
+    schedule = ["writer", "readerA", "readerA", "readerB", "readerB", "writer"]
+    return run_concurrent(space, ops, schedule=schedule)

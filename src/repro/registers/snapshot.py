@@ -1,0 +1,88 @@
+"""Wait-free atomic snapshots from single-writer registers (§2.3).
+
+The atomic snapshot object — update your own segment, scan all segments
+atomically — is the survey's showcase of what *can* be built wait-free
+from plain registers (in contrast to consensus, which cannot; see
+:mod:`repro.registers.herlihy`).  This is the Afek–Attiya–Dolev–Gafni–
+Merritt–Shavit construction:
+
+* each segment register holds ``(seq, value, embedded_scan)``;
+* ``scan`` repeatedly double-collects; equal collects are a clean snapshot;
+* an updater performs a scan itself and embeds the result in its write, so
+  a scanner that sees the same updater move *twice* can borrow that
+  embedded scan — bounding every scan by O(n) collects: wait-freedom.
+
+Histories produced under seeded adversarial interleavings are checked
+against :class:`~repro.registers.history.SnapshotSpec` by the
+linearizability checker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from .concurrent import RegisterSpace, ScheduledOp
+from .history import Operation, SnapshotSpec, is_linearizable
+
+Segment = Tuple[int, Any, Optional[Tuple[Any, ...]]]  # (seq, value, embedded)
+
+
+def segment_name(i: int) -> str:
+    return f"seg{i}"
+
+
+def initial_registers(n: int, initial_value: Any = None) -> Dict[str, Segment]:
+    return {segment_name(i): (0, initial_value, None) for i in range(n)}
+
+
+class SnapshotObject:
+    """Operation implementations for the n-segment snapshot."""
+
+    def __init__(self, n: int):
+        self.n = n
+
+    def _collect(self) -> Generator:
+        values: List[Segment] = []
+        for i in range(self.n):
+            seg = yield ("read", segment_name(i))
+            values.append(seg)
+        return values
+
+    def scan_impl(self, _argument: Any) -> Generator:
+        moved = [0] * self.n
+        previous = yield from self._collect()
+        while True:
+            current = yield from self._collect()
+            if all(previous[i][0] == current[i][0] for i in range(self.n)):
+                return tuple(seg[1] for seg in current)
+            for i in range(self.n):
+                if previous[i][0] != current[i][0]:
+                    moved[i] += 1
+                    if moved[i] >= 2 and current[i][2] is not None:
+                        # The updater moved twice during our scan; its
+                        # embedded scan is linearizable within our window.
+                        return current[i][2]
+            previous = current
+
+    def update_impl(self, argument: Tuple[int, Any]) -> Generator:
+        index, value = argument
+        embedded = yield from self.scan_impl(None)
+        seg = yield ("read", segment_name(index))
+        seq = seg[0] + 1
+        yield ("write", segment_name(index), (seq, value, embedded))
+        return None
+
+    # -- convenience builders ------------------------------------------------
+
+    def scan_op(self, process) -> ScheduledOp:
+        return ScheduledOp(process, "scan", None, self.scan_impl)
+
+    def update_op(self, process, index: int, value: Any) -> ScheduledOp:
+        return ScheduledOp(process, "update", (index, value), self.update_impl)
+
+
+def check_snapshot_history(
+    history: Sequence[Operation], n: int, initial_value: Any = None
+) -> Optional[List[Operation]]:
+    """Linearizability of a snapshot history."""
+    return is_linearizable(history, lambda: SnapshotSpec(n, tuple([initial_value] * n)))

@@ -1,0 +1,79 @@
+"""Computing in rings and other networks (survey §2.4).
+
+Ring simulators (async and sync), the leader election algorithm zoo,
+the anonymous-ring symmetry argument, symmetric-ring message bounds and
+general-graph edge bounds.
+"""
+
+from .anonymous import (
+    AnonymousProtocol,
+    ItaiRodehProcess,
+    MaxTokenProtocol,
+    SilentProtocol,
+    SymmetryTrace,
+    itai_rodeh_election,
+    run_lockstep,
+    symmetry_certificate,
+)
+from .general_graphs import (
+    GraphElectionResult,
+    edge_involvement_series,
+    flooding_election,
+    hidden_node_demonstration,
+)
+from .hs import HSProcess, hs_election
+from .lcr import LCRProcess, best_case_ring, lcr_election, worst_case_ring
+from .lower_bounds import (
+    bit_reversal_ring,
+    message_series,
+    n_log_n,
+    order_equivalent_rotations,
+    order_equivalent_segments,
+    ring_election_certificate,
+)
+from .simulator import (
+    LEFT,
+    RIGHT,
+    RingProcess,
+    RingResult,
+    SyncRingProcess,
+    run_async_ring,
+    run_sync_ring,
+)
+from .timeslice import TimeSliceProcess, timeslice_election
+
+__all__ = [
+    "RingProcess",
+    "SyncRingProcess",
+    "RingResult",
+    "run_async_ring",
+    "run_sync_ring",
+    "LEFT",
+    "RIGHT",
+    "LCRProcess",
+    "lcr_election",
+    "worst_case_ring",
+    "best_case_ring",
+    "HSProcess",
+    "hs_election",
+    "TimeSliceProcess",
+    "timeslice_election",
+    "AnonymousProtocol",
+    "MaxTokenProtocol",
+    "SilentProtocol",
+    "SymmetryTrace",
+    "run_lockstep",
+    "symmetry_certificate",
+    "ItaiRodehProcess",
+    "itai_rodeh_election",
+    "bit_reversal_ring",
+    "order_equivalent_segments",
+    "order_equivalent_rotations",
+    "message_series",
+    "n_log_n",
+    "ring_election_certificate",
+    "flooding_election",
+    "GraphElectionResult",
+    "edge_involvement_series",
+    "hidden_node_demonstration",
+]

@@ -1,0 +1,255 @@
+"""Anonymous rings: Angluin's symmetry impossibility and the randomized
+escape (§2.4.1).
+
+In a ring of indistinguishable deterministic processes there is nothing to
+break the rotational symmetry: *"anything that one process can do, the
+others symmetric to it might do also."*  The mechanization is a
+constructive adversary over arbitrary protocols:
+:func:`symmetry_certificate` runs any deterministic anonymous protocol in
+lockstep and verifies the invariant that all processes remain in identical
+states forever — so if one declares itself leader, all do.
+
+Itai and Rodeh's randomized algorithm [66] breaks the symmetry with coin
+flips; :class:`ItaiRodehProcess` implements it (known ring size), and the
+tests measure its success probability and message cost.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..core.errors import ModelError
+from ..impossibility.certificate import ImpossibilityCertificate
+from .simulator import LEFT, RIGHT, Action, RingProcess, RingResult, run_async_ring
+
+
+class AnonymousProtocol(ABC):
+    """A deterministic protocol for anonymous ring processes.
+
+    All processes run the same code and start in the same state; the only
+    per-process information is the ring size (if ``knows_n``).
+    """
+
+    knows_n = True
+
+    @abstractmethod
+    def initial_state(self, n: int) -> Hashable:
+        """The common initial state."""
+
+    @abstractmethod
+    def step(
+        self, state: Hashable, received: Dict[str, Hashable]
+    ) -> Tuple[Hashable, Dict[str, Hashable], Optional[str]]:
+        """One lockstep round: (new state, messages by direction, verdict).
+
+        ``received`` maps direction to the message that arrived (absent =
+        silence).  ``verdict`` may be "leader" or "nonleader" or None.
+        """
+
+
+@dataclass
+class SymmetryTrace:
+    """The lockstep execution of an anonymous protocol."""
+
+    n: int
+    rounds: int
+    states_identical_throughout: bool
+    verdicts: List[Optional[str]]
+    final_state: Hashable
+
+
+def run_lockstep(protocol: AnonymousProtocol, n: int, rounds: int
+                 ) -> SymmetryTrace:
+    """Run the fully symmetric execution: all processes step together.
+
+    Because all processes start identical and the ring is rotation
+    symmetric, each round every process receives exactly what every other
+    receives (its neighbours are in the same state as everyone else's
+    neighbours); the trace records that the states stay equal — the
+    induction at the heart of Angluin's argument, checked concretely.
+    """
+    states: List[Hashable] = [protocol.initial_state(n) for _ in range(n)]
+    inboxes: List[Dict[str, Hashable]] = [{} for _ in range(n)]
+    verdicts: List[Optional[str]] = [None] * n
+    identical = True
+    for _round in range(rounds):
+        results = [
+            protocol.step(states[i], inboxes[i]) for i in range(n)
+        ]
+        new_inboxes: List[Dict[str, Hashable]] = [{} for _ in range(n)]
+        for i, (new_state, sends, verdict) in enumerate(results):
+            states[i] = new_state
+            if verdict is not None:
+                verdicts[i] = verdict
+            for direction, message in sends.items():
+                if message is None:
+                    continue
+                if direction == RIGHT:
+                    new_inboxes[(i + 1) % n][LEFT] = message
+                elif direction == LEFT:
+                    new_inboxes[(i - 1) % n][RIGHT] = message
+                else:
+                    raise ModelError(f"unknown direction {direction!r}")
+        inboxes = new_inboxes
+        if len(set(map(repr, states))) != 1:
+            identical = False
+            break
+    return SymmetryTrace(
+        n=n,
+        rounds=rounds,
+        states_identical_throughout=identical,
+        verdicts=verdicts,
+        final_state=states[0],
+    )
+
+
+def symmetry_certificate(
+    protocol: AnonymousProtocol, n: int, rounds: int = 200
+) -> ImpossibilityCertificate:
+    """Defeat any deterministic anonymous leader election protocol.
+
+    Runs the symmetric lockstep execution and checks the dichotomy: either
+    no process ever declares leadership (the protocol fails to elect), or
+    all n declare simultaneously (it elects n leaders).  Raises
+    :class:`ModelError` if symmetry was broken — impossible for a
+    deterministic protocol, so it indicates hidden nondeterminism.
+    """
+    trace = run_lockstep(protocol, n, rounds)
+    if not trace.states_identical_throughout:
+        raise ModelError(
+            "lockstep symmetry broke — the protocol is not deterministic "
+            "and anonymous as claimed"
+        )
+    leaders = sum(1 for v in trace.verdicts if v == "leader")
+    if leaders == 1:
+        raise ModelError("exactly one leader under symmetry — engine bug")
+    outcome = "no leader is ever declared" if leaders == 0 else (
+        f"all {leaders} processes declare themselves leader simultaneously"
+    )
+    return ImpossibilityCertificate(
+        claim=(
+            "deterministic anonymous leader election is impossible on a "
+            f"ring of {n}: under the symmetric schedule, {outcome}"
+        ),
+        scope=f"this protocol, lockstep schedule, {rounds} rounds",
+        technique="symmetry",
+        details={"leaders_declared": leaders, "rounds": trace.rounds},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deterministic candidates for the certificate to defeat
+# ---------------------------------------------------------------------------
+
+
+class MaxTokenProtocol(AnonymousProtocol):
+    """The natural attempt: circulate tokens, keep the 'largest' — but all
+    tokens are identical, so after n rounds everyone has seen only ties
+    and (per its rule) declares leadership."""
+
+    def initial_state(self, n):
+        return ("fresh", n, 0)
+
+    def step(self, state, received):
+        tag, n, age = state
+        verdict = None
+        sends: Dict[str, Hashable] = {}
+        if tag == "fresh":
+            sends[RIGHT] = ("token",)
+            state = ("waiting", n, 0)
+        elif tag == "waiting":
+            if LEFT in received:
+                age += 1
+                if age >= n:
+                    state = ("done", n, age)
+                    verdict = "leader"  # never beaten: claim victory
+                else:
+                    sends[RIGHT] = ("token",)
+                    state = ("waiting", n, age)
+        return state, sends, verdict
+
+
+class SilentProtocol(AnonymousProtocol):
+    """The degenerate candidate that never does anything."""
+
+    def initial_state(self, n):
+        return "idle"
+
+    def step(self, state, received):
+        return state, {}, None
+
+
+# ---------------------------------------------------------------------------
+# The randomized escape: Itai–Rodeh
+# ---------------------------------------------------------------------------
+
+
+class ItaiRodehProcess(RingProcess):
+    """Itai–Rodeh leader election with known ring size n.
+
+    Each phase, every active process draws a random ID from {1..id_space}
+    and sends it around with a hop counter and a "unique so far" bit.  A
+    process that sees its own token return with the bit intact and hop
+    count n wins; ties (the bit cleared) trigger another phase among the
+    maximal drawers.
+    """
+
+    def __init__(self, n: int, rng: random.Random, id_space: int = 2):
+        self.n = n
+        self.rng = rng
+        self.id_space = id_space
+        self.phase = 0
+        self.active = True
+        self.ident: Optional[int] = None
+        self.status = "unknown"
+
+    def _draw(self) -> List[Action]:
+        self.phase += 1
+        self.ident = self.rng.randint(1, self.id_space)
+        return [("send", RIGHT, ("token", self.phase, self.ident, 1, True))]
+
+    def on_start(self) -> List[Action]:
+        return self._draw()
+
+    def on_message(self, direction: str, message: Hashable) -> List[Action]:
+        kind = message[0]
+        if kind == "token":
+            _tag, phase, ident, hops, unique = message
+            if hops == self.n:
+                # The token is back home.
+                if not self.active:
+                    return []
+                if unique:
+                    self.status = "leader"
+                    self.active = False
+                    return [("leader",), ("send", RIGHT, ("elected",))]
+                return self._draw()  # tie: next phase
+            if not self.active:
+                return [("send", RIGHT, ("token", phase, ident, hops + 1, unique))]
+            # Compare against our current draw for this phase.
+            if phase > self.phase or (phase == self.phase and ident > self.ident):
+                self.active = False  # beaten: relay and drop out
+                return [("send", RIGHT, ("token", phase, ident, hops + 1, unique))]
+            if phase == self.phase and ident == self.ident:
+                # A tie with someone else's token: clear the bit.
+                return [("send", RIGHT, ("token", phase, ident, hops + 1, False))]
+            return []  # smaller token dies here
+        if kind == "elected":
+            if self.status == "unknown":
+                self.status = "nonleader"
+                return [("nonleader",), ("send", RIGHT, message)]
+            return []
+        return []
+
+
+def itai_rodeh_election(n: int, seed: int = 0, id_space: int = 2) -> RingResult:
+    """Run Itai–Rodeh on an anonymous ring of size n."""
+    rng = random.Random(seed)
+    processes = [
+        ItaiRodehProcess(n, random.Random(rng.randrange(2 ** 31)), id_space)
+        for _ in range(n)
+    ]
+    return run_async_ring(processes, seed=seed)

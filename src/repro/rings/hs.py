@@ -1,0 +1,79 @@
+"""Hirschberg–Sinclair leader election: O(n log n), matching Burns' bound.
+
+Bidirectional ring: a candidate in phase k probes distance 2^k in both
+directions; probes carrying a larger ID turn back as winners, otherwise
+die; a candidate that survives its own probes in both directions enters
+phase k+1; a probe returning to its originator from all the way around
+means victory.  Total messages O(n log n) — the matching upper bound to
+the Omega(n log n) lower bounds of §2.4.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from .simulator import LEFT, RIGHT, Action, RingProcess, RingResult, run_async_ring
+
+
+def _opposite(direction: str) -> str:
+    return LEFT if direction == RIGHT else RIGHT
+
+
+class HSProcess(RingProcess):
+    """One Hirschberg–Sinclair participant."""
+
+    def __init__(self, ident: Hashable):
+        self.ident = ident
+        self.status = "candidate"
+        self.phase = 0
+        self.replies_pending = 0
+
+    def _launch_phase(self) -> List[Action]:
+        self.replies_pending = 2
+        hops = 2 ** self.phase
+        probe_out = ("probe", self.ident, self.phase, hops)
+        return [("send", LEFT, probe_out), ("send", RIGHT, probe_out)]
+
+    def on_start(self) -> List[Action]:
+        return self._launch_phase()
+
+    def on_message(self, direction: str, message: Hashable) -> List[Action]:
+        kind = message[0]
+        if kind == "probe":
+            _tag, ident, phase, hops = message
+            if ident == self.ident:
+                # Our probe went all the way around: we win.
+                if self.status != "leader":
+                    self.status = "leader"
+                    return [("leader",), ("send", RIGHT, ("elected", self.ident))]
+                return []
+            if ident < self.ident:
+                return []  # swallowed: the probe loses here
+            if hops > 1:
+                return [("send", _opposite(direction), ("probe", ident, phase, hops - 1))]
+            # Probe survived its full distance: send it home as a winner.
+            return [("send", direction, ("reply", ident, phase))]
+        if kind == "reply":
+            _tag, ident, phase = message
+            if ident != self.ident:
+                return [("send", _opposite(direction), message)]
+            if phase != self.phase:
+                return []
+            self.replies_pending -= 1
+            if self.replies_pending == 0:
+                self.phase += 1
+                return self._launch_phase()
+            return []
+        if kind == "elected":
+            if message[1] != self.ident:
+                if self.status != "nonleader":
+                    self.status = "nonleader"
+                    return [("nonleader",), ("send", RIGHT, message)]
+                return []
+            return []
+        return []
+
+
+def hs_election(idents: List[Hashable], seed: int = 0) -> RingResult:
+    """Run Hirschberg–Sinclair on the given ID arrangement."""
+    return run_async_ring([HSProcess(i) for i in idents], seed=seed)

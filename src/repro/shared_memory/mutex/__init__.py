@@ -1,0 +1,41 @@
+"""Mutual exclusion: framework, algorithms and checkers (survey §2.1)."""
+
+from .bakery import BakeryProcess, bakery_system
+from .base import (
+    CRITICAL,
+    EXIT,
+    MutexProcess,
+    MutexSystem,
+    REGIONS,
+    REMAINDER,
+    TRYING,
+    region_of,
+)
+from .dijkstra import DijkstraProcess, dijkstra_system
+from .handoff_lock import HandoffLockProcess, handoff_lock_system
+from .peterson import PetersonProcess, peterson_system
+from .tas_semaphore import TasSemaphoreProcess, tas_semaphore_system
+from .tournament import TournamentProcess, tournament_system
+
+__all__ = [
+    "MutexProcess",
+    "MutexSystem",
+    "REMAINDER",
+    "TRYING",
+    "CRITICAL",
+    "EXIT",
+    "REGIONS",
+    "region_of",
+    "TasSemaphoreProcess",
+    "tas_semaphore_system",
+    "HandoffLockProcess",
+    "handoff_lock_system",
+    "PetersonProcess",
+    "peterson_system",
+    "DijkstraProcess",
+    "dijkstra_system",
+    "BakeryProcess",
+    "bakery_system",
+    "TournamentProcess",
+    "tournament_system",
+]

@@ -1,0 +1,111 @@
+"""Lamport's bakery algorithm: n-process FIFO mutual exclusion.
+
+The bakery algorithm achieves the strongest fairness in the mutual
+exclusion family — first-come-first-served by doorway order — using only
+single-writer read/write registers, at the cost of unbounded ticket
+numbers.  Because tickets grow without bound, its state space is infinite:
+the test suite verifies it by bounded exploration and long scheduled
+simulations rather than full reachability (the survey's point about
+counterexample algorithms cuts both ways — some correct algorithms are
+simply not finite-state).
+
+Shared variables per process i: ``choosing_i`` (0/1) and ``number_i``
+(ticket, 0 = not competing).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+from ...core.freeze import frozendict
+from ..variables import Access, read, write
+from .base import CRITICAL, MutexProcess, REMAINDER
+
+
+class BakeryProcess(MutexProcess):
+    """Participant i of the bakery algorithm among ``n`` processes."""
+
+    def __init__(self, name: str, index: int, n: int):
+        super().__init__(name)
+        self.index = index
+        self.n = n
+        self.others: Tuple[int, ...] = tuple(j for j in range(n) if j != index)
+
+    def initial_fields(self):
+        return {"pc": "idle", "scan": 0, "max": 0, "my_number": 0}
+
+    def doorway_complete(self, local):
+        # The bakery's doorway is ticket-taking; after it, service is FIFO.
+        return local["pc"] in ("wait_choosing", "wait_number")
+
+    def start_trying(self, local: frozendict) -> frozendict:
+        return local.set("pc", "set_choosing")
+
+    def trying_access(self, local: frozendict) -> Optional[Access]:
+        pc = local["pc"]
+        if pc == "set_choosing":
+            return write(f"choosing{self.index}", 1)
+        if pc == "scan_numbers":
+            return read(f"number{local['scan']}")
+        if pc == "take_number":
+            return write(f"number{self.index}", local["max"] + 1)
+        if pc == "clear_choosing":
+            return write(f"choosing{self.index}", 0)
+        if pc == "wait_choosing":
+            return read(f"choosing{self.others[local['scan']]}")
+        if pc == "wait_number":
+            return read(f"number{self.others[local['scan']]}")
+        raise AssertionError(f"unexpected pc {pc!r} in trying region")
+
+    def after_trying(self, local: frozendict, response: Hashable) -> frozendict:
+        pc = local["pc"]
+        if pc == "set_choosing":
+            return local.set("pc", "scan_numbers").set("scan", 0).set("max", 0)
+        if pc == "scan_numbers":
+            new_max = max(local["max"], response)
+            nxt = local["scan"] + 1
+            if nxt == self.n:
+                return local.set("pc", "take_number").set("max", new_max)
+            return local.set("scan", nxt).set("max", new_max)
+        if pc == "take_number":
+            return local.set("pc", "clear_choosing").set(
+                "my_number", local["max"] + 1
+            )
+        if pc == "clear_choosing":
+            return local.set("pc", "wait_choosing").set("scan", 0)
+        if pc == "wait_choosing":
+            if response == 0:
+                return local.set("pc", "wait_number")
+            return local  # spin until j finishes choosing
+        if pc == "wait_number":
+            j = self.others[local["scan"]]
+            mine = (local["my_number"], self.index)
+            theirs = (response, j)
+            if response == 0 or theirs > mine:
+                nxt = local["scan"] + 1
+                if nxt == len(self.others):
+                    return local.set("region", CRITICAL).set("pc", "idle")
+                return local.set("pc", "wait_choosing").set("scan", nxt)
+            return local  # j is ahead of us; spin
+        raise AssertionError(f"unexpected pc {pc!r}")
+
+    def start_exit(self, local: frozendict) -> frozendict:
+        return local.set("pc", "clear_number")
+
+    def exit_access(self, local: frozendict) -> Optional[Access]:
+        return write(f"number{self.index}", 0)
+
+    def after_exit(self, local: frozendict, response: Hashable) -> frozendict:
+        return local.set("region", REMAINDER).set("pc", "idle").set("my_number", 0)
+
+
+def bakery_system(n: int = 2):
+    """An ``n``-process bakery system."""
+    from .base import MutexSystem
+
+    processes = [BakeryProcess(f"p{i}", i, n) for i in range(n)]
+    memory = {}
+    for i in range(n):
+        memory[f"choosing{i}"] = 0
+        memory[f"number{i}"] = 0
+    return MutexSystem(processes, initial_memory=memory, name=f"bakery-{n}")

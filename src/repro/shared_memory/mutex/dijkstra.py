@@ -1,0 +1,109 @@
+"""Dijkstra's original n-process mutual exclusion algorithm [38].
+
+The 1965 algorithm the survey's §2.1 story begins with: the first shared
+memory mutual exclusion algorithm, guaranteeing mutual exclusion and
+deadlock-freedom with read/write registers — but *not* lockout-freedom.
+The starvation-cycle checker mechanically rediscovers the unfairness the
+later literature fixed (an admissible execution in which one process's
+requests are bypassed forever).
+
+Shared variables: ``turn`` and one three-valued flag per process
+(0 = passive, 1 = contending for turn, 2 = in the doorway).
+
+Per-process program (process i)::
+
+    start:  flag[i] := 1
+    loop:   read turn; if turn == i -> doorway
+            read flag[turn]; if 0 -> turn := i; goto loop  else goto loop
+    doorway: flag[i] := 2
+             for each j != i: read flag[j]; if 2 -> goto start
+             enter critical region
+    exit:   flag[i] := 0
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+from ...core.freeze import frozendict
+from ..variables import Access, read, write
+from .base import CRITICAL, MutexProcess, REMAINDER
+
+
+class DijkstraProcess(MutexProcess):
+    """Participant i of Dijkstra's algorithm among ``n`` processes."""
+
+    def __init__(self, name: str, index: int, n: int):
+        super().__init__(name)
+        self.index = index
+        self.n = n
+        self.others: Tuple[int, ...] = tuple(j for j in range(n) if j != index)
+
+    def initial_fields(self):
+        return {"pc": "idle", "t": None, "check": 0}
+
+    def start_trying(self, local: frozendict) -> frozendict:
+        return local.set("pc", "set_flag1")
+
+    def trying_access(self, local: frozendict) -> Optional[Access]:
+        pc = local["pc"]
+        if pc == "set_flag1":
+            return write(f"flag{self.index}", 1)
+        if pc == "read_turn":
+            return read("turn")
+        if pc == "read_flag_of_turn":
+            return read(f"flag{local['t']}")
+        if pc == "write_turn":
+            return write("turn", self.index)
+        if pc == "set_flag2":
+            return write(f"flag{self.index}", 2)
+        if pc == "check":
+            j = self.others[local["check"]]
+            return read(f"flag{j}")
+        raise AssertionError(f"unexpected pc {pc!r} in trying region")
+
+    def after_trying(self, local: frozendict, response: Hashable) -> frozendict:
+        pc = local["pc"]
+        if pc == "set_flag1":
+            return local.set("pc", "read_turn")
+        if pc == "read_turn":
+            if response == self.index:
+                return local.set("pc", "set_flag2")
+            return local.set("pc", "read_flag_of_turn").set("t", response)
+        if pc == "read_flag_of_turn":
+            if response == 0:
+                return local.set("pc", "write_turn").set("t", None)
+            return local.set("pc", "read_turn").set("t", None)
+        if pc == "write_turn":
+            return local.set("pc", "read_turn")
+        if pc == "set_flag2":
+            return local.set("pc", "check").set("check", 0)
+        if pc == "check":
+            if response == 2:
+                return local.set("pc", "set_flag1").set("check", 0)
+            nxt = local["check"] + 1
+            if nxt == len(self.others):
+                return (
+                    local.set("region", CRITICAL).set("pc", "idle").set("check", 0)
+                )
+            return local.set("check", nxt)
+        raise AssertionError(f"unexpected pc {pc!r}")
+
+    def start_exit(self, local: frozendict) -> frozendict:
+        return local.set("pc", "clear_flag")
+
+    def exit_access(self, local: frozendict) -> Optional[Access]:
+        return write(f"flag{self.index}", 0)
+
+    def after_exit(self, local: frozendict, response: Hashable) -> frozendict:
+        return local.set("region", REMAINDER).set("pc", "idle")
+
+
+def dijkstra_system(n: int = 2):
+    """An ``n``-process Dijkstra system (flags 0, turn 0)."""
+    from .base import MutexSystem
+
+    processes = [DijkstraProcess(f"p{i}", i, n) for i in range(n)]
+    memory = {f"flag{i}": 0 for i in range(n)}
+    memory["turn"] = 0
+    return MutexSystem(processes, initial_memory=memory, name=f"dijkstra-{n}")

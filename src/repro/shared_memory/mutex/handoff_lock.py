@@ -1,0 +1,116 @@
+"""A 4-valued test-and-set lock with direct handoff: fair 2-process mutex.
+
+This is the library's *counterexample algorithm* for the fairness side of
+the Cremers–Hibbard story (§2.1): with a single shared variable taking
+four values, two processes achieve mutual exclusion with bounded bypass
+(in fact bypass at most once), which the 2-valued semaphore provably
+cannot (see :mod:`repro.shared_memory.lower_bounds`).
+
+Variable values:
+
+* ``F`` — free;
+* ``L`` — locked, no waiter registered;
+* ``W0`` / ``Wi`` — locked, with process i registered as waiting.
+
+Protocol for process i (each arm is one atomic test-and-set):
+
+* trying, not registered:
+  ``F -> L`` acquire; ``L -> Wi`` register and wait;
+  ``W(1-i)`` cannot occur (the owner would have to be i itself).
+* trying, registered:  seeing ``Wi`` means the owner is still inside;
+  seeing ``L`` means the owner exited and handed the lock to me (only the
+  owner's handoff rewrites ``Wi`` to ``L``); seeing ``W(1-i)`` means I was
+  handed the lock *and* the other process has queued behind me.  In the
+  latter two cases, enter without changing the value.
+* exit: ``L -> F`` (nobody waiting) or ``W(1-i) -> L`` (hand the lock
+  directly to the registered waiter — the step a 2-valued variable has no
+  room to express).
+
+Model checking (tests/test_mutex.py) confirms mutual exclusion,
+deadlock-freedom and lockout-freedom over the full reachable space.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+from ...core.freeze import frozendict
+from ..variables import Access, tas
+from .base import CRITICAL, MutexProcess, REMAINDER
+
+F, L, W0, W1 = 0, 1, 2, 3
+
+
+class HandoffLockProcess(MutexProcess):
+    """Participant i of the 4-valued handoff lock (i must be 0 or 1)."""
+
+    VAR = "lock"
+
+    def __init__(self, name: str, index: int):
+        super().__init__(name)
+        if index not in (0, 1):
+            raise ValueError("the handoff lock is a 2-process algorithm")
+        self.index = index
+
+    def initial_fields(self):
+        return {"registered": False}
+
+    def doorway_complete(self, local: frozendict) -> bool:
+        # The doorway is the registering TAS: once registered, at most one
+        # more entry by the other process can precede ours.
+        return local["region"] == "try" and local["registered"]
+
+    # -- trying protocol ----------------------------------------------------
+
+    def _try_step(self, value: Hashable, arg: Hashable) -> Tuple[Hashable, Hashable]:
+        registered = arg
+        mine = W0 if self.index == 0 else W1
+        theirs = W1 if self.index == 0 else W0
+        if not registered:
+            if value == F:
+                return L, "acquired"
+            if value == L:
+                return mine, "registered"
+            # value == theirs cannot be reached while I am unregistered and
+            # trying (the owner would have to be me); value == mine likewise.
+            return value, "wait"
+        # Registered: L or theirs means the owner handed the lock to me.
+        if value == L:
+            return L, "granted"
+        if value == theirs:
+            return theirs, "granted"
+        return value, "wait"
+
+    def trying_access(self, local: frozendict) -> Optional[Access]:
+        return tas(self.VAR, self._try_step, arg=local["registered"],
+                   name=f"handoff-try-{self.index}")
+
+    def after_trying(self, local: frozendict, response: Hashable) -> frozendict:
+        if response in ("acquired", "granted"):
+            return local.set("region", CRITICAL).set("registered", False)
+        if response == "registered":
+            return local.set("registered", True)
+        return local
+
+    # -- exit protocol --------------------------------------------------------
+
+    def _exit_step(self, value: Hashable, arg: Hashable) -> Tuple[Hashable, Hashable]:
+        theirs = W1 if self.index == 0 else W0
+        if value == theirs:
+            return L, "handed-off"
+        return F, "released"
+
+    def exit_access(self, local: frozendict) -> Optional[Access]:
+        return tas(self.VAR, self._exit_step, name=f"handoff-exit-{self.index}")
+
+    def after_exit(self, local: frozendict, response: Hashable) -> frozendict:
+        return local.set("region", REMAINDER)
+
+
+def handoff_lock_system():
+    """The standard two-process handoff-lock system."""
+    from .base import MutexSystem
+
+    processes = [HandoffLockProcess("p0", 0), HandoffLockProcess("p1", 1)]
+    return MutexSystem(processes, initial_memory={HandoffLockProcess.VAR: F},
+                       name="handoff-lock")

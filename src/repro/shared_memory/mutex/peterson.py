@@ -1,0 +1,95 @@
+"""Peterson's two-process mutual exclusion algorithm (read/write registers).
+
+The classic demonstration that the Burns–Lynch bound (§2.1: n processes
+need at least n read/write variables) is tight for n = 2 up to a constant:
+Peterson uses three single-writer/multi-reader... in fact two flags plus a
+turn variable.  Mutual exclusion, deadlock-freedom and lockout-freedom all
+hold, and the model checker verifies each over the full reachable space.
+
+Per-process program (process i, other = 1-i)::
+
+    trying:  flag[i] := 1
+             turn    := other
+             repeat: read flag[other]; if 0 -> enter
+                     read turn;        if i -> enter
+    exit:    flag[i] := 0
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ...core.freeze import frozendict
+from ..variables import Access, read, write
+from .base import CRITICAL, MutexProcess, REMAINDER
+
+
+class PetersonProcess(MutexProcess):
+    """Participant i (0 or 1) of Peterson's algorithm."""
+
+    def __init__(self, name: str, index: int):
+        super().__init__(name)
+        if index not in (0, 1):
+            raise ValueError("Peterson's algorithm is a 2-process algorithm")
+        self.index = index
+        self.other = 1 - index
+
+    def initial_fields(self):
+        return {"pc": "idle"}
+
+    def doorway_complete(self, local: frozendict) -> bool:
+        # The doorway is flag := 1; turn := other.  After it, the other
+        # process can enter at most once more before we do.
+        return local["pc"] in ("read_flag", "read_turn")
+
+    def start_trying(self, local: frozendict) -> frozendict:
+        return local.set("pc", "set_flag")
+
+    def trying_access(self, local: frozendict) -> Optional[Access]:
+        pc = local["pc"]
+        if pc == "set_flag":
+            return write(f"flag{self.index}", 1)
+        if pc == "set_turn":
+            return write("turn", self.other)
+        if pc == "read_flag":
+            return read(f"flag{self.other}")
+        if pc == "read_turn":
+            return read("turn")
+        raise AssertionError(f"unexpected pc {pc!r} in trying region")
+
+    def after_trying(self, local: frozendict, response: Hashable) -> frozendict:
+        pc = local["pc"]
+        if pc == "set_flag":
+            return local.set("pc", "set_turn")
+        if pc == "set_turn":
+            return local.set("pc", "read_flag")
+        if pc == "read_flag":
+            if response == 0:
+                return local.set("region", CRITICAL).set("pc", "idle")
+            return local.set("pc", "read_turn")
+        if pc == "read_turn":
+            if response == self.index:
+                return local.set("region", CRITICAL).set("pc", "idle")
+            return local.set("pc", "read_flag")
+        raise AssertionError(f"unexpected pc {pc!r}")
+
+    def start_exit(self, local: frozendict) -> frozendict:
+        return local.set("pc", "clear_flag")
+
+    def exit_access(self, local: frozendict) -> Optional[Access]:
+        return write(f"flag{self.index}", 0)
+
+    def after_exit(self, local: frozendict, response: Hashable) -> frozendict:
+        return local.set("region", REMAINDER).set("pc", "idle")
+
+
+def peterson_system():
+    """The two-process Peterson system (flags initially 0, turn 0)."""
+    from .base import MutexSystem
+
+    processes = [PetersonProcess("p0", 0), PetersonProcess("p1", 1)]
+    return MutexSystem(
+        processes,
+        initial_memory={"flag0": 0, "flag1": 0, "turn": 0},
+        name="peterson",
+    )

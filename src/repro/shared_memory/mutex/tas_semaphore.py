@@ -1,0 +1,49 @@
+"""The 2-valued test-and-set semaphore.
+
+The positive half of Cremers–Hibbard's observation (§2.1): *"A 2-valued
+semaphore is plenty if there are no fairness requirements."*  This
+algorithm guarantees mutual exclusion and deadlock-freedom with a single
+binary variable, but admits lockout — the model checker exhibits the
+admissible execution in which one process's test-and-set always loses.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ...core.freeze import frozendict
+from ..variables import Access, binary_tas, write
+from .base import CRITICAL, MutexProcess, REMAINDER, TRYING
+
+
+class TasSemaphoreProcess(MutexProcess):
+    """Spin on ``binary-tas(lock)``; release by writing 0.
+
+    The shared variable ``lock`` takes exactly two values: 0 (free) and
+    1 (held).
+    """
+
+    VAR = "lock"
+
+    def trying_access(self, local: frozendict) -> Optional[Access]:
+        return binary_tas(self.VAR)
+
+    def after_trying(self, local: frozendict, response: Hashable) -> frozendict:
+        if response == 0:
+            return local.set("region", CRITICAL)
+        return local  # lost the race; keep spinning
+
+    def exit_access(self, local: frozendict) -> Optional[Access]:
+        return write(self.VAR, 0)
+
+    def after_exit(self, local: frozendict, response: Hashable) -> frozendict:
+        return local.set("region", REMAINDER)
+
+
+def tas_semaphore_system(n: int = 2):
+    """A system of ``n`` processes sharing one binary test-and-set lock."""
+    from .base import MutexSystem
+
+    processes = [TasSemaphoreProcess(f"p{i}") for i in range(n)]
+    return MutexSystem(processes, initial_memory={TasSemaphoreProcess.VAR: 0},
+                       name=f"tas-semaphore-{n}")

@@ -1,0 +1,67 @@
+"""Process interface for asynchronous shared-memory systems.
+
+A shared-memory process is a deterministic local machine.  At any local
+state it either
+
+* wants to perform one atomic :class:`~repro.shared_memory.variables.Access`
+  to a shared variable (``pending_access``), after which its local state is
+  updated with the response (``after_access``);
+* wants to emit an output action to its environment (``output_action`` /
+  ``after_output``) — e.g. "I am now in my critical region"; or
+* is idle (both return None) until an input action arrives.
+
+Input actions (requests from the environment) update the local state via
+``on_input``; a process ignores inputs it is not receptive to, which keeps
+the composed system input-enabled in the I/O-automaton sense.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Hashable, Optional
+
+from ..core.automaton import Action, State
+from .variables import Access
+
+
+class SharedMemoryProcess(ABC):
+    """A deterministic process in an asynchronous shared-memory system."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @abstractmethod
+    def initial_local(self) -> State:
+        """The process's initial local state (hashable)."""
+
+    @abstractmethod
+    def pending_access(self, local: State) -> Optional[Access]:
+        """The atomic access the process performs next, or None."""
+
+    @abstractmethod
+    def after_access(self, local: State, response: Hashable) -> State:
+        """Local state after receiving the access's response."""
+
+    def output_action(self, local: State) -> Optional[Action]:
+        """An output the process is ready to emit (takes priority over accesses)."""
+        return None
+
+    def after_output(self, local: State) -> State:
+        """Local state after emitting the pending output."""
+        raise NotImplementedError(f"{self.name} emitted an output it cannot handle")
+
+    def on_input(self, local: State, action: Action) -> Optional[State]:
+        """React to an input action; None means "not receptive, ignore"."""
+        return None
+
+    def input_actions(self) -> FrozenSet[Action]:
+        """The input actions addressed to this process."""
+        return frozenset()
+
+    def output_actions(self) -> FrozenSet[Action]:
+        """The output actions this process may emit."""
+        return frozenset()
+
+    def is_idle(self, local: State) -> bool:
+        """True when the process has no step to take."""
+        return self.pending_access(local) is None and self.output_action(local) is None

@@ -1,0 +1,167 @@
+"""Shared variables and the atomic operations processes apply to them.
+
+The survey's shared-memory results are parameterized by the *operation
+repertoire*: Cremers–Hibbard and Burns et al. assume powerful
+test-and-set primitives (one atomic access may read, compute and write);
+Burns–Lynch [27] and Loui–Abu-Amara [76] assume separate reads and writes,
+which is what makes mutual exclusion need n variables and consensus
+impossible.  Each repertoire is an :class:`Operation` here.
+
+An operation maps ``(current value, argument)`` to
+``(new value, response)`` atomically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+
+class Operation(ABC):
+    """An atomic operation on a single shared variable."""
+
+    name: str = "op"
+
+    @abstractmethod
+    def apply(self, value: Hashable, arg: Hashable) -> Tuple[Hashable, Hashable]:
+        """Return ``(new_value, response)``."""
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Read(Operation):
+    """Atomic read: leaves the value unchanged, responds with it."""
+
+    name = "read"
+
+    def apply(self, value: Hashable, arg: Hashable) -> Tuple[Hashable, Hashable]:
+        return value, value
+
+
+class Write(Operation):
+    """Atomic write: overwrites the value with the argument.
+
+    The response is None — and that *obliteration* (a writer destroys
+    whatever information was there, learning nothing) is precisely the
+    property the Burns–Lynch n-variable lower bound exploits.
+    """
+
+    name = "write"
+
+    def apply(self, value: Hashable, arg: Hashable) -> Tuple[Hashable, Hashable]:
+        return arg, None
+
+
+class TestAndSet(Operation):
+    """The general read-modify-write of Cremers–Hibbard.
+
+    One atomic access reads the value, computes, and writes back: the
+    transformation is ``func(value, arg) -> (new_value, response)``.
+    """
+
+    def __init__(self, func: Callable[[Hashable, Hashable], Tuple[Hashable, Hashable]],
+                 name: str = "test-and-set"):
+        self._func = func
+        self.name = name
+
+    def apply(self, value: Hashable, arg: Hashable) -> Tuple[Hashable, Hashable]:
+        return self._func(value, arg)
+
+
+class BinaryTestAndSet(Operation):
+    """Classic TAS on a 0/1 variable: set to 1, respond with the old value."""
+
+    name = "binary-tas"
+
+    def apply(self, value: Hashable, arg: Hashable) -> Tuple[Hashable, Hashable]:
+        return 1, value
+
+
+class FetchAndAdd(Operation):
+    """Atomically add the argument; respond with the previous value."""
+
+    name = "fetch-and-add"
+
+    def apply(self, value: Hashable, arg: Hashable) -> Tuple[Hashable, Hashable]:
+        return value + arg, value
+
+
+class CompareAndSwap(Operation):
+    """CAS(expected, new): install ``new`` iff the value equals ``expected``.
+
+    ``arg`` is the pair ``(expected, new)``; the response is the value seen
+    (so success is ``response == expected``).  Herlihy's universal object.
+    """
+
+    name = "compare-and-swap"
+
+    def apply(self, value: Hashable, arg: Hashable) -> Tuple[Hashable, Hashable]:
+        expected, new = arg
+        if value == expected:
+            return new, value
+        return value, value
+
+
+class Swap(Operation):
+    """Atomically exchange the value with the argument; respond with the old."""
+
+    name = "swap"
+
+    def apply(self, value: Hashable, arg: Hashable) -> Tuple[Hashable, Hashable]:
+        return arg, value
+
+
+READ = Read()
+WRITE = Write()
+BINARY_TAS = BinaryTestAndSet()
+FETCH_AND_ADD = FetchAndAdd()
+CAS = CompareAndSwap()
+SWAP = Swap()
+
+
+@dataclass(frozen=True)
+class Access:
+    """One pending atomic access: which variable, which operation, what arg.
+
+    Accesses are transient values produced by a process's control logic;
+    they never appear inside states, so the operation object need not be
+    hashable in any deep sense.
+    """
+
+    var: str
+    op: Operation
+    arg: Hashable = None
+
+    def perform(self, value: Hashable) -> Tuple[Hashable, Hashable]:
+        return self.op.apply(value, self.arg)
+
+
+def read(var: str) -> Access:
+    return Access(var, READ)
+
+
+def write(var: str, value: Hashable) -> Access:
+    return Access(var, WRITE, value)
+
+
+def tas(var: str, func: Callable[[Hashable, Hashable], Tuple[Hashable, Hashable]],
+        arg: Hashable = None, name: str = "test-and-set") -> Access:
+    return Access(var, TestAndSet(func, name=name), arg)
+
+
+def binary_tas(var: str) -> Access:
+    return Access(var, BINARY_TAS)
+
+
+def cas(var: str, expected: Hashable, new: Hashable) -> Access:
+    return Access(var, CAS, (expected, new))
+
+
+def fetch_and_add(var: str, delta) -> Access:
+    return Access(var, FETCH_AND_ADD, delta)
+
+
+def swap(var: str, value: Hashable) -> Access:
+    return Access(var, SWAP, value)

@@ -1,0 +1,91 @@
+"""Tests for anonymous-ring symmetry (E12) and general-graph bounds (E14)."""
+
+import networkx as nx
+import pytest
+
+from repro.core import ModelError
+from repro.rings import (
+    MaxTokenProtocol,
+    SilentProtocol,
+    edge_involvement_series,
+    flooding_election,
+    hidden_node_demonstration,
+    itai_rodeh_election,
+    run_lockstep,
+    symmetry_certificate,
+)
+
+
+class TestSymmetryArgument:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_max_token_elects_everyone(self, n):
+        cert = symmetry_certificate(MaxTokenProtocol(), n)
+        assert cert.details["leaders_declared"] == n
+
+    @pytest.mark.parametrize("n", [2, 4, 7])
+    def test_silent_protocol_elects_nobody(self, n):
+        cert = symmetry_certificate(SilentProtocol(), n)
+        assert cert.details["leaders_declared"] == 0
+
+    def test_states_remain_identical(self):
+        trace = run_lockstep(MaxTokenProtocol(), 6, rounds=50)
+        assert trace.states_identical_throughout
+
+    def test_certificate_technique(self):
+        cert = symmetry_certificate(MaxTokenProtocol(), 4)
+        assert cert.technique == "symmetry"
+
+
+class TestItaiRodeh:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_elects_exactly_one_leader(self, seed):
+        result = itai_rodeh_election(5, seed=seed)
+        assert result.election_complete
+
+    def test_larger_rings(self):
+        for seed in range(5):
+            result = itai_rodeh_election(9, seed=seed)
+            assert result.elected_exactly_one
+
+    def test_randomization_is_essential(self):
+        """Different seeds give different message counts — the coin flips
+        are doing the symmetry breaking the deterministic case cannot."""
+        counts = {itai_rodeh_election(5, seed=s).messages for s in range(8)}
+        assert len(counts) > 1
+
+
+class TestGeneralGraphs:
+    def graphs(self):
+        return {
+            "cycle-10": nx.cycle_graph(10),
+            "complete-7": nx.complete_graph(7),
+            "tree-15": nx.balanced_tree(2, 3),
+            "random-12": nx.connected_watts_strogatz_graph(12, 4, 0.3, seed=5),
+        }
+
+    def test_all_edges_involved(self):
+        series = edge_involvement_series(self.graphs())
+        for name, (messages, edges, involved) in series.items():
+            assert involved, name
+            assert messages >= edges, name
+
+    def test_spanning_tree_built(self):
+        for name, graph in self.graphs().items():
+            result = flooding_election(graph, seed=1)
+            assert result.tree_is_spanning(graph), name
+
+    def test_leader_is_maximum(self):
+        graph = nx.complete_graph(6)
+        assert flooding_election(graph).leader == 5
+
+    def test_disconnected_rejected(self):
+        graph = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(ModelError):
+            flooding_election(graph)
+
+    def test_hidden_node_argument(self):
+        """Skipping an edge makes two different worlds indistinguishable."""
+        answer_small, answer_big = hidden_node_demonstration(n_path=4)
+        assert answer_small == answer_big
+        # Yet the true maxima differ: 3 in the path, 4 in the extension.
+        assert answer_small != 3 or answer_big != 4

@@ -1,0 +1,70 @@
+"""Tests for approximate agreement and its convergence rate (E5)."""
+
+import pytest
+
+from repro.consensus import (
+    ApproximateAgreement,
+    convergence_ratio,
+    honest_range,
+    reduce_values,
+    run_synchronous,
+    stretching_adversary,
+)
+
+
+class TestReduce:
+    def test_trims_both_ends(self):
+        assert reduce_values([5, 1, 9, 3, 7], t=1) == [3, 5, 7]
+
+    def test_trim_two(self):
+        assert reduce_values([1, 2, 3, 4, 5, 6, 7], t=2) == [3, 4, 5]
+
+    def test_degenerate_small_list(self):
+        assert reduce_values([1, 2], t=1) == [1, 2]
+
+    def test_no_trim(self):
+        assert reduce_values([2, 1], t=0) == [1, 2]
+
+
+class TestConvergence:
+    def test_fault_free_one_round_converges_fully(self):
+        run = run_synchronous(ApproximateAgreement(1), [0.0, 1.0, 0.5, 0.25], t=0)
+        assert honest_range(run) == pytest.approx(0.0)
+
+    def test_range_shrinks_every_round(self):
+        ranges = []
+        for k in (1, 2, 3, 4):
+            final, ratio, _bound = convergence_ratio(n=7, t=1, k=k)
+            ranges.append(final)
+        assert all(b < a for a, b in zip(ranges, ranges[1:]))
+
+    def test_validity_stays_in_input_range(self):
+        run = run_synchronous(ApproximateAgreement(3), [0.0, 1.0, 0.4, 0.9], t=0)
+        for value in run.decisions.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_exponential_in_k(self):
+        """Convergence is geometric: ratio at 2k is about ratio at k squared."""
+        _f1, r2, _ = convergence_ratio(n=7, t=1, k=2)
+        _f2, r4, _ = convergence_ratio(n=7, t=1, k=4)
+        assert r4 <= r2 * r2 * 10  # generous slack; shape, not constants
+
+    def test_larger_t_converges_slower(self):
+        _f, ratio_t1, _ = convergence_ratio(n=10, t=1, k=3)
+        _f, ratio_t2, _ = convergence_ratio(n=10, t=2, k=3)
+        assert ratio_t2 >= ratio_t1
+
+    def test_requires_n_over_3t(self):
+        with pytest.raises(ValueError):
+            convergence_ratio(n=3, t=1, k=1)
+
+    def test_byzantine_cannot_drag_outside_range(self):
+        """With trimming, t Byzantine extremes cannot push honest values
+        outside the honest input range."""
+        adversary = stretching_adversary([6], low=-100.0, high=100.0)
+        run = run_synchronous(
+            ApproximateAgreement(2), [0.0, 1.0, 0.2, 0.8, 0.5, 0.3, 0.0],
+            adversary=adversary, t=1,
+        )
+        for pid in run.honest_pids:
+            assert 0.0 <= run.decisions[pid] <= 1.0

@@ -1,0 +1,59 @@
+"""Tests for Ben-Or randomized consensus: safety always, liveness w.p. 1."""
+
+import pytest
+
+from repro.asynchronous import run_ben_or, termination_statistics
+from repro.core import ModelError
+
+
+class TestSafety:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_agreement_under_random_schedules(self, seed):
+        result = run_ben_or(3, 1, [0, 1, seed % 2], seed=seed)
+        assert result.agreement
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agreement_with_crash(self, seed):
+        result = run_ben_or(
+            5, 2, [0, 1, 0, 1, 1], seed=seed,
+            crash_plan={4: 3 * seed, 3: 7 * seed + 1},
+        )
+        assert result.agreement
+
+    def test_validity_unanimous_inputs(self):
+        for v in (0, 1):
+            result = run_ben_or(4, 1, [v] * 4, seed=9)
+            assert result.validity
+            live = [p for p in range(4) if p not in result.crashed]
+            assert all(result.decisions[p] == v for p in live)
+
+    def test_unanimous_decides_in_first_phase(self):
+        result = run_ben_or(4, 1, [1, 1, 1, 1], seed=3)
+        live = [p for p in range(4) if p not in result.crashed]
+        assert all(result.phases[p] == 1 for p in live)
+
+
+class TestLiveness:
+    def test_high_decision_rate(self):
+        stats = termination_statistics(4, 1, trials=30)
+        assert stats["decided_fraction"] >= 0.9
+
+    def test_reproducible(self):
+        a = run_ben_or(3, 1, [0, 1, 1], seed=42)
+        b = run_ben_or(3, 1, [0, 1, 1], seed=42)
+        assert a.decisions == b.decisions
+        assert a.events == b.events
+
+    def test_different_seeds_vary_schedule(self):
+        events = {run_ben_or(3, 1, [0, 1, 1], seed=s).events for s in range(6)}
+        assert len(events) > 1
+
+
+class TestContract:
+    def test_rejects_overpowered_adversary(self):
+        with pytest.raises(ModelError):
+            run_ben_or(3, 1, [0, 1, 1], crash_plan={0: 1, 1: 2})
+
+    def test_rejects_wrong_input_count(self):
+        with pytest.raises(ModelError):
+            run_ben_or(3, 1, [0, 1])

@@ -1,0 +1,160 @@
+"""Unit tests for the certificate layer and the generic bivalence engine."""
+
+import pytest
+
+from repro.core import CertificateError, SearchBudgetExceeded
+from repro.impossibility import (
+    BoundCertificate,
+    CounterexampleCertificate,
+    FailureWitness,
+    ImpossibilityCertificate,
+    StallingAdversary,
+    ValencyAnalyzer,
+)
+
+
+class TestFailureWitness:
+    def test_revalidate_passes(self):
+        FailureWitness("cand", "prop", replay=lambda: True).revalidate()
+
+    def test_revalidate_fails(self):
+        witness = FailureWitness("cand", "prop", replay=lambda: False)
+        with pytest.raises(CertificateError):
+            witness.revalidate()
+
+    def test_no_replay_is_vacuous(self):
+        FailureWitness("cand", "prop").revalidate()
+
+
+class TestCertificates:
+    def test_impossibility_summary_mentions_scope(self):
+        cert = ImpossibilityCertificate(
+            claim="X is impossible", scope="bounded class", technique="pigeonhole",
+            candidates_checked=10,
+        )
+        summary = cert.summary()
+        assert "bounded class" in summary and "pigeonhole" in summary
+
+    def test_impossibility_revalidation_cascades(self):
+        cert = ImpossibilityCertificate(
+            claim="c", scope="s", technique="t",
+            witnesses=[FailureWitness("x", "p", replay=lambda: False)],
+        )
+        with pytest.raises(CertificateError):
+            cert.revalidate()
+
+    def test_counterexample_replay(self):
+        cert = CounterexampleCertificate(
+            claim="c", technique="t", replay=lambda: False
+        )
+        with pytest.raises(CertificateError):
+            cert.revalidate()
+
+    def test_bound_certificate_lower_direction(self):
+        cert = BoundCertificate(
+            claim="c", technique="t",
+            series={4: 10.0}, bound={4: 8.0}, direction="lower",
+        )
+        assert cert.holds()
+        cert.series[4] = 7.0
+        assert not cert.holds()
+        with pytest.raises(CertificateError):
+            cert.revalidate()
+
+    def test_bound_certificate_upper_direction(self):
+        cert = BoundCertificate(
+            claim="c", technique="t",
+            series={4: 7.0}, bound={4: 8.0}, direction="upper",
+        )
+        assert cert.holds()
+        cert.series[4] = 9.0
+        assert not cert.holds()
+
+    def test_bound_certificate_ignores_unbounded_points(self):
+        cert = BoundCertificate(
+            claim="c", technique="t", series={4: 1.0, 5: 2.0}, bound={4: 0.5},
+        )
+        assert cert.holds()
+
+
+class _DiamondSystem:
+    """Toy decision system: C -> (A -> decide 0 | B -> decide 1), plus a
+    self-loop at C for process 1 to exercise cycle handling."""
+
+    processes = (0, 1)
+    values = (0, 1)
+    _graph = {
+        "C": {("a", 0): "A", ("b", 0): "B", ("loop", 1): "C"},
+        "A": {("fin", 1): "A!"},
+        "B": {("fin", 1): "B!"},
+        "A!": {},
+        "B!": {},
+    }
+    _decided = {"A!": {0: 0, 1: 0}, "B!": {0: 1, 1: 1}}
+
+    def initial_configurations(self):
+        return ["C"]
+
+    def events(self, config):
+        return list(self._graph[config])
+
+    def owner(self, event):
+        return event[1]
+
+    def apply(self, config, event):
+        return self._graph[config][event]
+
+    def decisions(self, config):
+        return self._decided.get(config, {})
+
+    def decided_values(self, config):
+        return frozenset(self.decisions(config).values())
+
+    def fair_events(self, config):
+        owed = {}
+        for event in self.events(config):
+            owed.setdefault(self.owner(event), event)
+        return owed
+
+
+class TestValencyEngine:
+    def test_valency_through_cycles(self):
+        analyzer = ValencyAnalyzer(_DiamondSystem())
+        assert analyzer.valency("C") == frozenset({0, 1})
+        assert analyzer.valency("A") == frozenset({0})
+        assert analyzer.valency("B") == frozenset({1})
+
+    def test_classification_helpers(self):
+        analyzer = ValencyAnalyzer(_DiamondSystem())
+        assert analyzer.is_bivalent("C")
+        assert analyzer.is_univalent("A")
+        assert analyzer.bivalent_initial_configuration() == "C"
+
+    def test_memoization_shares_work(self):
+        analyzer = ValencyAnalyzer(_DiamondSystem())
+        analyzer.valency("C")
+        # Everything reachable is now cached.
+        assert "A!" in analyzer._valency_cache
+        assert analyzer.valency("B") == frozenset({1})
+
+    def test_budget_enforced(self):
+        analyzer = ValencyAnalyzer(_DiamondSystem(), max_configurations=2)
+        with pytest.raises(SearchBudgetExceeded):
+            analyzer.valency("C")
+
+    def test_no_agreement_violation_in_diamond(self):
+        analyzer = ValencyAnalyzer(_DiamondSystem())
+        assert analyzer.find_agreement_violation() is None
+
+    def test_stalling_on_the_diamond_finds_the_decider(self):
+        """Process 0 is a Bridgeland–Watro decider at C: it alone chooses
+        between the 0-valent and 1-valent successors.  The adversary can
+        loop process 1 forever, but an obligation of process 0 cannot be
+        discharged while staying bivalent — and the diagnosis names it."""
+        analyzer = ValencyAnalyzer(_DiamondSystem())
+        adversary = StallingAdversary(analyzer)
+        result = adversary.run("C", stages=6)
+        assert not result.stayed_bivalent
+        assert result.decider is not None
+        assert result.decider.process == 0
+        assert set(result.decider.schedule_to) == {0, 1}

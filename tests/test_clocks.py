@@ -1,0 +1,125 @@
+"""Tests for logical clocks and the clock synchronization bound (E10)."""
+
+import pytest
+
+from repro.clocks import (
+    Computation,
+    Event,
+    check_clock_condition,
+    check_vector_condition,
+    do_nothing_algorithm,
+    follow_zero_algorithm,
+    lundelius_lynch_algorithm,
+    optimal_bound,
+    run_clock_sync,
+    shifted_executions,
+    stretching_bound,
+    vector_less,
+    worst_case_skew,
+)
+from repro.core import ModelError
+
+
+def diamond_computation():
+    """p sends m1 to q; q sends m2 to p; plus local events."""
+    return Computation([
+        Event("p", 0, "send", "m1"),
+        Event("p", 1, "local"),
+        Event("p", 2, "recv", "m2"),
+        Event("q", 0, "recv", "m1"),
+        Event("q", 1, "send", "m2"),
+    ])
+
+
+class TestHappensBefore:
+    def test_program_order(self):
+        c = diamond_computation()
+        e = c.process_events("p")
+        assert c.happens_before(e[0], e[1])
+        assert not c.happens_before(e[1], e[0])
+
+    def test_message_order(self):
+        c = diamond_computation()
+        send = c.process_events("p")[0]
+        recv = c.process_events("q")[0]
+        assert c.happens_before(send, recv)
+
+    def test_transitivity_through_messages(self):
+        c = diamond_computation()
+        first_send = c.process_events("p")[0]
+        final_recv = c.process_events("p")[2]
+        assert c.happens_before(first_send, final_recv)
+
+    def test_concurrency(self):
+        c = diamond_computation()
+        p_local = c.process_events("p")[1]
+        q_recv = c.process_events("q")[0]
+        assert c.concurrent(p_local, q_recv)
+
+    def test_invalid_computations_rejected(self):
+        with pytest.raises(ModelError):
+            Computation([Event("p", 0, "recv", "ghost")])
+        with pytest.raises(ModelError):
+            Computation([
+                Event("p", 0, "send", "m"),
+                Event("q", 0, "send", "m"),
+            ])
+        with pytest.raises(ModelError):
+            Computation([Event("p", 1, "local")])  # wrong index
+
+
+class TestClocks:
+    def test_lamport_clock_condition(self):
+        assert check_clock_condition(diamond_computation())
+
+    def test_vector_clock_biconditional(self):
+        assert check_vector_condition(diamond_computation())
+
+    def test_lamport_clocks_are_weaker_than_vector(self):
+        """Lamport timestamps order some concurrent events; vectors don't."""
+        c = diamond_computation()
+        stamps = c.lamport_timestamps()
+        clocks = c.vector_clocks()
+        p_local = c.process_events("p")[1]
+        q_send = c.process_events("q")[1]
+        assert c.concurrent(p_local, q_send)
+        assert stamps[p_local] != stamps[q_send] or True  # may be ordered
+        assert not vector_less(clocks[p_local], clocks[q_send])
+        assert not vector_less(clocks[q_send], clocks[p_local])
+
+
+class TestClockSync:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_lundelius_lynch_achieves_the_bound_exactly(self, n):
+        assert worst_case_skew(lundelius_lynch_algorithm, n) == pytest.approx(
+            optimal_bound(n)
+        )
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_follow_zero_is_suboptimal(self, n):
+        assert worst_case_skew(follow_zero_algorithm, n) == pytest.approx(1.0)
+        assert worst_case_skew(follow_zero_algorithm, n) > optimal_bound(n)
+
+    def test_shifted_executions_indistinguishable(self):
+        run_a, run_b = shifted_executions(lundelius_lynch_algorithm, 3, 1.0, 0)
+        assert run_a.observations == run_b.observations
+        assert run_a.corrections == run_b.corrections  # same inputs, same outputs
+        # Yet the true offsets differ by epsilon for the shifted process.
+        assert run_b.offsets[0] - run_a.offsets[0] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [lundelius_lynch_algorithm, follow_zero_algorithm, do_nothing_algorithm],
+    )
+    def test_stretching_forces_half_epsilon_on_any_algorithm(self, algorithm):
+        assert stretching_bound(algorithm, 3, 1.0) >= 0.5 - 1e-9
+
+    def test_skew_computation(self):
+        delays = {(i, j): 0.5 for i in range(2) for j in range(2) if i != j}
+        run = run_clock_sync(do_nothing_algorithm, [0.0, 0.3], delays, 1.0)
+        assert run.skew == pytest.approx(0.3)
+
+    def test_delays_validated(self):
+        delays = {(0, 1): 2.0, (1, 0): 0.0}
+        with pytest.raises(ModelError):
+            run_clock_sync(do_nothing_algorithm, [0.0, 0.0], delays, 1.0)

@@ -1,0 +1,96 @@
+"""Tests for the commit problem and the Dwork–Skeen message bound (E8)."""
+
+import itertools
+
+import pytest
+
+from repro.consensus import (
+    ABORT,
+    BrokenCommit,
+    COMMIT,
+    DecentralizedCommit,
+    TwoPhaseCommit,
+    commit_rule_holds,
+    dwork_skeen_series,
+    failure_free_commit_run,
+    information_paths_complete,
+    message_count,
+    run_synchronous,
+)
+
+
+class TestTwoPhaseCommit:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_all_commit(self, n):
+        run = failure_free_commit_run(TwoPhaseCommit(), n)
+        assert set(run.decisions.values()) == {COMMIT}
+        assert commit_rule_holds(run)
+
+    @pytest.mark.parametrize("inputs", [(1, 0, 1), (0, 1, 1), (1, 1, 0)])
+    def test_any_abort_vote_aborts(self, inputs):
+        run = run_synchronous(TwoPhaseCommit(), list(inputs), t=0)
+        assert set(run.decisions.values()) == {ABORT}
+        assert commit_rule_holds(run)
+
+    def test_exhaustive_commit_rule(self):
+        for n in (2, 3, 4):
+            for inputs in itertools.product((0, 1), repeat=n):
+                run = run_synchronous(TwoPhaseCommit(), list(inputs), t=0)
+                assert commit_rule_holds(run), inputs
+
+    @pytest.mark.parametrize("n", [2, 3, 6, 10])
+    def test_meets_dwork_skeen_bound_exactly(self, n):
+        run = failure_free_commit_run(TwoPhaseCommit(), n)
+        assert message_count(run) == 2 * n - 2
+
+    def test_information_paths_complete_on_commit(self):
+        run = failure_free_commit_run(TwoPhaseCommit(), 4)
+        complete, missing = information_paths_complete(run)
+        assert complete, missing
+
+
+class TestDecentralizedCommit:
+    def test_correct_but_quadratic(self):
+        n = 4
+        run = failure_free_commit_run(DecentralizedCommit(), n)
+        assert set(run.decisions.values()) == {COMMIT}
+        assert message_count(run) == n * (n - 1)
+        complete, _ = information_paths_complete(run)
+        assert complete
+
+    def test_exhaustive_commit_rule(self):
+        for inputs in itertools.product((0, 1), repeat=4):
+            run = run_synchronous(DecentralizedCommit(), list(inputs), t=0)
+            assert commit_rule_holds(run)
+
+
+class TestBrokenCommit:
+    """Dropping below 2n-2 messages breaks the commit rule exactly as the
+    path argument predicts."""
+
+    def test_saves_a_message(self):
+        n = 4
+        run = failure_free_commit_run(BrokenCommit(), n)
+        assert message_count(run) == 2 * n - 3
+
+    def test_commit_rule_violated(self):
+        n = 4
+        # The ignored process (n-1) votes abort; commit happens anyway.
+        inputs = [1] * (n - 1) + [0]
+        run = run_synchronous(BrokenCommit(), inputs, t=0)
+        assert not commit_rule_holds(run)
+        assert run.decisions[0] == COMMIT
+
+    def test_missing_information_path_is_the_cause(self):
+        run = failure_free_commit_run(BrokenCommit(), 4)
+        complete, missing = information_paths_complete(run)
+        assert not complete
+        # Exactly the ignored process's information never reaches anyone.
+        assert all(src == 3 for src, _dest in missing)
+
+
+class TestSeries:
+    def test_dwork_skeen_series_shape(self):
+        series = dwork_skeen_series(TwoPhaseCommit(), [2, 4, 8])
+        for n, (measured, bound) in series.items():
+            assert measured == bound == 2 * n - 2

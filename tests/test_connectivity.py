@@ -1,0 +1,62 @@
+"""Tests for the Byzantine connectivity bound (E22, §2.2.1, Dolev [39])."""
+
+import pytest
+
+from repro.consensus import (
+    FloodVote,
+    connectivity_certificate,
+    connectivity_scenarios,
+    run_cycle,
+    run_spliced_cycle,
+)
+
+
+class TestFloodVoteOnTheCycle:
+    def test_fault_free_agreement(self):
+        run = run_cycle(FloodVote(), {"A": 0, "B": 1, "C": 1, "D": 0})
+        decisions = set(run.decisions.values())
+        assert len(decisions) == 1
+
+    def test_fault_free_validity(self):
+        for v in (0, 1):
+            run = run_cycle(FloodVote(), {n: v for n in "ABCD"})
+            assert set(run.decisions.values()) == {v}
+
+    def test_silent_byzantine_survived(self):
+        """With a merely silent faulty node (not a splice adversary),
+        flood-vote still agrees — the splice is doing real work."""
+        run = run_cycle(
+            FloodVote(), {"A": 1, "B": 1, "C": 1, "D": 0},
+            faulty="D", script={},
+        )
+        honest = {run.decisions[n] for n in ("A", "B", "C")}
+        assert honest == {1}
+
+
+class TestSplice:
+    def test_spliced_cycle_has_eight_nodes(self):
+        spliced = run_spliced_cycle(FloodVote())
+        assert len(spliced.decisions) == 8
+
+    def test_scenarios_views_verified(self):
+        # The engine raises on any view mismatch; three scenarios returned
+        # means the splice is exact.
+        scenarios = connectivity_scenarios(FloodVote())
+        assert len(scenarios) == 3
+
+    def test_validity_scenarios_pass_agreement_fails(self):
+        scenarios = {s.requirement: s.holds for s in
+                     connectivity_scenarios(FloodVote())}
+        assert scenarios["validity-0"]
+        assert scenarios["validity-1"]
+        assert not scenarios["agreement"]
+
+    def test_certificate(self):
+        cert = connectivity_certificate(FloodVote())
+        assert cert.technique == "scenario (connectivity splice)"
+        assert cert.witnesses
+        witness_run = cert.witnesses[0].evidence
+        # The witness is a genuine run of the real 4-cycle with B faulty
+        # in which A and C decide differently.
+        assert witness_run.faulty == "B"
+        assert witness_run.decisions["A"] != witness_run.decisions["C"]

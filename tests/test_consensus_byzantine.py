@@ -1,0 +1,195 @@
+"""Tests for Byzantine agreement: EIG, Phase King, Dolev–Strong, and the
+ring-splice impossibility engine (E3)."""
+
+import itertools
+
+import pytest
+
+from repro.consensus import (
+    ByzantineAdversary,
+    DolevStrong,
+    EIGByzantine,
+    EquivocatingSender,
+    LateRevealRelay,
+    PhaseKing,
+    balanced_three_partition,
+    byzantine_scenarios,
+    flm_certificate,
+    run_spliced_ring,
+    run_synchronous,
+)
+from repro.core import ModelError
+
+
+def equivocator(faulty_pid, value_for_even=0, value_for_odd=1):
+    """A Byzantine process reporting different inputs to different peers."""
+
+    def behaviour(rnd, src, dest, honest):
+        if rnd == 1:
+            return (((), value_for_even if dest % 2 == 0 else value_for_odd),)
+        return honest
+
+    return ByzantineAdversary([faulty_pid], behaviour)
+
+
+def silent(faulty_pid):
+    return ByzantineAdversary([faulty_pid], lambda r, s, d, m: None)
+
+
+class TestEIG:
+    @pytest.mark.parametrize("inputs", list(itertools.product((0, 1), repeat=4)))
+    def test_fault_free_agreement_and_validity(self, inputs):
+        run = run_synchronous(EIGByzantine(), list(inputs), t=1)
+        assert run.agreement_holds()
+        assert run.validity_holds()
+        assert run.all_honest_decided()
+
+    @pytest.mark.parametrize("inputs", [(0, 1, 0, 1), (1, 1, 1, 0), (0, 0, 0, 1)])
+    def test_survives_equivocator_n4_t1(self, inputs):
+        run = run_synchronous(
+            EIGByzantine(), list(inputs), adversary=equivocator(3), t=1
+        )
+        assert run.agreement_holds()
+        assert run.validity_holds()
+
+    def test_survives_silent_byzantine(self):
+        run = run_synchronous(
+            EIGByzantine(), [1, 1, 1, 0], adversary=silent(3), t=1
+        )
+        assert run.agreement_holds()
+        assert run.validity_holds()
+
+    def test_n7_t2_with_two_byzantine(self):
+        def behaviour(rnd, src, dest, honest):
+            return (((), dest % 2),) if rnd == 1 else None
+
+        adversary = ByzantineAdversary([5, 6], behaviour)
+        run = run_synchronous(EIGByzantine(), [1, 1, 1, 1, 1, 0, 0],
+                              adversary=adversary, t=2)
+        assert run.agreement_holds()
+        assert run.validity_holds()
+
+    def test_garbage_messages_treated_as_silence(self):
+        adversary = ByzantineAdversary([3], lambda r, s, d, m: "garbage")
+        run = run_synchronous(EIGByzantine(), [1, 1, 1, 0], adversary=adversary,
+                              t=1)
+        assert run.agreement_holds()
+
+
+class TestPhaseKing:
+    @pytest.mark.parametrize("inputs", list(itertools.product((0, 1), repeat=5)))
+    def test_fault_free(self, inputs):
+        run = run_synchronous(PhaseKing(), list(inputs), t=1)
+        assert run.agreement_holds()
+        assert run.validity_holds()
+
+    def test_survives_byzantine_n5_t1(self):
+        """n=5 > 4t with t=1."""
+        def behaviour(rnd, src, dest, honest):
+            return dest % 2
+
+        adversary = ByzantineAdversary([4], behaviour)
+        for inputs in [(0, 1, 0, 1, 0), (1, 1, 1, 1, 0), (0, 0, 0, 0, 1)]:
+            run = run_synchronous(PhaseKing(), list(inputs),
+                                  adversary=adversary, t=1)
+            assert run.agreement_holds()
+            assert run.validity_holds()
+
+    def test_survives_byzantine_king(self):
+        """The faulty process is a king in some phase and lies as one."""
+        def behaviour(rnd, src, dest, honest):
+            return dest % 2  # equivocate in votes and as king
+
+        adversary = ByzantineAdversary([0], behaviour)
+        run = run_synchronous(PhaseKing(), [0, 1, 1, 0, 1],
+                              adversary=adversary, t=1)
+        assert run.agreement_holds()
+
+
+class TestDolevStrong:
+    def test_honest_sender(self):
+        run = run_synchronous(DolevStrong(), [1, 0, 0, 0], t=1)
+        assert run.all_honest_decided()
+        assert set(run.honest_decisions().values()) == {1}
+
+    def test_equivocating_sender_still_agrees(self):
+        run = run_synchronous(
+            DolevStrong(), [0, 0, 0, 0], adversary=EquivocatingSender(0, 1), t=1
+        )
+        assert run.agreement_holds()
+        assert run.all_honest_decided()
+
+    def test_late_reveal_with_two_faults(self):
+        """Sender + relay colluding, t=2, 3 rounds: agreement survives
+        because the victim has a round left to relay the revelation."""
+        adversary = LateRevealRelay(relay=1, victim=2, value_a=0, value_b=1)
+        run = run_synchronous(DolevStrong(), [0, 0, 0, 0, 0],
+                              adversary=adversary, t=2)
+        assert run.agreement_holds()
+        assert run.all_honest_decided()
+        # Both values were extracted, so the decision is the default.
+        assert set(run.honest_decisions().values()) == {0}
+
+    def test_chain_validation(self):
+        from repro.consensus import chain_valid
+
+        assert chain_valid((1, (0,)), sender=0, rnd=1)
+        assert chain_valid((1, (0, 2)), sender=0, rnd=2)
+        assert not chain_valid((1, (2,)), sender=0, rnd=1)  # wrong root
+        assert not chain_valid((1, (0, 0)), sender=0, rnd=2)  # duplicate
+        assert not chain_valid((1, (0,)), sender=0, rnd=2)  # too short
+        assert not chain_valid("junk", sender=0, rnd=1)
+
+
+class TestRingSplice:
+    """E3: the Fischer–Lynch–Merritt argument, mechanized."""
+
+    def test_balanced_partition(self):
+        assert balanced_three_partition(3) == ((0,), (1,), (2,))
+        assert balanced_three_partition(7) == ((0, 1, 2), (3, 4), (5, 6))
+        with pytest.raises(ModelError):
+            balanced_three_partition(2)
+
+    def test_spliced_ring_runs_and_records(self):
+        spliced = run_spliced_ring(EIGByzantine(), n=3, t=1)
+        assert len(spliced.decisions) == 6
+        assert len(spliced.views) == 6
+        assert spliced.messages  # messages were recorded
+
+    def test_scenarios_views_match_hexagon(self):
+        """The engine itself checks view equality and raises on mismatch;
+        reaching the assertion list means the splice is exact."""
+        spliced = run_spliced_ring(EIGByzantine(), n=3, t=1)
+        scenarios = byzantine_scenarios(EIGByzantine(), spliced)
+        assert len(scenarios) == 3
+
+    def test_eig_defeated_at_n3_t1(self):
+        cert = flm_certificate(EIGByzantine(), n=3, t=1)
+        assert cert.witnesses
+        assert "n=3, t=1" in cert.claim
+
+    def test_eig_defeated_at_n6_t2(self):
+        cert = flm_certificate(EIGByzantine(), n=6, t=2)
+        assert cert.witnesses
+
+    def test_phase_king_defeated_at_n3_t1(self):
+        cert = flm_certificate(PhaseKing(), n=3, t=1)
+        assert cert.witnesses
+
+    def test_refuses_outside_impossibility_region(self):
+        with pytest.raises(ModelError):
+            flm_certificate(EIGByzantine(), n=4, t=1)
+
+    def test_defeated_scenario_is_a_real_run(self):
+        """The witness evidence is an execution of the true 3-process
+        system whose named requirement genuinely fails."""
+        cert = flm_certificate(EIGByzantine(), n=3, t=1)
+        witness = cert.witnesses[0]
+        run = witness.evidence
+        assert run.n == 3
+        if "validity-1" in witness.property_violated:
+            assert any(d != 1 for d in run.honest_decisions().values())
+        elif "validity-0" in witness.property_violated:
+            assert any(d != 0 for d in run.honest_decisions().values())
+        else:
+            assert len(set(run.honest_decisions().values())) > 1

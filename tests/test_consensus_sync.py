@@ -1,0 +1,97 @@
+"""Tests for the synchronous round model and crash-tolerant consensus."""
+
+import pytest
+
+from repro.consensus import (
+    CrashAdversary,
+    FloodSet,
+    NoFaults,
+    OmissionAdversary,
+    run_synchronous,
+)
+
+
+class TestSimulator:
+    def test_fault_free_floodset(self):
+        run = run_synchronous(FloodSet(), [0, 1, 1], t=1)
+        assert run.rounds_run == 2
+        assert run.all_honest_decided()
+        assert run.agreement_holds()
+        assert set(run.decisions.values()) == {0}  # min rule
+
+    def test_message_counts(self):
+        run = run_synchronous(FloodSet(), [0, 1, 1], t=1)
+        # Complete graph, 2 rounds: 3*2 messages per round.
+        assert run.messages_sent == 12
+        assert run.messages_delivered == 12
+
+    def test_views_record_deliveries(self):
+        run = run_synchronous(FloodSet(), [0, 1], t=0, rounds=1)
+        view0 = run.views[0]
+        assert view0.input_value == 0
+        assert len(view0.rounds) == 1
+        assert set(view0.rounds[0]) == {1}
+
+    def test_indistinguishability_of_identical_runs(self):
+        run_a = run_synchronous(FloodSet(), [0, 1, 1], t=1)
+        run_b = run_synchronous(FloodSet(), [0, 1, 1], t=1)
+        for pid in range(3):
+            assert run_a.indistinguishable_to(run_b, pid)
+
+    def test_crash_partial_delivery(self):
+        # p0 crashes in round 1 reaching only p1.
+        adversary = CrashAdversary({0: (1, [1])})
+        run = run_synchronous(FloodSet(), [0, 1, 1], adversary=adversary, t=1)
+        assert 0 in run.views[1].rounds[0]
+        assert 0 not in run.views[2].rounds[0]
+        # After the crash round, p0 is silent.
+        assert 0 not in run.views[1].rounds[1]
+
+    def test_crashed_by(self):
+        adversary = CrashAdversary({0: (2, [])})
+        assert not adversary.crashed_by(0, 1)
+        assert adversary.crashed_by(0, 2)
+        assert not adversary.crashed_by(1, 5)
+
+    def test_omission_adversary(self):
+        adversary = OmissionAdversary(
+            [0], drop=lambda rnd, src, dest: dest == 2
+        )
+        run = run_synchronous(FloodSet(), [0, 1, 1], adversary=adversary, t=1)
+        assert 0 not in run.views[2].rounds[0]
+        assert 0 in run.views[1].rounds[0]
+
+
+class TestFloodSetCorrectness:
+    @pytest.mark.parametrize(
+        "inputs", [(0, 0, 0), (1, 1, 1), (0, 1, 0), (1, 0, 1)]
+    )
+    def test_agreement_and_validity_under_one_crash(self, inputs):
+        for crash_round in (1, 2):
+            for receivers_mask in range(4):
+                receivers = [
+                    p for i, p in enumerate([1, 2]) if receivers_mask & (1 << i)
+                ]
+                adversary = CrashAdversary({0: (crash_round, receivers)})
+                run = run_synchronous(
+                    FloodSet(), list(inputs), adversary=adversary, t=1
+                )
+                assert run.agreement_holds()
+                assert run.validity_holds()
+                assert run.all_honest_decided()
+
+    def test_truncated_floodset_is_incorrect(self):
+        """One round is not enough with one crash: the seed of the t+1 bound."""
+        adversary = CrashAdversary({0: (1, [1])})
+        run = run_synchronous(
+            FloodSet(rounds_override=1), [0, 1, 1], adversary=adversary, t=1,
+        )
+        assert not run.agreement_holds()
+
+    def test_validity_counts_crashed_inputs(self):
+        """A crashed process is honest-but-dying: if it slips its unique
+        value to someone, deciding that value is still valid."""
+        adversary = CrashAdversary({0: (1, [1, 2])})
+        run = run_synchronous(FloodSet(), [0, 1, 1], adversary=adversary, t=1)
+        assert run.validity_holds()
+        assert run.agreement_holds()

@@ -1,0 +1,140 @@
+"""Tests for the I/O automaton model: signatures, tables, input enabling."""
+
+import pytest
+
+from repro.core import (
+    FunctionAutomaton,
+    ModelError,
+    Signature,
+    TableAutomaton,
+)
+
+
+def channel_automaton():
+    """A one-slot channel: input 'send', output 'recv'."""
+    sig = Signature(inputs=frozenset({"send"}), outputs=frozenset({"recv"}))
+    return TableAutomaton(
+        signature=sig,
+        initial=["empty"],
+        transitions={
+            ("empty", "send"): ["full"],
+            ("full", "send"): ["full"],  # overwrite
+            ("full", "recv"): ["empty"],
+        },
+        name="one-slot-channel",
+    )
+
+
+class TestSignature:
+    def test_disjointness_enforced(self):
+        with pytest.raises(ModelError):
+            Signature(inputs=frozenset({"a"}), outputs=frozenset({"a"}))
+
+    def test_external_and_locally_controlled(self):
+        sig = Signature(
+            inputs=frozenset({"i"}),
+            outputs=frozenset({"o"}),
+            internals=frozenset({"t"}),
+        )
+        assert sig.external == {"i", "o"}
+        assert sig.locally_controlled == {"o", "t"}
+        assert sig.all_actions == {"i", "o", "t"}
+
+    def test_classify(self):
+        sig = Signature(inputs=frozenset({"i"}), outputs=frozenset({"o"}))
+        assert sig.classify("i") == "input"
+        assert sig.classify("o") == "output"
+        with pytest.raises(ModelError):
+            sig.classify("unknown")
+
+    def test_hide_moves_outputs_to_internal(self):
+        sig = Signature(outputs=frozenset({"o1", "o2"}))
+        hidden = sig.hide({"o1"})
+        assert hidden.outputs == {"o2"}
+        assert hidden.internals == {"o1"}
+
+    def test_hide_rejects_non_outputs(self):
+        sig = Signature(inputs=frozenset({"i"}))
+        with pytest.raises(ModelError):
+            sig.hide({"i"})
+
+
+class TestTableAutomaton:
+    def test_requires_start_state(self):
+        with pytest.raises(ModelError):
+            TableAutomaton(Signature(), initial=[], transitions={})
+
+    def test_enabled_actions(self):
+        auto = channel_automaton()
+        assert list(auto.enabled_actions("empty")) == []
+        assert list(auto.enabled_actions("full")) == ["recv"]
+
+    def test_apply_output(self):
+        auto = channel_automaton()
+        assert list(auto.apply("full", "recv")) == ["empty"]
+
+    def test_input_always_enabled_default_selfloop(self):
+        sig = Signature(inputs=frozenset({"ping"}))
+        auto = TableAutomaton(sig, initial=["s"], transitions={})
+        assert list(auto.apply("s", "ping")) == ["s"]
+
+    def test_unknown_action_rejected(self):
+        auto = channel_automaton()
+        with pytest.raises(ModelError):
+            list(auto.apply("empty", "bogus"))
+
+    def test_step_requires_determinism(self):
+        sig = Signature(outputs=frozenset({"o"}))
+        auto = TableAutomaton(
+            sig, initial=["s"], transitions={("s", "o"): ["a", "b"]}
+        )
+        with pytest.raises(ModelError):
+            auto.step("s", "o")
+
+    def test_is_quiescent(self):
+        auto = channel_automaton()
+        assert auto.is_quiescent("empty")
+        assert not auto.is_quiescent("full")
+
+    def test_validate_input_enabling(self):
+        auto = channel_automaton()
+        auto.validate_input_enabling(["empty", "full"])
+
+    def test_tasks_default_is_all_locally_controlled(self):
+        auto = channel_automaton()
+        assert auto.tasks() == [frozenset({"recv"})]
+
+    def test_tasks_must_be_locally_controlled(self):
+        sig = Signature(inputs=frozenset({"i"}), outputs=frozenset({"o"}))
+        with pytest.raises(ModelError):
+            TableAutomaton(
+                sig, initial=["s"], transitions={}, tasks=[{"i"}]
+            )
+
+    def test_rename_is_fluent(self):
+        auto = channel_automaton().rename("chan")
+        assert auto.name == "chan"
+
+
+class TestFunctionAutomaton:
+    def build_counter(self, limit=3):
+        sig = Signature(outputs=frozenset({"inc"}))
+        return FunctionAutomaton(
+            signature=sig,
+            initial=[0],
+            enabled=lambda s: ["inc"] if s < limit else [],
+            transition=lambda s, a: [s + 1] if a == "inc" and s < limit else [],
+            name="counter",
+        )
+
+    def test_counts_to_limit(self):
+        auto = self.build_counter()
+        state = 0
+        while not auto.is_quiescent(state):
+            state = auto.step(state, "inc")
+        assert state == 3
+
+    def test_signature_checked_on_apply(self):
+        auto = self.build_counter()
+        with pytest.raises(ModelError):
+            list(auto.apply(0, "dec"))

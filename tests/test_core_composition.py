@@ -1,0 +1,118 @@
+"""Tests for parallel composition of I/O automata."""
+
+import pytest
+
+from repro.core import (
+    Composition,
+    Execution,
+    ModelError,
+    Signature,
+    TableAutomaton,
+    compose,
+)
+
+
+def sender():
+    sig = Signature(outputs=frozenset({"msg"}))
+    return TableAutomaton(
+        sig,
+        initial=["ready"],
+        transitions={("ready", "msg"): ["done"]},
+        name="sender",
+    )
+
+
+def receiver():
+    sig = Signature(inputs=frozenset({"msg"}), outputs=frozenset({"ack"}))
+    return TableAutomaton(
+        sig,
+        initial=["waiting"],
+        transitions={
+            ("waiting", "msg"): ["got"],
+            ("got", "ack"): ["waiting"],
+        },
+        name="receiver",
+    )
+
+
+class TestCompositionRules:
+    def test_shared_output_rejected(self):
+        with pytest.raises(ModelError):
+            compose(sender(), sender())
+
+    def test_internal_clash_rejected(self):
+        a = TableAutomaton(
+            Signature(internals=frozenset({"t"})),
+            initial=["s"],
+            transitions={("s", "t"): ["s"]},
+            name="a",
+        )
+        b = TableAutomaton(
+            Signature(inputs=frozenset({"t"})), initial=["s"], transitions={},
+            name="b",
+        )
+        with pytest.raises(ModelError):
+            compose(a, b)
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(ModelError):
+            Composition([])
+
+    def test_output_wins_over_input_in_signature(self):
+        c = compose(sender(), receiver())
+        assert "msg" in c.signature.outputs
+        assert "msg" not in c.signature.inputs
+        assert "ack" in c.signature.outputs
+
+
+class TestCompositionSemantics:
+    def test_initial_state_is_product(self):
+        c = compose(sender(), receiver())
+        assert list(c.initial_states()) == [("ready", "waiting")]
+
+    def test_shared_action_synchronizes(self):
+        c = compose(sender(), receiver())
+        state = ("ready", "waiting")
+        (after,) = c.apply(state, "msg")
+        assert after == ("done", "got")
+
+    def test_unshared_action_moves_one_component(self):
+        c = compose(sender(), receiver())
+        (after,) = c.apply(("done", "got"), "ack")
+        assert after == ("done", "waiting")
+
+    def test_enabled_actions_union(self):
+        c = compose(sender(), receiver())
+        assert set(c.enabled_actions(("ready", "waiting"))) == {"msg"}
+        assert set(c.enabled_actions(("done", "got"))) == {"ack"}
+
+    def test_full_execution(self):
+        c = compose(sender(), receiver())
+        e = Execution.run(c, ["msg", "ack"])
+        assert e.last_state == ("done", "waiting")
+        assert e.trace() == ("msg", "ack")
+
+    def test_tasks_concatenate_components(self):
+        c = compose(sender(), receiver())
+        assert c.tasks() == [frozenset({"msg"}), frozenset({"ack"})]
+
+    def test_component_helpers(self):
+        c = compose(sender(), receiver())
+        assert c.component_named("receiver") == 1
+        assert c.component_state(("done", "got"), 1) == "got"
+        with pytest.raises(ModelError):
+            c.component_named("nobody")
+
+    def test_three_way_composition(self):
+        logger = TableAutomaton(
+            Signature(inputs=frozenset({"msg", "ack"})),
+            initial=[0],
+            transitions={
+                (0, "msg"): [1],
+                (1, "ack"): [2],
+            },
+            name="logger",
+        )
+        c = compose(sender(), receiver(), logger)
+        e = Execution.run(c, ["msg", "ack"])
+        assert e.last_state == ("done", "waiting", 2)

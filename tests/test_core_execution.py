@@ -1,0 +1,107 @@
+"""Tests for executions, traces and schedules."""
+
+import pytest
+
+from repro.core import (
+    Execution,
+    ExecutionError,
+    Signature,
+    TableAutomaton,
+    check_execution,
+)
+
+
+def toggler():
+    sig = Signature(
+        outputs=frozenset({"flip"}), internals=frozenset({"tick"})
+    )
+    return TableAutomaton(
+        sig,
+        initial=["off"],
+        transitions={
+            ("off", "flip"): ["on"],
+            ("on", "flip"): ["off"],
+            ("on", "tick"): ["on"],
+        },
+        name="toggler",
+    )
+
+
+class TestExecution:
+    def test_initial_execution(self):
+        e = Execution.initial(toggler())
+        assert e.first_state == "off"
+        assert e.last_state == "off"
+        assert len(e) == 0
+
+    def test_extend_deterministic(self):
+        e = Execution.initial(toggler()).extend("flip")
+        assert e.last_state == "on"
+        assert e.actions == ("flip",)
+
+    def test_extend_with_explicit_state_validates(self):
+        auto = toggler()
+        e = Execution.initial(auto)
+        with pytest.raises(ExecutionError):
+            e.extend("flip", "off")  # flip from off goes to on, not off
+
+    def test_run_over_schedule(self):
+        e = Execution.run(toggler(), ["flip", "tick", "flip"])
+        assert e.states == ("off", "on", "on", "off")
+
+    def test_length_mismatch_rejected(self):
+        auto = toggler()
+        with pytest.raises(ExecutionError):
+            Execution(auto, ("off",), ("flip",))
+
+    def test_trace_filters_internal_actions(self):
+        e = Execution.run(toggler(), ["flip", "tick", "flip"])
+        assert e.trace() == ("flip", "flip")
+        assert e.schedule() == ("flip", "tick", "flip")
+
+    def test_prefix(self):
+        e = Execution.run(toggler(), ["flip", "tick", "flip"])
+        p = e.prefix(1)
+        assert p.actions == ("flip",)
+        assert p.last_state == "on"
+        with pytest.raises(ExecutionError):
+            e.prefix(4)
+
+    def test_steps_iteration(self):
+        e = Execution.run(toggler(), ["flip", "flip"])
+        assert list(e.steps()) == [
+            ("off", "flip", "on"),
+            ("on", "flip", "off"),
+        ]
+
+    def test_project_actions(self):
+        e = Execution.run(toggler(), ["flip", "tick", "flip"])
+        assert e.project_actions(lambda a: a == "tick") == ("tick",)
+
+    def test_invariant_helpers(self):
+        e = Execution.run(toggler(), ["flip"])
+        assert e.satisfies_invariant(lambda s: s in ("on", "off"))
+        assert not e.satisfies_invariant(lambda s: s == "off")
+        assert e.first_violation(lambda s: s == "off") == 1
+
+    def test_describe_contains_actions(self):
+        e = Execution.run(toggler(), ["flip"])
+        assert "flip" in e.describe()
+
+
+class TestCheckExecution:
+    def test_valid_execution_passes(self):
+        e = Execution.run(toggler(), ["flip", "flip"])
+        check_execution(e)
+
+    def test_bad_start_state_rejected(self):
+        auto = toggler()
+        bad = Execution(auto, ("on",), ())
+        with pytest.raises(ExecutionError):
+            check_execution(bad)
+
+    def test_bad_transition_rejected(self):
+        auto = toggler()
+        bad = Execution(auto, ("off", "off"), ("flip",))
+        with pytest.raises(ExecutionError):
+            check_execution(bad)

@@ -1,0 +1,105 @@
+"""Tests for state-space exploration, invariants and reachability."""
+
+import pytest
+
+from repro.core import (
+    InvariantViolation,
+    SearchBudgetExceeded,
+    Signature,
+    TableAutomaton,
+    assert_invariant,
+    can_reach_from,
+    check_invariant,
+    explore,
+    find_state,
+    reachable_states_satisfying,
+)
+
+
+def counter(limit=5):
+    sig = Signature(internals=frozenset({"inc"}))
+    transitions = {(i, "inc"): [i + 1] for i in range(limit)}
+    return TableAutomaton(sig, initial=[0], transitions=transitions, name="counter")
+
+
+def branching():
+    """0 -> {1, 2}; 1 -> 3; 2 -> 4."""
+    sig = Signature(internals=frozenset({"a", "b"}))
+    return TableAutomaton(
+        sig,
+        initial=[0],
+        transitions={
+            (0, "a"): [1],
+            (0, "b"): [2],
+            (1, "a"): [3],
+            (2, "a"): [4],
+        },
+        name="branching",
+    )
+
+
+class TestExplore:
+    def test_reaches_all_states(self):
+        result = explore(counter(5))
+        assert result.reachable == set(range(6))
+
+    def test_path_reconstruction(self):
+        result = explore(counter(5))
+        path = result.path_to(3)
+        assert path.states == (0, 1, 2, 3)
+        assert path.actions == ("inc", "inc", "inc")
+
+    def test_budget_enforced(self):
+        with pytest.raises(SearchBudgetExceeded):
+            explore(counter(100), max_states=10)
+
+    def test_input_exploration_toggle(self):
+        sig = Signature(inputs=frozenset({"kick"}))
+        auto = TableAutomaton(
+            sig, initial=[0], transitions={(0, "kick"): [1]}, name="kickable"
+        )
+        assert explore(auto).reachable == {0}
+        assert explore(auto, include_inputs=True).reachable == {0, 1}
+
+
+class TestInvariants:
+    def test_holding_invariant_returns_none(self):
+        assert check_invariant(counter(5), lambda s: s <= 5) is None
+
+    def test_violation_returns_shortest_counterexample(self):
+        witness = check_invariant(counter(5), lambda s: s < 3)
+        assert witness is not None
+        assert witness.last_state == 3
+        assert len(witness) == 3
+
+    def test_violated_initial_state_detected(self):
+        witness = check_invariant(counter(5), lambda s: s != 0)
+        assert witness is not None
+        assert len(witness) == 0
+
+    def test_assert_invariant_raises_with_witness(self):
+        with pytest.raises(InvariantViolation) as excinfo:
+            assert_invariant(counter(5), lambda s: s < 3, "counter stays small")
+        assert excinfo.value.witness is not None
+
+    def test_assert_invariant_returns_state_count(self):
+        assert assert_invariant(counter(5), lambda s: True, "trivial") == 6
+
+
+class TestSearchHelpers:
+    def test_find_state(self):
+        path = find_state(branching(), lambda s: s == 4)
+        assert path is not None
+        assert path.last_state == 4
+
+    def test_find_state_unreachable(self):
+        assert find_state(branching(), lambda s: s == 99) is None
+
+    def test_reachable_states_satisfying(self):
+        odd = reachable_states_satisfying(counter(5), lambda s: s % 2 == 1)
+        assert sorted(odd) == [1, 3, 5]
+
+    def test_can_reach_from(self):
+        auto = branching()
+        assert can_reach_from(auto, 1, lambda s: s == 3)
+        assert not can_reach_from(auto, 1, lambda s: s == 4)

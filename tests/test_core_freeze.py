@@ -1,0 +1,109 @@
+"""Tests for repro.core.freeze: canonical immutable state encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.freeze import freeze, frozendict, is_frozen, thaw
+
+
+class TestFrozendict:
+    def test_lookup(self):
+        d = frozendict(a=1, b=2)
+        assert d["a"] == 1
+        assert d["b"] == 2
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            frozendict(a=1)["b"]
+
+    def test_equality_with_dict(self):
+        assert frozendict(a=1) == {"a": 1}
+        assert frozendict(a=1) != {"a": 2}
+
+    def test_hash_is_order_independent(self):
+        assert hash(frozendict(a=1, b=2)) == hash(frozendict(b=2, a=1))
+
+    def test_usable_as_dict_key(self):
+        d = {frozendict(x=1): "value"}
+        assert d[frozendict(x=1)] == "value"
+
+    def test_set_returns_new_mapping(self):
+        d = frozendict(a=1)
+        d2 = d.set("a", 2)
+        assert d["a"] == 1
+        assert d2["a"] == 2
+
+    def test_set_new_key(self):
+        d = frozendict(a=1).set("b", 2)
+        assert d == {"a": 1, "b": 2}
+
+    def test_update_with(self):
+        d = frozendict(a=1, b=2).update_with(b=3, c=4)
+        assert d == {"a": 1, "b": 3, "c": 4}
+
+    def test_len_and_iter(self):
+        d = frozendict(a=1, b=2)
+        assert len(d) == 2
+        assert sorted(d) == ["a", "b"]
+
+    def test_repr_is_deterministic(self):
+        assert repr(frozendict(b=2, a=1)) == repr(frozendict(a=1, b=2))
+
+
+class TestFreezeThaw:
+    def test_freeze_dict(self):
+        frozen = freeze({"a": [1, 2], "b": {"c": 3}})
+        assert isinstance(frozen, frozendict)
+        assert frozen["a"] == (1, 2)
+        assert frozen["b"]["c"] == 3
+        hash(frozen)  # must be hashable
+
+    def test_freeze_list_to_tuple(self):
+        assert freeze([1, [2, 3]]) == (1, (2, 3))
+
+    def test_freeze_set(self):
+        assert freeze({1, 2}) == frozenset({1, 2})
+
+    def test_freeze_scalar_passthrough(self):
+        assert freeze(42) == 42
+        assert freeze("s") == "s"
+        assert freeze(None) is None
+
+    def test_thaw_roundtrip(self):
+        original = {"a": [1, 2], "b": {"c": 3}}
+        assert thaw(freeze(original)) == original
+
+    def test_is_frozen(self):
+        assert is_frozen(freeze({"a": [1]}))
+        assert not is_frozen({"a": 1})
+        assert not is_frozen([1, 2])
+
+
+nested_values = st.recursive(
+    st.one_of(st.integers(), st.text(max_size=5), st.booleans(), st.none()),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=3), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestFreezeProperties:
+    @given(nested_values)
+    def test_freeze_always_hashable(self, value):
+        hash(freeze(value))
+
+    @given(nested_values)
+    def test_freeze_is_idempotent(self, value):
+        once = freeze(value)
+        assert freeze(once) == once
+
+    @given(nested_values)
+    def test_structurally_equal_values_freeze_equal(self, value):
+        assert freeze(value) == freeze(thaw(freeze(value)))
+
+    @given(st.dictionaries(st.text(max_size=3), st.integers(), max_size=5))
+    def test_dict_thaw_freeze_roundtrip(self, d):
+        assert thaw(freeze(d)) == d

@@ -1,0 +1,105 @@
+"""Tests for views, indistinguishability and chains."""
+
+import pytest
+
+from repro.core import (
+    Execution,
+    IndistinguishabilityChain,
+    Signature,
+    TableAutomaton,
+    ViewExtractor,
+    decisions_constant_along_chain,
+)
+
+
+def two_party_automaton():
+    """Two counters; action ('inc', i) belongs to party i."""
+    sig = Signature(internals=frozenset({("inc", 0), ("inc", 1)}))
+    transitions = {}
+    for a in range(5):
+        for b in range(5):
+            if a < 4:
+                transitions[((a, b), ("inc", 0))] = [(a + 1, b)]
+            if b < 4:
+                transitions[((a, b), ("inc", 1))] = [(a, b + 1)]
+    return TableAutomaton(sig, initial=[(0, 0)], transitions=transitions,
+                          name="two-party")
+
+
+def extractor():
+    return ViewExtractor(
+        local_state=lambda state, who: state[who],
+        participates=lambda action, who: action == ("inc", who),
+    )
+
+
+class TestViews:
+    def test_view_records_own_steps_only(self):
+        auto = two_party_automaton()
+        e = Execution.run(auto, [("inc", 0), ("inc", 1), ("inc", 0)])
+        view0 = extractor().view(e, 0)
+        assert view0.local_states == (0, 1, 2)
+        assert view0.observed_actions == (("inc", 0), ("inc", 0))
+
+    def test_indistinguishable_when_other_party_varies(self):
+        auto = two_party_automaton()
+        ext = extractor()
+        e1 = Execution.run(auto, [("inc", 0), ("inc", 1)])
+        e2 = Execution.run(auto, [("inc", 1), ("inc", 0)])
+        # Party 0 took one step in each and saw the same local states.
+        assert ext.indistinguishable(e1, e2, 0)
+        assert ext.indistinguishable(e1, e2, 1)
+
+    def test_distinguishable_when_own_history_differs(self):
+        auto = two_party_automaton()
+        ext = extractor()
+        e1 = Execution.run(auto, [("inc", 0)])
+        e2 = Execution.run(auto, [("inc", 0), ("inc", 0)])
+        assert not ext.indistinguishable(e1, e2, 0)
+        assert ext.indistinguishable(e1, e2, 1)
+
+    def test_distinguishing_observers(self):
+        auto = two_party_automaton()
+        ext = extractor()
+        e1 = Execution.run(auto, [("inc", 0)])
+        e2 = Execution.run(auto, [("inc", 1)])
+        assert ext.distinguishing_observers(e1, e2, [0, 1]) == [0, 1]
+
+
+class TestChains:
+    def test_chain_length_validation(self):
+        auto = two_party_automaton()
+        e = Execution.run(auto, [("inc", 0)])
+        with pytest.raises(ValueError):
+            IndistinguishabilityChain(executions=(e, e), links=())
+
+    def test_valid_chain_passes_validation(self):
+        auto = two_party_automaton()
+        ext = extractor()
+        e1 = Execution.run(auto, [("inc", 0), ("inc", 1)])
+        e2 = Execution.run(auto, [("inc", 1), ("inc", 0)])
+        chain = IndistinguishabilityChain(executions=(e1, e2), links=(0,))
+        chain.validate(ext)
+
+    def test_broken_chain_detected(self):
+        auto = two_party_automaton()
+        ext = extractor()
+        e1 = Execution.run(auto, [("inc", 0)])
+        e2 = Execution.run(auto, [("inc", 0), ("inc", 0)])
+        chain = IndistinguishabilityChain(executions=(e1, e2), links=(0,))
+        with pytest.raises(AssertionError):
+            chain.validate(ext)
+
+    def test_decisions_constant_along_chain(self):
+        auto = two_party_automaton()
+        e1 = Execution.run(auto, [("inc", 0), ("inc", 1)])
+        e2 = Execution.run(auto, [("inc", 1), ("inc", 0)])
+        chain = IndistinguishabilityChain(executions=(e1, e2), links=(0,))
+        # A "decision" that depends only on the observer's view: constant.
+        assert decisions_constant_along_chain(
+            chain, decision_of=lambda e, obs: e.last_state[obs]
+        )
+        # A decision that differs across the link: not constant.
+        assert not decisions_constant_along_chain(
+            chain, decision_of=lambda e, obs: e.actions[0]
+        )

@@ -1,0 +1,99 @@
+"""Tests for schedulers: fairness, reproducibility, replay."""
+
+import pytest
+
+from repro.core import (
+    ExecutionError,
+    FixedScheduler,
+    GreedyAdversary,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Signature,
+    TableAutomaton,
+)
+
+
+def two_clocks():
+    """Two independent ticking clocks; fairness should advance both."""
+    sig = Signature(internals=frozenset({("tick", 0), ("tick", 1)}))
+    transitions = {}
+    for a in range(10):
+        for b in range(10):
+            if a < 9:
+                transitions[((a, b), ("tick", 0))] = [(a + 1, b)]
+            if b < 9:
+                transitions[((a, b), ("tick", 1))] = [(a, b + 1)]
+    return TableAutomaton(
+        sig,
+        initial=[(0, 0)],
+        transitions=transitions,
+        tasks=[{("tick", 0)}, {("tick", 1)}],
+        name="two-clocks",
+    )
+
+
+class TestRoundRobin:
+    def test_advances_every_task(self):
+        auto = two_clocks()
+        execution = RoundRobinScheduler(auto).run(auto, max_steps=10)
+        a, b = execution.last_state
+        assert a == 5 and b == 5  # perfectly alternating
+
+    def test_skips_disabled_tasks(self):
+        auto = two_clocks()
+        sched = RoundRobinScheduler(auto)
+        execution = sched.run(auto, max_steps=30)
+        assert execution.last_state == (9, 9)  # both run to completion
+
+    def test_stop_when(self):
+        auto = two_clocks()
+        execution = RoundRobinScheduler(auto).run(
+            auto, max_steps=100, stop_when=lambda s: s[0] >= 3
+        )
+        assert execution.last_state[0] == 3
+
+
+class TestRandomScheduler:
+    def test_same_seed_same_run(self):
+        auto = two_clocks()
+        e1 = RandomScheduler(seed=7).run(auto, max_steps=12)
+        e2 = RandomScheduler(seed=7).run(auto, max_steps=12)
+        assert e1.actions == e2.actions
+
+    def test_different_seeds_usually_differ(self):
+        auto = two_clocks()
+        runs = {
+            RandomScheduler(seed=s).run(auto, max_steps=12).actions
+            for s in range(8)
+        }
+        assert len(runs) > 1
+
+
+class TestGreedyAdversary:
+    def test_maximizes_score(self):
+        auto = two_clocks()
+        # Adversary that always advances clock 0.
+        adversary = GreedyAdversary(
+            lambda execution, action: 1.0 if action == ("tick", 0) else 0.0
+        )
+        execution = adversary.run(auto, max_steps=9)
+        assert execution.last_state == (9, 0)
+
+
+class TestFixedScheduler:
+    def test_replays_schedule(self):
+        auto = two_clocks()
+        schedule = [("tick", 1), ("tick", 1), ("tick", 0)]
+        execution = FixedScheduler(schedule).run(auto, max_steps=3)
+        assert execution.last_state == (1, 2)
+
+    def test_rejects_disabled_action(self):
+        auto = two_clocks()
+        sig = [("tick", 0)] * 10  # clock 0 saturates at 9
+        with pytest.raises(ExecutionError):
+            FixedScheduler(sig).run(auto, max_steps=10)
+
+    def test_exhausted_schedule_raises(self):
+        auto = two_clocks()
+        with pytest.raises(ExecutionError):
+            FixedScheduler([("tick", 0)]).run(auto, max_steps=5)

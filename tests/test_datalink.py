@@ -1,0 +1,107 @@
+"""Tests for data-link protocols and the message-stealing attacks (E15)."""
+
+import pytest
+
+from repro.datalink import (
+    AlternatingBitReceiver,
+    AlternatingBitSender,
+    FairLossyScheduler,
+    ScriptedAdversary,
+    StenningReceiver,
+    StenningSender,
+    bounded_header_attack,
+    crash_attack,
+    packet_growth,
+    run_datalink,
+)
+
+
+class TestAlternatingBit:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_correct_over_fair_lossy_fifo(self, seed):
+        messages = ["a", "b", "c", "d", "e"]
+        result = run_datalink(
+            AlternatingBitSender(), AlternatingBitReceiver(), messages,
+            FairLossyScheduler(loss=0.35, seed=seed),
+        )
+        assert result.exactly_once_in_order
+        assert result.sender_done
+
+    def test_lossless_uses_minimal_packets(self):
+        messages = ["a", "b"]
+        script = []
+        for _ in messages:
+            script += [("transmit",), ("deliver", "fwd", 0), ("deliver", "bwd", 0)]
+        script.append(("halt",))
+        result = run_datalink(
+            AlternatingBitSender(), AlternatingBitReceiver(), messages,
+            ScriptedAdversary(script),
+        )
+        assert result.exactly_once_in_order
+        assert result.data_packets == len(messages)
+
+    def test_retransmissions_grow_with_loss(self):
+        def packets(loss):
+            result = run_datalink(
+                AlternatingBitSender(), AlternatingBitReceiver(),
+                ["a"] * 10, FairLossyScheduler(loss=loss, seed=3),
+            )
+            assert result.sender_done
+            return result.data_packets
+
+        assert packets(0.5) > packets(0.05)
+
+
+class TestStenning:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_correct_under_reordering_and_loss(self, seed):
+        messages = [f"m{i}" for i in range(8)]
+        result = run_datalink(
+            StenningSender(), StenningReceiver(), messages,
+            FairLossyScheduler(loss=0.3, seed=seed, reorder=True),
+        )
+        assert result.exactly_once_in_order
+
+    def test_abp_equivalent_is_modulus_two(self):
+        """Stenning mod 2 behaves like the alternating-bit protocol."""
+        messages = ["a", "b", "c"]
+        script = []
+        for _ in messages:
+            script += [("transmit",), ("deliver", "fwd", 0), ("deliver", "bwd", 0)]
+        script.append(("halt",))
+        result = run_datalink(
+            StenningSender(modulus=2), StenningReceiver(modulus=2), messages,
+            ScriptedAdversary(script),
+        )
+        assert result.exactly_once_in_order
+
+
+class TestAttacks:
+    def test_crash_attack_duplicates(self):
+        cert = crash_attack()
+        cert.revalidate()
+        assert cert.details["delivered"] == ["m0", "m0"]
+
+    def test_bounded_header_attack(self):
+        """The wraparound replay defeats the bounded-header protocol (the
+        bundled script drives one full wrap of modulus 2)."""
+        cert = bounded_header_attack(2)
+        assert cert.details["bounded_sender_done"]
+        assert cert.details["bounded_delivered"] != ["a", "b", "c"]
+
+    def test_unbounded_headers_survive_the_same_script(self):
+        cert = bounded_header_attack(2)
+        unbounded_delivered = cert.details["unbounded_delivered"]
+        # No duplication and no wrong message — just a stalled channel.
+        assert unbounded_delivered == ["a", "b"]
+
+
+class TestPacketGrowth:
+    def test_headers_grow_with_message_count(self):
+        growth = packet_growth(message_counts=(4, 16))
+        assert growth[16]["header_bits"] > growth[4]["header_bits"]
+
+    def test_delivery_stays_correct(self):
+        # packet_growth raises internally if any run mis-delivers.
+        growth = packet_growth(message_counts=(8,), loss=0.5)
+        assert growth[8]["packets_per_message"] >= 1.0

@@ -1,0 +1,54 @@
+"""Tests for the firing squad: simultaneity under crashes (§2.2.1, [31])."""
+
+import pytest
+
+from repro.consensus import (
+    FloodingFiringSquad,
+    HastyFiringSquad,
+    find_simultaneity_violation,
+    run_synchronous,
+)
+
+
+class TestFloodingSquad:
+    def test_fault_free_everyone_fires_together(self):
+        run = run_synchronous(FloodingFiringSquad(), [1, 0, 0, 0], t=1)
+        rounds = set(run.decisions.values())
+        assert len(rounds) == 1
+        assert None not in rounds
+
+    @pytest.mark.parametrize("t,n", [(1, 3), (1, 4), (2, 4)])
+    def test_simultaneity_exhaustive(self, t, n):
+        """Over every crash pattern with <= t faults, all correct
+        processes fire in the same round."""
+        result = find_simultaneity_violation(FloodingFiringSquad(), n=n, t=t)
+        assert result.violation_adversary is None
+        # The whole crash-pattern space was enumerated: 1 + sum over fault
+        # sets of (rounds * 2^(n-1)) patterns per faulty process.
+        assert result.runs_checked >= 49
+
+    def test_firing_round_is_origin_plus_t_plus_two(self):
+        run = run_synchronous(FloodingFiringSquad(), [1, 0, 0], t=1)
+        assert set(run.decisions.values()) == {3}  # t + 2 with origin 0
+
+    def test_initiator_position_is_irrelevant(self):
+        for initiator in range(4):
+            result = find_simultaneity_violation(
+                FloodingFiringSquad(), n=4, t=1, initiator=initiator
+            )
+            assert result.violation_adversary is None
+
+
+class TestHastySquad:
+    def test_split_firing_found(self):
+        """Firing on first contact is splittable by one crash — the relay
+        floor behind the firing-squad lower bounds."""
+        result = find_simultaneity_violation(HastyFiringSquad(), n=4, t=1)
+        assert result.violation_adversary is not None
+        fired_rounds = {r for r in result.firing_rounds.values()}
+        assert len(fired_rounds) > 1
+
+    def test_fault_free_is_fine(self):
+        """The hasty protocol only breaks under faults."""
+        run = run_synchronous(HastyFiringSquad(), [1, 0, 0, 0], t=1)
+        assert len(set(run.decisions.values())) == 1

@@ -1,0 +1,197 @@
+"""Tests for the FLP machinery (E6): valency, stalling, the dichotomy."""
+
+import pytest
+
+from repro.asynchronous import (
+    AsyncConsensusSystem,
+    FirstMessageWins,
+    QuorumVote,
+    WaitForAll,
+    flp_analysis,
+    flp_certificate,
+)
+from repro.impossibility import (
+    StallingAdversary,
+    ValencyAnalyzer,
+    find_herlihy_decider,
+)
+
+
+class TestValency:
+    def test_wait_for_all_initial_configs_univalent(self):
+        """WaitForAll decides min of all inputs whatever the schedule, so
+        every initial configuration is univalent — which already implies
+        (Lemma 2, contrapositive) it cannot be 1-resilient."""
+        system = AsyncConsensusSystem(WaitForAll(), 2)
+        analyzer = ValencyAnalyzer(system)
+        for inputs in system.input_vectors:
+            valency = analyzer.valency(system.configuration_for(inputs))
+            assert valency == frozenset({min(inputs)})
+
+    def test_first_message_wins_mixed_inputs_bivalent(self):
+        system = AsyncConsensusSystem(FirstMessageWins(), 2)
+        analyzer = ValencyAnalyzer(system)
+        assert analyzer.valency(
+            system.configuration_for((0, 1))
+        ) == frozenset({0, 1})
+
+    def test_unanimous_inputs_univalent(self):
+        system = AsyncConsensusSystem(FirstMessageWins(), 2)
+        analyzer = ValencyAnalyzer(system)
+        for v in (0, 1):
+            assert analyzer.valency(
+                system.configuration_for((v, v))
+            ) == frozenset({v})
+
+    def test_agreement_violation_found_for_unsafe_protocol(self):
+        system = AsyncConsensusSystem(FirstMessageWins(), 2)
+        analyzer = ValencyAnalyzer(system)
+        assert analyzer.find_agreement_violation() is not None
+
+    def test_no_agreement_violation_for_safe_protocol(self):
+        system = AsyncConsensusSystem(WaitForAll(), 2)
+        analyzer = ValencyAnalyzer(system)
+        assert analyzer.find_agreement_violation() is None
+
+
+class TestStallingAdversary:
+    def test_preserves_bivalence_with_fairness(self):
+        """The Lemma 3 demonstration: from a bivalent configuration, the
+        adversary honours round-robin obligations forever bivalent."""
+        system = AsyncConsensusSystem(QuorumVote(), 3)
+        analyzer = ValencyAnalyzer(system)
+        adversary = StallingAdversary(analyzer)
+        start = system.configuration_for((0, 1, 1))
+        assert analyzer.is_bivalent(start)
+        result = adversary.run(start, stages=18)
+        assert result.stayed_bivalent
+        assert result.stages == 18
+        # The final configuration is still bivalent and nobody decided in a
+        # contradictory way along the schedule.
+        assert analyzer.is_bivalent(result.final_config)
+
+    def test_requires_bivalent_start(self):
+        system = AsyncConsensusSystem(WaitForAll(), 2)
+        analyzer = ValencyAnalyzer(system)
+        adversary = StallingAdversary(analyzer)
+        with pytest.raises(ValueError):
+            adversary.run(system.configuration_for((0, 0)), stages=3)
+
+    def test_schedule_is_replayable(self):
+        system = AsyncConsensusSystem(QuorumVote(), 3)
+        analyzer = ValencyAnalyzer(system)
+        adversary = StallingAdversary(analyzer)
+        start = system.configuration_for((0, 1, 1))
+        result = adversary.run(start, stages=10)
+        config = start
+        for event in result.schedule:
+            config = system.apply(config, event)
+        assert config == result.final_config
+
+
+class TestDichotomy:
+    """FLP says every candidate fails exactly one of two ways."""
+
+    def test_first_message_wins_is_unsafe(self):
+        report = flp_analysis(FirstMessageWins(), 2)
+        assert report.failure_mode == "agreement-violation"
+
+    def test_quorum_vote_is_unsafe(self):
+        report = flp_analysis(QuorumVote(), 3)
+        assert report.failure_mode == "agreement-violation"
+
+    def test_wait_for_all_blocks(self):
+        report = flp_analysis(WaitForAll(), 2)
+        assert report.failure_mode == "blocks-under-crash"
+        assert report.blocking_crash is not None
+
+    def test_wait_for_all_blocks_n3(self):
+        report = flp_analysis(WaitForAll(), 3)
+        assert report.failure_mode == "blocks-under-crash"
+
+    def test_certificates(self):
+        for protocol, n in [
+            (FirstMessageWins(), 2),
+            (WaitForAll(), 2),
+            (QuorumVote(), 3),
+        ]:
+            cert = flp_certificate(protocol, n)
+            assert cert.technique == "bivalence"
+            assert cert.details["failure_mode"] in (
+                "agreement-violation",
+                "blocks-under-crash",
+            )
+
+    def test_crash_exclusion_withholds_input(self):
+        """With the START modeling, crashing a process at time zero keeps
+        its input out of the system entirely."""
+        system = AsyncConsensusSystem(WaitForAll(), 2)
+        config, _ = system.run_fair((0, 1), exclude={0})
+        states, _buffer = config
+        # Process 1 never learns process 0's value.
+        assert (0, 0) not in states[1][3]
+
+
+class _CriticalToy:
+    """A hand-built decision system with one critical configuration:
+    from 'C', process 0's step forces 0 and process 1's step forces 1."""
+
+    processes = (0, 1)
+    values = (0, 1)
+
+    _graph = {
+        "C": {("step", 0, None): "A", ("step", 1, None): "B"},
+        "A": {("step", 1, None): "A0"},
+        "B": {("step", 0, None): "B1"},
+        "A0": {},
+        "B1": {},
+    }
+    _decided = {"A0": {0: 0, 1: 0}, "B1": {0: 1, 1: 1}}
+
+    def initial_configurations(self):
+        return ["C"]
+
+    def events(self, config):
+        return list(self._graph[config])
+
+    def owner(self, event):
+        return event[1]
+
+    def apply(self, config, event):
+        return self._graph[config][event]
+
+    def decisions(self, config):
+        return self._decided.get(config, {})
+
+    def decided_values(self, config):
+        return frozenset(self.decisions(config).values())
+
+    def fair_events(self, config):
+        owed = {}
+        for event in self.events(config):
+            owed.setdefault(self.owner(event), event)
+        return owed
+
+
+class TestDeciderSearch:
+    def test_herlihy_decider_on_critical_toy(self):
+        """The search finds the bivalent configuration all of whose
+        successors are univalent — Herlihy's critical configuration."""
+        analyzer = ValencyAnalyzer(_CriticalToy())
+        found = find_herlihy_decider(analyzer)
+        assert found is not None
+        config, successor_valencies = found
+        assert config == "C"
+        assert set(successor_valencies.values()) == {
+            frozenset({0}), frozenset({1}),
+        }
+
+    def test_no_decider_in_unsafe_protocol(self):
+        """An unsafe protocol's configurations stay bivalent even after a
+        decision (the other value remains reachable via the violation), so
+        no critical configuration exists: the search comes back empty."""
+        system = AsyncConsensusSystem(
+            FirstMessageWins(), 2, input_vectors=[(0, 1)]
+        )
+        analyzer = ValencyAnalyzer(system)
+        assert find_herlihy_decider(analyzer) is None

@@ -1,0 +1,85 @@
+"""Tests for the wait-free consensus hierarchy (E11)."""
+
+import pytest
+
+from repro.registers import (
+    CasConsensus,
+    ObjectConsensusSystem,
+    QueueConsensus2,
+    RegisterConsensus,
+    TasConsensus2,
+    TasConsensus3,
+    hierarchy_table,
+    wait_free_verdict,
+)
+
+
+class TestRegisterConsensus:
+    def test_fails_agreement_at_n2(self):
+        verdict = wait_free_verdict(ObjectConsensusSystem(RegisterConsensus(), 2))
+        assert not verdict.solves_consensus
+        assert verdict.failure_kind == "agreement"
+
+    def test_failure_witness_is_a_real_disagreement(self):
+        system = ObjectConsensusSystem(RegisterConsensus(), 2)
+        verdict = wait_free_verdict(system)
+        decisions = system.decisions(verdict.failure_witness)
+        assert len(set(decisions.values())) == 2
+
+
+class TestTasConsensus:
+    def test_solves_two_process_consensus(self):
+        verdict = wait_free_verdict(ObjectConsensusSystem(TasConsensus2(), 2))
+        assert verdict.solves_consensus
+
+    def test_exhaustive_over_all_schedules(self):
+        verdict = wait_free_verdict(ObjectConsensusSystem(TasConsensus2(), 2))
+        assert verdict.configurations > 10  # the space was really explored
+
+    def test_three_process_extension_fails(self):
+        verdict = wait_free_verdict(ObjectConsensusSystem(TasConsensus3(), 3))
+        assert not verdict.solves_consensus
+        assert verdict.failure_kind == "agreement"
+
+
+class TestQueueConsensus:
+    def test_solves_two_process_consensus(self):
+        verdict = wait_free_verdict(ObjectConsensusSystem(QueueConsensus2(), 2))
+        assert verdict.solves_consensus
+
+
+class TestCasConsensus:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_solves_consensus_for_any_n(self, n):
+        verdict = wait_free_verdict(ObjectConsensusSystem(CasConsensus(), n))
+        assert verdict.solves_consensus
+
+    def test_single_access_wait_freedom(self):
+        """Every process decides after exactly one shared access."""
+        system = ObjectConsensusSystem(CasConsensus(), 3)
+        config = system.configuration_for((1, 0, 1))
+        for pid in range(3):
+            after = system.apply(config, ("step", pid))
+            assert pid in system.decisions(after)
+
+
+class TestHierarchyTable:
+    def test_matches_herlihy(self):
+        table = {(v.protocol_name, v.n): v.solves_consensus
+                 for v in hierarchy_table()}
+        assert table == {
+            ("register-consensus", 2): False,
+            ("tas-consensus-2", 2): True,
+            ("tas-consensus-3", 3): False,
+            ("queue-consensus-2", 2): True,
+            ("cas-consensus", 2): True,
+            ("cas-consensus", 3): True,
+        }
+
+    def test_separation_implies_non_implementability(self):
+        """The survey's §2.3 point: TAS solves 2-process consensus and
+        registers do not, hence no wait-free register implementation of
+        TAS exists.  The premise pair is exactly what we verified."""
+        tas = wait_free_verdict(ObjectConsensusSystem(TasConsensus2(), 2))
+        reg = wait_free_verdict(ObjectConsensusSystem(RegisterConsensus(), 2))
+        assert tas.solves_consensus and not reg.solves_consensus

@@ -1,0 +1,84 @@
+"""Tests for knowledge operators and the common-knowledge result (E16)."""
+
+import pytest
+
+from repro.asynchronous import HandshakeProtocol
+from repro.core import ModelError
+from repro.knowledge import (
+    PointSystem,
+    common_knowledge_certificate,
+    delivery_knowledge_profile,
+    simultaneous_broadcast_system,
+    two_generals_point_system,
+)
+
+
+class TestOperators:
+    def muddy_system(self):
+        """Two agents, each seeing only the other's bit."""
+        points = [(a, b) for a in (0, 1) for b in (0, 1)]
+        return PointSystem(
+            points, agents=["alice", "bob"],
+            view=lambda agent, p: p[1] if agent == "alice" else p[0],
+        )
+
+    def test_knows_own_blind_spot(self):
+        system = self.muddy_system()
+        fact_alice_is_one = lambda p: p[0] == 1  # noqa: E731
+        # Alice cannot know her own bit; Bob can.
+        assert not system.knows("alice", fact_alice_is_one, (1, 0))
+        assert system.knows("bob", fact_alice_is_one, (1, 0))
+
+    def test_everyone_knows(self):
+        system = self.muddy_system()
+        tautology = lambda p: True  # noqa: E731
+        assert system.everyone_knows(tautology, (0, 0))
+
+    def test_common_knowledge_of_tautology(self):
+        system = self.muddy_system()
+        assert system.common_knowledge(lambda p: True, (1, 1))
+
+    def test_no_common_knowledge_of_contingent_fact(self):
+        system = self.muddy_system()
+        assert not system.common_knowledge(lambda p: p[0] == 1, (1, 1))
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ModelError):
+            PointSystem([], agents=["a"], view=lambda a, p: p)
+
+
+class TestTwoGeneralsKnowledge:
+    def test_knowledge_ladder(self):
+        """k deliveries buy exactly k-1 levels of nested knowledge."""
+        profile = delivery_knowledge_profile(HandshakeProtocol(6, 3))
+        for k, entry in profile.items():
+            if k >= 1:
+                assert entry["depth"] == k - 1, (k, entry)
+
+    def test_receiver_knows_first(self):
+        profile = delivery_knowledge_profile(HandshakeProtocol(6, 3))
+        assert profile[1]["g1_knows"] and not profile[1]["g0_knows"]
+
+    def test_common_knowledge_never_attained(self):
+        profile = delivery_knowledge_profile(HandshakeProtocol(6, 3))
+        assert not any(entry["common"] for entry in profile.values())
+
+    def test_certificate(self):
+        cert = common_knowledge_certificate()
+        assert cert.technique == "knowledge (indistinguishability fixpoint)"
+        depths = cert.details["knowledge_depths"]
+        assert depths[0] == 0
+        assert depths[max(depths)] == max(depths) - 1
+
+    def test_all_points_reach_the_empty_point(self):
+        """The structural reason: every point's component contains k=0."""
+        system = two_generals_point_system(HandshakeProtocol(4, 2))
+        for point in system.points:
+            assert 0 in system.reachable_points(point)
+
+
+class TestSynchronousContrast:
+    def test_reliable_broadcast_creates_common_knowledge(self):
+        system, fact = simultaneous_broadcast_system(n=4)
+        assert system.common_knowledge(fact, "sent")
+        assert not system.common_knowledge(fact, "idle")

@@ -1,0 +1,151 @@
+"""Tests for histories and the linearizability checker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.registers import (
+    HistoryRecorder,
+    Operation,
+    QueueSpec,
+    RegisterSpec,
+    check_register_history,
+    is_linearizable,
+)
+
+
+def op(process, kind, argument, result, start, end):
+    return Operation(process, kind, argument, result, start, end)
+
+
+class TestOperation:
+    def test_response_before_invocation_rejected(self):
+        with pytest.raises(ValueError):
+            op("p", "read", None, 0, 5, 4)
+
+    def test_precedence(self):
+        a = op("p", "write", 1, None, 0, 1)
+        b = op("q", "read", None, 1, 2, 3)
+        c = op("r", "read", None, 1, 0.5, 2.5)
+        assert a.precedes(b)
+        assert not a.precedes(c)  # overlapping
+        assert not b.precedes(a)
+
+
+class TestRegisterLinearizability:
+    def test_sequential_history_linearizable(self):
+        history = [
+            op("p", "write", 5, None, 0, 1),
+            op("q", "read", None, 5, 2, 3),
+        ]
+        assert check_register_history(history) is not None
+
+    def test_stale_read_after_write_not_linearizable(self):
+        history = [
+            op("p", "write", 5, None, 0, 1),
+            op("q", "read", None, 0, 2, 3),  # reads the overwritten value
+        ]
+        assert check_register_history(history, initial=0) is None
+
+    def test_overlapping_read_may_see_either(self):
+        for seen in (0, 5):
+            history = [
+                op("p", "write", 5, None, 0, 10),
+                op("q", "read", None, seen, 1, 2),
+            ]
+            assert check_register_history(history, initial=0) is not None
+
+    def test_new_old_inversion_not_linearizable(self):
+        """The atomicity violation regular registers permit."""
+        history = [
+            op("w", "write", 1, None, 0, 10),
+            op("a", "read", None, 1, 1, 2),   # sees new
+            op("b", "read", None, 0, 3, 4),   # then sees old
+        ]
+        assert check_register_history(history, initial=0) is None
+
+    def test_witness_order_is_legal(self):
+        history = [
+            op("w", "write", 1, None, 0, 10),
+            op("a", "read", None, 0, 1, 2),
+            op("b", "read", None, 1, 3, 4),
+        ]
+        witness = check_register_history(history, initial=0)
+        assert witness is not None
+        spec = RegisterSpec(0)
+        for operation in witness:
+            result = spec.apply(operation.kind, operation.argument)
+            if operation.kind == "read":
+                assert result == operation.result
+
+
+class TestQueueLinearizability:
+    def test_fifo_respected(self):
+        history = [
+            op("p", "enqueue", "a", None, 0, 1),
+            op("p", "enqueue", "b", None, 2, 3),
+            op("q", "dequeue", None, "a", 4, 5),
+            op("q", "dequeue", None, "b", 6, 7),
+        ]
+        assert is_linearizable(history, QueueSpec) is not None
+
+    def test_fifo_violation_rejected(self):
+        history = [
+            op("p", "enqueue", "a", None, 0, 1),
+            op("p", "enqueue", "b", None, 2, 3),
+            op("q", "dequeue", None, "b", 4, 5),  # overtakes "a"
+        ]
+        assert is_linearizable(history, QueueSpec) is None
+
+    def test_concurrent_enqueues_either_order(self):
+        history = [
+            op("p", "enqueue", "a", None, 0, 10),
+            op("q", "enqueue", "b", None, 0, 10),
+            op("r", "dequeue", None, "b", 11, 12),
+            op("r", "dequeue", None, "a", 13, 14),
+        ]
+        assert is_linearizable(history, QueueSpec) is not None
+
+
+class TestHistoryRecorder:
+    def test_invoke_respond_cycle(self):
+        rec = HistoryRecorder()
+        rec.invoke("p", "read", None)
+        operation = rec.respond("p", 42)
+        assert operation.result == 42
+        assert operation.invoked_at < operation.responded_at
+        assert rec.history == [operation]
+
+    def test_double_invoke_rejected(self):
+        rec = HistoryRecorder()
+        rec.invoke("p", "read", None)
+        with pytest.raises(ValueError):
+            rec.invoke("p", "read", None)
+
+
+class TestPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1,
+                    max_size=5))
+    def test_sequential_register_runs_always_linearizable(self, values):
+        """Any strictly sequential run of writes and faithful reads is
+        linearizable — a soundness property of the checker."""
+        spec = RegisterSpec(0)
+        history = []
+        time = 0.0
+        for i, v in enumerate(values):
+            history.append(op(f"w", "write", v, None, time, time + 1))
+            time += 2
+            result = v
+            history.append(op(f"r", "read", None, result, time, time + 1))
+            time += 2
+        assert check_register_history(history, initial=0) is not None
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=100))
+    def test_wrong_final_read_never_linearizable(self, wrong):
+        history = [
+            op("w", "write", wrong + 1, None, 0, 1),
+            op("r", "read", None, wrong + 2, 2, 3),
+        ]
+        assert check_register_history(history, initial=0) is None

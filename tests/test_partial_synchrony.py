@@ -1,0 +1,69 @@
+"""Tests for partial-synchrony consensus (§2.2.4, DLS [46])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asynchronous import run_dls, safety_sweep
+from repro.core import ModelError
+
+
+class TestSafety:
+    def test_sweep_finds_no_violations(self):
+        stats = safety_sweep(n=4, t=1, seeds=range(30))
+        assert stats["agreement_violations"] == 0
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_safety_without_stabilization(self, seed):
+        """Never-GST runs may not decide, but never disagree."""
+        result = run_dls(4, 1, [0, 1, 1, 0], gst_phase=None, seed=seed)
+        assert result.agreement
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000), st.tuples(*[st.integers(0, 1)] * 5))
+    def test_safety_property(self, seed, inputs):
+        result = run_dls(5, 2, list(inputs), gst_phase=None, seed=seed)
+        assert result.agreement
+
+
+class TestLiveness:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_decides_after_gst(self, seed):
+        result = run_dls(4, 1, [0, 1, 1, 0], gst_phase=3, seed=seed)
+        assert result.all_live_decided
+        assert result.agreement
+
+    def test_decides_despite_crashes(self):
+        result = run_dls(5, 2, [1, 1, 0, 0, 1], gst_phase=4, seed=2,
+                         crashed=[4, 3])
+        assert result.all_live_decided
+        assert result.agreement
+
+    def test_crashed_coordinator_is_rotated_past(self):
+        """Crashing process 0 (the first coordinator) only delays things."""
+        result = run_dls(5, 2, [1, 0, 1, 0, 1], gst_phase=2, seed=9,
+                         crashed=[0])
+        assert result.all_live_decided
+
+    def test_decision_is_prompt_after_gst(self):
+        result = run_dls(4, 1, [1, 1, 0, 0], gst_phase=3, seed=1)
+        # Within a coordinator rotation of GST.
+        assert result.phases_run <= 3 + 4
+
+
+class TestValidity:
+    @pytest.mark.parametrize("v", [0, 1])
+    def test_unanimous_inputs_decide_that_value(self, v):
+        result = run_dls(4, 1, [v] * 4, gst_phase=2, seed=3)
+        decided = {d for d in result.decisions.values() if d is not None}
+        assert decided == {v}
+
+
+class TestContract:
+    def test_requires_majority_correct(self):
+        with pytest.raises(ModelError):
+            run_dls(4, 2, [0, 1, 0, 1])
+
+    def test_rejects_too_many_crashes(self):
+        with pytest.raises(ModelError):
+            run_dls(4, 1, [0, 1, 0, 1], crashed=[0, 1])

@@ -1,0 +1,56 @@
+"""Tests for the Karlin–Yao randomized agreement bound (E17)."""
+
+import pytest
+
+from repro.consensus import (
+    CoinFlipAgreement,
+    karlin_yao_certificate,
+    karlin_yao_experiment,
+)
+
+
+class TestCoinCoupling:
+    def test_per_trial_sum_never_exceeds_two(self):
+        """The theorem's combinatorial core: for every coin outcome, at
+        most two of the three spliced scenarios succeed."""
+        result = karlin_yao_experiment(trials=120)
+        assert result.max_per_trial_sum <= 2
+
+    def test_all_three_scenarios_sometimes_succeed_individually(self):
+        """The bound is about simultaneity: each scenario individually
+        succeeds with decent probability."""
+        result = karlin_yao_experiment(trials=120)
+        assert all(rate > 0.2 for rate in result.success_rates.values())
+
+    def test_worst_scenario_below_two_thirds(self):
+        result = karlin_yao_experiment(trials=200)
+        assert result.worst_scenario_rate <= 2.0 / 3.0 + 0.08
+
+    def test_reproducible(self):
+        a = karlin_yao_experiment(trials=40)
+        b = karlin_yao_experiment(trials=40)
+        assert a.success_rates == b.success_rates
+
+    def test_certificate(self):
+        cert = karlin_yao_certificate(trials=100)
+        cert.revalidate()
+        assert cert.details["max_per_trial_sum"] <= 2
+
+
+class TestSeededSpawn:
+    def test_tagged_copies_draw_independent_coins(self):
+        protocol = CoinFlipAgreement(trial_seed=5)
+        a = protocol.spawn_tagged(0, 3, 1, 0, tag=0)
+        b = protocol.spawn_tagged(0, 3, 1, 0, tag=1)
+        # Different tags, independent streams (almost surely different).
+        draws_a = [a.rng.randrange(1000) for _ in range(4)]
+        draws_b = [b.rng.randrange(1000) for _ in range(4)]
+        assert draws_a != draws_b
+
+    def test_same_tag_same_coins(self):
+        protocol = CoinFlipAgreement(trial_seed=5)
+        a = protocol.spawn_tagged(1, 3, 1, 0, tag=0)
+        b = protocol.spawn_tagged(1, 3, 1, 0, tag=0)
+        assert [a.rng.randrange(1000) for _ in range(4)] == [
+            b.rng.randrange(1000) for _ in range(4)
+        ]

@@ -1,0 +1,70 @@
+"""Tests for the exhaustive read/write consensus search (E11's searched-
+class strengthening)."""
+
+import pytest
+
+from repro.registers import (
+    ObjectConsensusSystem,
+    ProgramConsensus,
+    count_programs,
+    enumerate_programs,
+    register_consensus_certificate,
+    search_register_consensus,
+    wait_free_verdict,
+)
+
+
+class TestEnumeration:
+    def test_counts(self):
+        assert count_programs(0) == 4
+        assert count_programs(1) == 32
+        assert count_programs(2) == 1124
+
+    def test_enumeration_matches_count(self):
+        assert len(list(enumerate_programs(1))) == 32
+        assert len(list(enumerate_programs(2))) == 1124
+
+    def test_programs_are_well_formed(self):
+        for program in enumerate_programs(1):
+            assert program[0] in ("decide", "write", "read")
+
+
+class TestProgramSemantics:
+    def test_natural_candidate_runs(self):
+        """write own; read theirs; decide seen — the canonical attempt."""
+        program = ("write", "own", ("read",
+                                    ("decide", "seen"),
+                                    ("decide", "seen")))
+        verdict = wait_free_verdict(
+            ObjectConsensusSystem(ProgramConsensus(program), 2)
+        )
+        assert not verdict.solves_consensus  # of course
+
+    def test_constant_program_fails_validity(self):
+        program = ("decide", "zero")
+        verdict = wait_free_verdict(
+            ObjectConsensusSystem(ProgramConsensus(program), 2)
+        )
+        assert verdict.failure_kind == "validity"
+
+    def test_own_program_fails_agreement(self):
+        program = ("decide", "own")
+        verdict = wait_free_verdict(
+            ObjectConsensusSystem(ProgramConsensus(program), 2)
+        )
+        assert verdict.failure_kind == "agreement"
+
+
+class TestSearch:
+    def test_depth_one_no_solutions(self):
+        outcome = search_register_consensus(depth=1)
+        assert outcome.candidates == 32
+        assert outcome.solutions == []
+
+    def test_depth_two_certificate(self):
+        cert = register_consensus_certificate(depth=2)
+        assert cert.candidates_checked == 1124
+        assert cert.details["agreement_failures"] > 0
+        assert cert.details["validity_failures"] > 0
+        # Every program is a finite tree: wait-freedom never fails.
+        assert cert.details["wait_freedom_failures"] == 0

@@ -1,0 +1,61 @@
+"""Tests for wait-free renaming on the snapshot substrate (§2.2.4, [10])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ModelError
+from repro.registers import run_renaming, renaming_series
+
+
+class TestRenaming:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_names_distinct(self, seed):
+        outcome = run_renaming([101, 57, 883], seed=seed)
+        assert outcome.names_distinct
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_names_within_wait_free_bound(self, seed):
+        """Decided names fit in 1 .. 2n - 1 — the n + t bound at t = n-1."""
+        outcome = run_renaming([101, 57, 883], seed=seed)
+        assert outcome.within_bound()
+
+    def test_four_processes(self):
+        for seed in range(8):
+            outcome = run_renaming([40, 10, 30, 20], seed=seed)
+            assert outcome.names_distinct
+            assert outcome.max_name <= 2 * 4 - 1
+
+    def test_wait_free_with_partial_participation(self):
+        """Crashed-from-the-start processes never block the others."""
+        outcome = run_renaming([5, 9, 2, 7], seed=3, active=[0, 2])
+        assert set(outcome.new_names) == {5, 2}
+        assert outcome.names_distinct
+
+    def test_solo_run_takes_first_name(self):
+        outcome = run_renaming([42, 77], seed=0, active=[0])
+        assert outcome.new_names == {42: 1}
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ModelError):
+            run_renaming([1, 1, 2])
+
+    def test_series_helper(self):
+        outcomes = renaming_series([3, 1, 2], seeds=range(5))
+        assert all(o.names_distinct for o in outcomes)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.permutations([11, 22, 33, 44]), st.integers(0, 50))
+    def test_property_distinct_and_bounded(self, ids, seed):
+        outcome = run_renaming(list(ids), seed=seed)
+        assert outcome.names_distinct
+        assert outcome.within_bound()
+
+    def test_name_depends_on_schedule_not_only_ids(self):
+        """The new name space is genuinely contended: different schedules
+        can hand the same process different names."""
+        names = {
+            run_renaming([101, 57, 883], seed=s).new_names[883]
+            for s in range(10)
+        }
+        assert len(names) > 1

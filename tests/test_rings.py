@@ -1,0 +1,147 @@
+"""Tests for ring computations: elections, message bounds, time-slice (E13)."""
+
+import math
+import random
+
+import pytest
+
+from repro.rings import (
+    best_case_ring,
+    bit_reversal_ring,
+    hs_election,
+    lcr_election,
+    message_series,
+    n_log_n,
+    order_equivalent_rotations,
+    order_equivalent_segments,
+    ring_election_certificate,
+    timeslice_election,
+    worst_case_ring,
+)
+
+
+class TestLCR:
+    @pytest.mark.parametrize("n", [2, 3, 8, 17])
+    def test_elects_maximum(self, n):
+        rng = random.Random(n)
+        idents = list(range(1, n + 1))
+        rng.shuffle(idents)
+        result = lcr_election(idents)
+        assert result.election_complete
+        assert idents[result.leaders[0]] == n
+
+    def test_worst_case_quadratic(self):
+        """Descending IDs: probe messages sum to exactly n(n+1)/2, plus n
+        announcements."""
+        for n in (8, 16, 32):
+            result = lcr_election(worst_case_ring(n))
+            assert result.messages == n * (n + 1) // 2 + n
+
+    def test_best_case_linear(self):
+        for n in (8, 16, 32):
+            result = lcr_election(best_case_ring(n))
+            assert result.messages == 3 * n - 1
+
+    def test_deterministic_under_seed(self):
+        a = lcr_election(worst_case_ring(8), seed=5)
+        b = lcr_election(worst_case_ring(8), seed=5)
+        assert a.messages == b.messages and a.steps == b.steps
+
+
+class TestHS:
+    @pytest.mark.parametrize("n", [2, 3, 8, 20])
+    def test_elects_maximum(self, n):
+        rng = random.Random(n * 7)
+        idents = list(range(1, n + 1))
+        rng.shuffle(idents)
+        result = hs_election(idents)
+        assert result.elected_exactly_one
+        assert idents[result.leaders[0]] == n
+
+    def test_n_log_n_upper_bound(self):
+        """Textbook bound: at most 8 n (log n + 1) + announcement traffic."""
+        for n in (8, 16, 32, 64):
+            result = hs_election(worst_case_ring(n))
+            assert result.messages <= 8 * n * (math.log2(n) + 1) + n
+
+    def test_beats_lcr_on_large_descending_rings(self):
+        """The crossover the complexity classes predict."""
+        n = 64
+        assert (
+            hs_election(worst_case_ring(n)).messages
+            < lcr_election(worst_case_ring(n)).messages
+        )
+
+    def test_lcr_beats_hs_on_small_rings(self):
+        n = 8
+        assert (
+            lcr_election(worst_case_ring(n)).messages
+            < hs_election(worst_case_ring(n)).messages
+        )
+
+
+class TestBitReversalRings:
+    def test_survey_example(self):
+        """The survey's example ring 0,4,2,6,1,5,3,7 (plus one)."""
+        assert bit_reversal_ring(3) == [1, 5, 3, 7, 2, 6, 4, 8]
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_segments_are_order_equivalent(self, k):
+        ring = bit_reversal_ring(k)
+        for j in range(1, k):
+            length = 2 ** j
+            count = order_equivalent_segments(ring, length)
+            assert count == len(ring) // length  # ALL segments equivalent
+
+    def test_random_rings_are_not_this_symmetric(self):
+        rng = random.Random(0)
+        ring = list(range(1, 17))
+        rng.shuffle(ring)
+        assert order_equivalent_segments(ring, 4) < 4
+
+    def test_rotation_equivalence_of_periodic_ring(self):
+        """Full-ring rotation equivalence needs a periodic arrangement
+        (with distinct IDs the split pair always betrays the rotation)."""
+        assert order_equivalent_rotations([1, 2, 1, 2], 2)
+        assert not order_equivalent_rotations(bit_reversal_ring(3), 4)
+
+
+class TestMessageSeries:
+    def test_hs_series_is_n_log_n_shaped(self):
+        sizes = (8, 16, 32, 64)
+        series = message_series(
+            lambda r: hs_election(r), sizes,
+            lambda n: bit_reversal_ring(int(math.log2(n))),
+        )
+        for n in sizes:
+            assert n_log_n(n, 0.5) <= series[n] <= n_log_n(n, 8) + 4 * n
+
+    def test_certificate_holds(self):
+        cert = ring_election_certificate(sizes=(8, 16, 32))
+        cert.revalidate()
+        assert cert.holds()
+
+
+class TestTimeSlice:
+    """The Frederickson–Lynch counterexample algorithm (§2.4.2)."""
+
+    def test_linear_messages(self):
+        for idents in ([3, 5, 4, 7], [2, 9, 6, 4, 8], [1, 2, 3, 4]):
+            result = timeslice_election(idents)
+            assert result.election_complete
+            # Exactly n token hops: O(n) messages, beating n log n.
+            assert result.messages == len(idents)
+
+    def test_minimum_id_wins(self):
+        result = timeslice_election([3, 5, 4, 7])
+        assert result.leaders == [0]
+
+    def test_time_grows_with_minimum_id(self):
+        fast = timeslice_election([1, 90, 91, 92]).rounds
+        slow = timeslice_election([12, 90, 91, 92]).rounds
+        assert slow > fast
+        assert slow >= 11 * 4  # window for ID 12 opens at round 45
+
+    def test_rejects_nonpositive_ids(self):
+        with pytest.raises(ValueError):
+            timeslice_election([0, 1, 2])

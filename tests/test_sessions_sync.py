@@ -1,0 +1,72 @@
+"""Tests for the sessions time gap (E9) and synchronizer tradeoff."""
+
+import networkx as nx
+import pytest
+
+from repro.asynchronous import (
+    ring_diameter,
+    run_alpha_synchronizer,
+    run_async_sessions,
+    run_beta_synchronizer,
+    run_sync_sessions,
+    stretching_lower_bound,
+    tradeoff_comparison,
+)
+
+
+class TestSessions:
+    @pytest.mark.parametrize("n,s", [(4, 2), (8, 3), (8, 4), (16, 3)])
+    def test_async_algorithm_is_correct(self, n, s):
+        outcome = run_async_sessions(n, s)
+        assert outcome.sessions_completed() == s
+
+    @pytest.mark.parametrize("n,s", [(4, 2), (8, 4), (16, 3), (32, 4)])
+    def test_async_time_respects_lower_bound(self, n, s):
+        outcome = run_async_sessions(n, s)
+        assert outcome.total_time >= stretching_lower_bound(n, s)
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_gap_grows_with_diameter(self, n):
+        s = 3
+        sync = run_sync_sessions(n, s)
+        async_ = run_async_sessions(n, s)
+        assert sync.total_time == s
+        assert async_.total_time >= s * ring_diameter(n) / 2
+
+    def test_async_time_linear_in_sessions(self):
+        t2 = run_async_sessions(16, 2).total_time
+        t4 = run_async_sessions(16, 4).total_time
+        assert t4 >= 1.8 * t2
+
+    def test_sync_needs_no_messages(self):
+        assert run_sync_sessions(8, 3).messages == 0
+
+
+class TestSynchronizers:
+    def graph(self):
+        # Dense enough that |E| >> n, making the alpha/beta contrast stark.
+        return nx.random_regular_graph(6, 20, seed=7)
+
+    def test_alpha_is_fast(self):
+        outcome = run_alpha_synchronizer(self.graph(), pulses=5)
+        assert outcome.time_per_pulse <= 4
+
+    def test_beta_is_lean(self):
+        g = self.graph()
+        alpha = run_alpha_synchronizer(g, pulses=5)
+        beta = run_beta_synchronizer(g, pulses=5)
+        # Beta spends fewer overhead messages, alpha less time per pulse.
+        assert beta.overhead_per_pulse < alpha.overhead_per_pulse
+        assert alpha.time_per_pulse < beta.time_per_pulse
+
+    def test_all_pulses_simulated(self):
+        g = self.graph()
+        for outcome in tradeoff_comparison(g, pulses=4).values():
+            # Every node broadcasts each pulse: payload = 2|E| per pulse.
+            assert outcome.payload_messages == 4 * 2 * g.number_of_edges()
+
+    def test_line_graph_beta_depth_cost(self):
+        line = nx.path_graph(16)
+        beta = run_beta_synchronizer(line, pulses=3)
+        # Convergecast + broadcast over depth ~15: time per pulse is large.
+        assert beta.time_per_pulse > 15

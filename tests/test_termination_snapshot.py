@@ -1,0 +1,71 @@
+"""Tests for termination detection (Chandy–Misra bound) and global
+snapshots (Chandy–Lamport) — survey §2.6 and the unification remark."""
+
+import pytest
+
+from repro.asynchronous import (
+    conservation_series,
+    message_bound_series,
+    run_dijkstra_scholten,
+    run_token_snapshot,
+)
+
+
+class TestDijkstraScholten:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_detection_is_sound(self, seed):
+        """Termination is declared only when nothing is active or in flight."""
+        result = run_dijkstra_scholten(seed=seed)
+        assert result.detected
+        assert result.detection_was_correct
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_chandy_misra_bound_met_with_equality(self, seed):
+        """The lower bound says control >= basic; Dijkstra–Scholten pays
+        exactly one signal per basic message."""
+        result = run_dijkstra_scholten(seed=seed, budget=6, fanout=3)
+        assert result.control_messages == result.basic_messages
+
+    def test_bigger_computations(self):
+        result = run_dijkstra_scholten(n=8, budget=8, fanout=3, seed=5)
+        assert result.detected and result.detection_was_correct
+        assert result.basic_messages > 10
+        assert result.control_messages == result.basic_messages
+
+    def test_series_helper(self):
+        series = message_bound_series(range(6))
+        assert all(control == basic for basic, control in series)
+
+    def test_reproducible(self):
+        a = run_dijkstra_scholten(seed=3)
+        b = run_dijkstra_scholten(seed=3)
+        assert (a.basic_messages, a.steps) == (b.basic_messages, b.steps)
+
+
+class TestChandyLamport:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_snapshot_conserves_tokens(self, seed):
+        result = run_token_snapshot(seed=seed)
+        assert result.consistent, (
+            result.initial_total, result.snapshot_total
+        )
+
+    def test_naive_dump_misses_in_flight_tokens(self):
+        """The contrast that motivates the algorithm: reading balances
+        without channel recording undercounts whenever tokens are flying."""
+        series = conservation_series(range(12))
+        undercounts = sum(1 for initial, _snap, naive in series
+                          if naive < initial)
+        assert undercounts >= 3  # the workload keeps channels busy
+
+    def test_every_process_recorded(self):
+        result = run_token_snapshot(seed=1, n=5)
+        assert len(result.recorded_states) == 5
+
+    def test_all_channels_closed(self):
+        result = run_token_snapshot(seed=2, n=4)
+        assert len(result.recorded_channels) == 4 * 3
+
+    def test_markers_one_per_channel(self):
+        result = run_token_snapshot(seed=4, n=4)
+        assert result.markers_sent == 4 * 3

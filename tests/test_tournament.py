@@ -1,0 +1,49 @@
+"""Tests for the n-process tournament mutex."""
+
+import pytest
+
+from repro.shared_memory.mutex import tournament_system
+
+
+class TestTournamentTwo:
+    def test_mutual_exclusion(self):
+        assert tournament_system(2).check_mutual_exclusion() is None
+
+    def test_lockout_freedom(self):
+        system = tournament_system(2)
+        for p in ("p0", "p1"):
+            assert system.check_lockout_freedom(p) is None
+
+
+class TestTournamentFour:
+    """Full state-space verification at n = 4 (~10^5 configurations)."""
+
+    def test_mutual_exclusion(self):
+        system = tournament_system(4)
+        assert system.check_mutual_exclusion(max_states=2_000_000) is None
+
+    def test_lockout_freedom_of_p0(self):
+        system = tournament_system(4)
+        assert system.check_lockout_freedom(
+            "p0", max_states=2_000_000
+        ) is None
+
+    def test_register_count_above_burns_lynch_bound(self):
+        system = tournament_system(4)
+        assert len(system.initial_memory) == 3 * (4 - 1) >= 4  # >= n
+
+
+class TestStructure:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            tournament_system(3)
+
+    def test_levels_and_roles(self):
+        from repro.shared_memory.mutex import TournamentProcess
+
+        p5 = TournamentProcess("p5", 5, 8)
+        assert p5.levels == 3
+        # At level 0, process 5 plays node 2 with side 1 (5 = 0b101).
+        assert p5._node(0) == 2 and p5._side(0) == 1
+        assert p5._node(1) == 1 and p5._side(1) == 0
+        assert p5._node(2) == 0 and p5._side(2) == 1

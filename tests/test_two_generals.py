@@ -1,0 +1,68 @@
+"""Tests for the Two Generals chain argument (E7)."""
+
+import pytest
+
+from repro.asynchronous import (
+    ATTACK,
+    RETREAT,
+    HandshakeProtocol,
+    RecklessProtocol,
+    TimidProtocol,
+    delivery_chain,
+    run_with_losses,
+    two_generals_certificate,
+    validate_chain_links,
+)
+
+
+class TestExecutionModel:
+    def test_full_delivery_handshake(self):
+        run = run_with_losses(HandshakeProtocol(2, 1), ATTACK, delivered=2)
+        assert run.decisions == (ATTACK, ATTACK)
+
+    def test_no_delivery(self):
+        run = run_with_losses(HandshakeProtocol(2, 1), ATTACK, delivered=0)
+        assert run.decisions == (RETREAT, RETREAT)
+
+    def test_retreat_order_never_attacks(self):
+        for k in range(3):
+            run = run_with_losses(HandshakeProtocol(2, 1), RETREAT, delivered=k)
+            assert ATTACK not in run.decisions
+
+    def test_chain_structure(self):
+        chain = delivery_chain(HandshakeProtocol(4, 2), ATTACK)
+        assert [run.delivered for run in chain] == [4, 3, 2, 1, 0]
+
+    def test_chain_links_validate(self):
+        chain = delivery_chain(HandshakeProtocol(4, 2), ATTACK)
+        validate_chain_links(chain)  # raises on a broken link
+
+
+class TestCertificates:
+    @pytest.mark.parametrize("rounds,confirmations", [
+        (2, 1), (4, 1), (4, 2), (6, 3),
+    ])
+    def test_every_handshake_fails(self, rounds, confirmations):
+        cert = two_generals_certificate(HandshakeProtocol(rounds, confirmations))
+        assert cert.technique == "chain (message removal)"
+        # The failure is always an uncoordinated pair somewhere mid-chain.
+        assert "uncoordinated" in cert.claim or "decide" in cert.claim
+
+    def test_handshake_failure_is_agreement_violation(self):
+        cert = two_generals_certificate(HandshakeProtocol(2, 1))
+        run = cert.evidence
+        assert not run.agreement
+
+    def test_timid_fails_full_delivery_requirement(self):
+        cert = two_generals_certificate(TimidProtocol())
+        assert "never coordinates" in cert.claim
+
+    def test_reckless_fails_empty_requirement(self):
+        cert = two_generals_certificate(RecklessProtocol())
+        assert "no information" in cert.claim
+
+    def test_deeper_handshakes_fail_deeper_in_the_chain(self):
+        """More acks push the break point further along — but never away."""
+        shallow = two_generals_certificate(HandshakeProtocol(2, 1))
+        deep = two_generals_certificate(HandshakeProtocol(6, 3))
+        assert shallow.details["delivered"] <= deep.details["delivered"]
