@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Run the E1–E24 benchmark suite and record the perf trajectory.
+
+Runs every ``bench_*.py`` experiment under pytest-benchmark, aggregates
+timings plus each benchmark's reproduced ``extra_info``, and writes a
+single machine-readable snapshot (``BENCH_core.json`` at the repo root by
+default).  Subsequent PRs regress against the checked-in snapshot, which
+is what gives the repository a measurable performance trajectory.
+
+Usage::
+
+    python benchmarks/run_all.py             # full suite -> BENCH_core.json
+    python benchmarks/run_all.py --quick     # CI smoke: subset, one round
+    python benchmarks/run_all.py -k e6       # just the FLP benchmarks
+    python benchmarks/run_all.py --output /tmp/after.json
+
+The snapshot records, per benchmark: mean/stddev/min wall time, round
+count, and the experiment's reproduced numbers (``extra_info``), so a
+regression in either speed *or* reproduced results is visible in one
+diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+
+# The smoke subset exercises the three pillars of the engine: valency
+# analysis (E6), exhaustive protocol search + liveness checking (E1), and
+# the ablation harness.
+QUICK_FILES = ("bench_e6_flp.py", "bench_ablations.py")
+
+SCHEMA = "repro-bench-core/v1"
+
+
+def run_suite(args: argparse.Namespace) -> dict:
+    """Invoke pytest-benchmark and return its parsed JSON report."""
+    with tempfile.NamedTemporaryFile(
+        mode="r", suffix=".json", prefix="bench-", delete=False
+    ) as handle:
+        raw_path = handle.name
+    targets = (
+        [os.path.join(BENCH_DIR, f) for f in QUICK_FILES]
+        if args.quick
+        else [BENCH_DIR]
+    )
+    min_rounds = 1 if args.quick else args.min_rounds
+    max_time = 0.01 if args.quick else args.max_time
+    command = [
+        sys.executable, "-m", "pytest", *targets,
+        "-q", "--no-header",
+        f"--benchmark-json={raw_path}",
+        f"--benchmark-min-rounds={min_rounds}",
+        f"--benchmark-max-time={max_time}",
+    ]
+    if args.keyword:
+        command += ["-k", args.keyword]
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    print("$", " ".join(command), flush=True)
+    proc = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    if proc.returncode != 0:
+        raise SystemExit(f"benchmark suite failed (pytest exit {proc.returncode})")
+    with open(raw_path) as handle:
+        report = json.load(handle)
+    os.unlink(raw_path)
+    return report
+
+
+def aggregate(report: dict, args: argparse.Namespace) -> dict:
+    """Reduce the pytest-benchmark report to the trajectory snapshot."""
+    benchmarks = []
+    for bench in sorted(report.get("benchmarks", []), key=lambda b: b["fullname"]):
+        stats = bench["stats"]
+        benchmarks.append(
+            {
+                "name": bench["name"],
+                "file": bench["fullname"].split("::")[0],
+                "mean_s": round(stats["mean"], 6),
+                "stddev_s": round(stats["stddev"], 6),
+                "min_s": round(stats["min"], 6),
+                "rounds": stats["rounds"],
+                "extra_info": bench.get("extra_info", {}),
+            }
+        )
+    machine = report.get("machine_info", {})
+    return {
+        "schema": SCHEMA,
+        "quick": bool(args.quick),
+        "recorded_at": report.get("datetime"),
+        "python": platform.python_version(),
+        "machine": {
+            "node": machine.get("node"),
+            "processor": machine.get("processor"),
+            "cpu_count": os.cpu_count(),
+        },
+        "totals": {
+            "benchmarks": len(benchmarks),
+            "mean_total_s": round(sum(b["mean_s"] for b in benchmarks), 6),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke run: E6 + ablations only, one round each",
+    )
+    parser.add_argument(
+        "--output", default=os.path.join(REPO_ROOT, "BENCH_core.json"),
+        help="where to write the snapshot (default: repo-root BENCH_core.json)",
+    )
+    parser.add_argument("-k", dest="keyword", default=None,
+                        help="pytest -k selection within the suite")
+    parser.add_argument("--min-rounds", type=int, default=3,
+                        help="pytest-benchmark min rounds (full mode)")
+    parser.add_argument("--max-time", type=float, default=0.5,
+                        help="pytest-benchmark max seconds per bench (full mode)")
+    args = parser.parse_args(argv)
+
+    snapshot = aggregate(run_suite(args), args)
+    with open(args.output, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    totals = snapshot["totals"]
+    print(
+        f"wrote {args.output}: {totals['benchmarks']} benchmarks, "
+        f"mean total {totals['mean_total_s']:.2f}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

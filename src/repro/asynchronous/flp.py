@@ -182,11 +182,13 @@ def flp_analysis(
     system = AsyncConsensusSystem(protocol, n)
     analyzer = ValencyAnalyzer(system, max_configurations=max_configurations)
 
-    # Valency of every initial configuration (Lemma 2 territory).
+    # Valency of every initial configuration (Lemma 2 territory).  One
+    # batched labelling pass covers the union of all the initial cones.
+    labelled = dict(analyzer.classify_initial())
     initial_valencies = []
     bivalent_inputs = None
     for inputs in system.input_vectors:
-        valency = analyzer.valency(system.configuration_for(inputs))
+        valency = labelled[system.configuration_for(inputs)]
         initial_valencies.append((inputs, valency))
         if len(valency) >= 2 and bivalent_inputs is None:
             bivalent_inputs = inputs
@@ -201,7 +203,7 @@ def flp_analysis(
         )
 
     # Safety: reachable agreement violation anywhere?
-    violation = analyzer.find_agreement_violation()
+    violation = analyzer.find_disagreement()
     if violation is not None:
         return FLPReport(
             protocol.name, n, initial_valencies, bivalent_inputs,

@@ -32,7 +32,13 @@ from .exploration import (
     find_state,
     reachable_states_satisfying,
 )
-from .freeze import freeze, frozendict, is_frozen, thaw
+from .freeze import clear_intern_table, freeze, frozendict, intern_frozen, is_frozen, thaw
+from .stategraph import (
+    StateGraph,
+    clear_state_graphs,
+    forget_state_graph,
+    state_graph,
+)
 from .indistinguishability import (
     IndistinguishabilityChain,
     View,
@@ -70,9 +76,15 @@ __all__ = [
     "reachable_states_satisfying",
     "can_reach_from",
     "ReachabilityResult",
+    "StateGraph",
+    "state_graph",
+    "forget_state_graph",
+    "clear_state_graphs",
     "freeze",
     "thaw",
     "frozendict",
+    "intern_frozen",
+    "clear_intern_table",
     "is_frozen",
     "View",
     "ViewExtractor",

@@ -8,22 +8,23 @@ finite graph questions over configuration spaces:
 * exhaustive protocol search enumerates automata and asks reachability
   questions about each.
 
-This module provides the shared graph machinery: breadth-first reachability
-with budgets, invariant checking with counterexample extraction, and
-detection of reachable states satisfying a predicate.
+This module is the query layer over the shared
+:class:`~repro.core.stategraph.StateGraph` engine: every helper routes
+through one memoized successor cache and one resumable breadth-first
+frontier per automaton, so asking five questions of the same automaton
+expands its graph once, not five times.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Callable,
     Dict,
     Iterable,
     List,
     Optional,
-    Sequence,
     Set,
     Tuple,
 )
@@ -31,6 +32,7 @@ from typing import (
 from .automaton import Action, IOAutomaton, State
 from .errors import InvariantViolation, SearchBudgetExceeded
 from .execution import Execution
+from .stategraph import StateGraph, state_graph
 
 
 @dataclass
@@ -48,6 +50,12 @@ class ReachabilityResult:
 
     def path_to(self, target: State) -> Execution:
         """Reconstruct a shortest execution from a start state to ``target``."""
+        if target not in self.parents:
+            raise ValueError(
+                f"state {target!r} was not discovered by this exploration of "
+                f"{self.automaton.name} ({len(self.parents)} states searched); "
+                "cannot reconstruct a path to it"
+            )
         states: List[State] = [target]
         actions: List[Action] = []
         cursor = target
@@ -74,10 +82,27 @@ def explore(
     systems); set ``include_inputs`` to also fire every input action in
     every state (open systems under a maximally hostile environment).
 
+    The expansion is served by the automaton's shared
+    :class:`~repro.core.stategraph.StateGraph`, so repeated calls (and
+    the other helpers in this module) reuse one frontier.  Passing
+    ``actions_filter`` or ``initial_states`` asks a question about a
+    *different* graph or starting point, which gets a one-off frontier —
+    still backed by the memoized successor cache.
+
     Raises :class:`SearchBudgetExceeded` when more than ``max_states``
     distinct states are discovered.
     """
-    starts = list(initial_states if initial_states is not None else automaton.initial_states())
+    graph = state_graph(automaton)
+    if actions_filter is None and initial_states is None:
+        frontier = graph.frontier(include_inputs)
+        frontier.expand_all(max_states)
+        return ReachabilityResult(
+            automaton, set(frontier.parents), dict(frontier.parents), complete=True
+        )
+
+    starts = list(
+        initial_states if initial_states is not None else automaton.initial_states()
+    )
     reachable: Set[State] = set()
     parents: Dict[State, Optional[Tuple[State, Action]]] = {}
     queue: deque = deque()
@@ -86,26 +111,45 @@ def explore(
             reachable.add(s)
             parents[s] = None
             queue.append(s)
-
     while queue:
         state = queue.popleft()
-        candidate_actions = list(automaton.enabled_actions(state))
-        if include_inputs:
-            candidate_actions.extend(automaton.signature.inputs)
-        for action in candidate_actions:
+        for action, succ in graph.transitions(state, include_inputs):
             if actions_filter is not None and not actions_filter(state, action):
                 continue
-            for succ in automaton.apply(state, action):
-                if succ in reachable:
-                    continue
-                if len(reachable) >= max_states:
-                    raise SearchBudgetExceeded(
-                        f"exploration of {automaton.name} exceeded {max_states} states"
-                    )
-                reachable.add(succ)
-                parents[succ] = (state, action)
-                queue.append(succ)
+            if succ in reachable:
+                continue
+            if len(reachable) >= max_states:
+                raise SearchBudgetExceeded(
+                    f"exploration of {automaton.name} exceeded {max_states} states"
+                )
+            reachable.add(succ)
+            parents[succ] = (state, action)
+            queue.append(succ)
     return ReachabilityResult(automaton, reachable, parents, complete=True)
+
+
+def _check_invariant_counting(
+    automaton: IOAutomaton,
+    invariant: Callable[[State], bool],
+    max_states: int,
+    include_inputs: bool,
+) -> Tuple[Optional[Execution], int]:
+    """Scan the shared frontier for a violation; also count states checked.
+
+    States stream in BFS discovery order, so the first violation found is
+    at minimal depth and its parent chain is a shortest counterexample.
+    """
+    graph = state_graph(automaton)
+    frontier = graph.frontier(include_inputs)
+    checked = 0
+    for state in frontier.states(max_states):
+        checked += 1
+        if not invariant(state):
+            result = ReachabilityResult(
+                automaton, set(), frontier.parents, complete=False
+            )
+            return result.path_to(state), checked
+    return None, checked
 
 
 def check_invariant(
@@ -119,39 +163,10 @@ def check_invariant(
     Returns a shortest counterexample execution, or None when the invariant
     holds over the entire (budget-bounded) reachable space.
     """
-    starts = list(automaton.initial_states())
-    reachable: Set[State] = set()
-    parents: Dict[State, Optional[Tuple[State, Action]]] = {}
-    queue: deque = deque()
-    result = ReachabilityResult(automaton, reachable, parents, complete=False)
-    for s in starts:
-        if s in reachable:
-            continue
-        reachable.add(s)
-        parents[s] = None
-        if not invariant(s):
-            return result.path_to(s)
-        queue.append(s)
-
-    while queue:
-        state = queue.popleft()
-        candidate_actions = list(automaton.enabled_actions(state))
-        if include_inputs:
-            candidate_actions.extend(automaton.signature.inputs)
-        for action in candidate_actions:
-            for succ in automaton.apply(state, action):
-                if succ in reachable:
-                    continue
-                if len(reachable) >= max_states:
-                    raise SearchBudgetExceeded(
-                        f"invariant check on {automaton.name} exceeded {max_states} states"
-                    )
-                reachable.add(succ)
-                parents[succ] = (state, action)
-                if not invariant(succ):
-                    return result.path_to(succ)
-                queue.append(succ)
-    return None
+    witness, _checked = _check_invariant_counting(
+        automaton, invariant, max_states, include_inputs
+    )
+    return witness
 
 
 def assert_invariant(
@@ -163,21 +178,17 @@ def assert_invariant(
 ) -> int:
     """Raise :class:`InvariantViolation` with a witness if the invariant fails.
 
-    Returns the number of states checked when the invariant holds.
+    Returns the number of states checked when the invariant holds — counted
+    during the single exploration pass, not by re-exploring.
     """
-    witness = check_invariant(
-        automaton, invariant, max_states=max_states, include_inputs=include_inputs
+    witness, checked = _check_invariant_counting(
+        automaton, invariant, max_states, include_inputs
     )
     if witness is not None:
         raise InvariantViolation(
             f"invariant violated: {description}\n{witness.describe()}", witness=witness
         )
-    # Re-explore to count states (check_invariant stops early only on failure).
-    return len(
-        explore(
-            automaton, max_states=max_states, include_inputs=include_inputs
-        ).reachable
-    )
+    return checked
 
 
 def find_state(
@@ -202,10 +213,10 @@ def reachable_states_satisfying(
     include_inputs: bool = False,
 ) -> List[State]:
     """All reachable states satisfying ``predicate`` (exploration-complete)."""
-    result = explore(
-        automaton, max_states=max_states, include_inputs=include_inputs
-    )
-    return [s for s in result.reachable if predicate(s)]
+    graph = state_graph(automaton)
+    return [
+        s for s in graph.states(max_states, include_inputs) if predicate(s)
+    ]
 
 
 def can_reach_from(
@@ -216,13 +227,10 @@ def can_reach_from(
 ) -> bool:
     """Reachability of ``goal`` from a specific configuration.
 
-    This is the primitive valency analysis builds on: "is a 0-decision
-    reachable from C?".
+    This is the primitive ad-hoc valency queries build on: "is a
+    0-decision reachable from C?".  The forward cone of ``start`` is
+    memoized on the automaton's shared graph, so repeated queries from
+    one configuration pay for its expansion once.
     """
-    try:
-        result = explore(
-            automaton, max_states=max_states, initial_states=[start]
-        )
-    except SearchBudgetExceeded:
-        raise
-    return any(goal(s) for s in result.reachable)
+    cone = state_graph(automaton).cone(start, max_states)
+    return any(goal(s) for s in cone)

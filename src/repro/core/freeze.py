@@ -8,11 +8,19 @@ immutable one, and :func:`thaw` converts it back for inspection.
 
 The encoding is canonical: two structurally equal mutable values freeze to
 equal hashable values, regardless of dict insertion order.
+
+Because frozen states live in the inner loops of the exploration engine
+(every ``succ in reachable`` membership test hashes one), this module also
+hash-conses: :class:`frozendict` computes its hash once and caches it, and
+:func:`intern_frozen` maintains an intern table mapping each frozen
+container to one canonical instance, so structurally equal states share
+identity — and dict/set probes short-circuit on ``is`` instead of walking
+deep structures.
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any, Dict, Mapping, Sequence
 
 
 class frozendict(Mapping):
@@ -44,6 +52,15 @@ class frozendict(Mapping):
 
     def __eq__(self, other):
         if isinstance(other, frozendict):
+            if self is other:
+                return True
+            # Cached hashes disagree => the mappings cannot be equal.
+            if (
+                self._hash is not None
+                and other._hash is not None
+                and self._hash != other._hash
+            ):
+                return False
             return self._data == other._data
         if isinstance(other, dict):
             return self._data == other
@@ -56,6 +73,10 @@ class frozendict(Mapping):
 
     def set(self, key, value) -> "frozendict":
         """Return a copy of this mapping with ``key`` bound to ``value``."""
+        if key in self._data:
+            old = self._data[key]
+            if old is value or old == value:
+                return self
         new = dict(self._data)
         new[key] = value
         return frozendict(new)
@@ -67,23 +88,56 @@ class frozendict(Mapping):
         return frozendict(new)
 
 
-def freeze(value: Any) -> Any:
+_INTERN: Dict[Any, Any] = {}
+
+
+def intern_frozen(value: Any) -> Any:
+    """Hash-cons ``value``: return the canonical instance equal to it.
+
+    Only container values (:class:`frozendict`, tuple, frozenset) are
+    interned — scalars are returned unchanged.  Unhashable values pass
+    through untouched.  The canonical instance is whichever equal value
+    was interned first, so states that recur across explorations share
+    one object and equality checks inside set/dict probes reduce to
+    identity.
+    """
+    if not isinstance(value, (frozendict, tuple, frozenset)):
+        return value
+    try:
+        return _INTERN.setdefault(value, value)
+    except TypeError:
+        return value
+
+
+def clear_intern_table() -> None:
+    """Empty the intern table (mainly for long-running processes and tests)."""
+    _INTERN.clear()
+
+
+def freeze(value: Any, intern: bool = True) -> Any:
     """Recursively convert ``value`` into an equivalent hashable value.
 
     * dict -> :class:`frozendict` (values frozen recursively)
     * list / tuple -> tuple of frozen elements
     * set / frozenset -> frozenset of frozen elements
     * everything else is returned unchanged (assumed already hashable)
+
+    With ``intern`` (the default), frozen containers are hash-consed
+    through :func:`intern_frozen` so equal states share one instance.
     """
     if isinstance(value, frozendict):
-        return frozendict({k: freeze(v) for k, v in value.items()})
-    if isinstance(value, Mapping):
-        return frozendict({k: freeze(v) for k, v in value.items()})
-    if isinstance(value, (list, tuple)):
-        return tuple(freeze(v) for v in value)
-    if isinstance(value, (set, frozenset)):
-        return frozenset(freeze(v) for v in value)
-    return value
+        frozen: Any = frozendict(
+            {k: freeze(v, intern) for k, v in value.items()}
+        )
+    elif isinstance(value, Mapping):
+        frozen = frozendict({k: freeze(v, intern) for k, v in value.items()})
+    elif isinstance(value, (list, tuple)):
+        frozen = tuple(freeze(v, intern) for v in value)
+    elif isinstance(value, (set, frozenset)):
+        frozen = frozenset(freeze(v, intern) for v in value)
+    else:
+        return value
+    return intern_frozen(frozen) if intern else frozen
 
 
 def thaw(value: Any) -> Any:

@@ -1,0 +1,300 @@
+"""The shared state-graph engine: memoized successor expansion.
+
+Every mechanized impossibility argument in this reproduction bottoms out
+in repeated reachability queries over the same configuration graph —
+pigeonhole counting explores it, invariant checking scans it, liveness
+checking builds cycles over it, and exhaustive protocol search asks all
+three questions of every candidate.  Before this module existed each
+query re-expanded the graph from scratch: five helpers, five independent
+BFS passes, five rounds of ``enabled_actions``/``apply`` on identical
+states.
+
+:class:`StateGraph` is the explicit-state-model-checker answer: one
+engine per automaton that
+
+* memoizes **successor expansion** per state (``transitions``), so each
+  ``(state, action) -> successors`` sweep happens exactly once no matter
+  how many queries ask for it;
+* maintains one **resumable breadth-first frontier** per exploration
+  mode (with/without environment inputs), so ``explore``,
+  ``check_invariant``, ``find_state`` and ``reachable_states_satisfying``
+  all extend the same discovery order instead of restarting;
+* memoizes **forward cones** for ``can_reach_from`` so repeated valency
+  style queries from one configuration are answered from cache;
+* keeps hit/miss statistics so benchmarks (and tests) can observe the
+  sharing.
+
+Graphs are looked up per automaton through :func:`state_graph`, which
+caches the graph on the automaton itself (so it is garbage collected
+with it) and is how the module-level helpers in
+:mod:`repro.core.exploration` transparently share work.  The cache
+assumes the automaton's transition relation is immutable after
+construction — true for every automaton in this repository; call
+:func:`forget_state_graph` if you mutate one.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import deque
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from .automaton import Action, IOAutomaton, State
+from .errors import SearchBudgetExceeded
+
+Edge = Tuple[Action, State]
+
+
+class _Frontier:
+    """A resumable breadth-first exploration from the initial states.
+
+    States are discovered in BFS order and recorded in ``order`` with a
+    ``parents`` map for shortest-path reconstruction.  The queue persists
+    between queries: a later query with a larger budget resumes expansion
+    exactly where the previous one stopped.
+    """
+
+    __slots__ = ("graph", "include_inputs", "order", "parents", "queue", "started")
+
+    def __init__(self, graph: "StateGraph", include_inputs: bool):
+        self.graph = graph
+        self.include_inputs = include_inputs
+        self.order: List[State] = []
+        self.parents: Dict[State, Optional[Tuple[State, Action]]] = {}
+        self.queue: deque = deque()
+        self.started = False
+
+    @property
+    def complete(self) -> bool:
+        return self.started and not self.queue
+
+    def _start(self) -> None:
+        self.started = True
+        for s in self.graph.automaton.initial_states():
+            if s not in self.parents:
+                self.parents[s] = None
+                self.order.append(s)
+                self.queue.append(s)
+
+    def _expand_one(self, max_states: int) -> None:
+        """Expand the state at the head of the queue.
+
+        The head is popped only once its whole successor sweep is
+        recorded, so a budget abort mid-sweep can be resumed without
+        losing edges (the sweep is idempotent over already-seen states).
+        """
+        state = self.queue[0]
+        for action, succ in self.graph.transitions(state, self.include_inputs):
+            if succ in self.parents:
+                continue
+            if len(self.parents) >= max_states:
+                raise SearchBudgetExceeded(
+                    f"exploration of {self.graph.automaton.name} exceeded "
+                    f"{max_states} states"
+                )
+            self.parents[succ] = (state, action)
+            self.order.append(succ)
+            self.queue.append(succ)
+        self.queue.popleft()
+
+    def states(self, max_states: int) -> Iterator[State]:
+        """Yield every reachable state in BFS order, expanding on demand.
+
+        Already-discovered states stream out of the cache; the frontier
+        only grows when the consumer outruns it.  Raises
+        :class:`SearchBudgetExceeded` past ``max_states`` *new* states.
+        """
+        if not self.started:
+            self._start()
+        i = 0
+        while True:
+            while i < len(self.order):
+                yield self.order[i]
+                i += 1
+            if not self.queue:
+                return
+            self._expand_one(max_states)
+
+    def expand_all(self, max_states: int) -> None:
+        if not self.started:
+            self._start()
+        while self.queue:
+            self._expand_one(max_states)
+
+
+class StateGraph:
+    """Memoized successor expansion and shared frontiers for one automaton."""
+
+    def __init__(self, automaton: IOAutomaton):
+        self.automaton = automaton
+        self._local: Dict[State, Tuple[Edge, ...]] = {}
+        self._input: Dict[State, Tuple[Edge, ...]] = {}
+        self._frontiers: Dict[bool, _Frontier] = {}
+        self._cones: Dict[State, FrozenSet[State]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- successor expansion ---------------------------------------------
+
+    def transitions(self, state: State, include_inputs: bool = False) -> Tuple[Edge, ...]:
+        """All ``(action, successor)`` edges out of ``state``, memoized.
+
+        Locally controlled actions always; with ``include_inputs``, every
+        input action of the signature is fired as well (the maximally
+        hostile environment).
+        """
+        edges = self._local.get(state)
+        if edges is None:
+            self.misses += 1
+            automaton = self.automaton
+            edges = tuple(
+                (action, succ)
+                for action in automaton.enabled_actions(state)
+                for succ in automaton.apply(state, action)
+            )
+            self._local[state] = edges
+        else:
+            self.hits += 1
+        if not include_inputs:
+            return edges
+        in_edges = self._input.get(state)
+        if in_edges is None:
+            automaton = self.automaton
+            in_edges = tuple(
+                (action, succ)
+                for action in automaton.signature.inputs
+                for succ in automaton.apply(state, action)
+            )
+            self._input[state] = in_edges
+        return edges + in_edges
+
+    def successors(self, state: State, include_inputs: bool = False) -> Tuple[State, ...]:
+        return tuple(s for _a, s in self.transitions(state, include_inputs))
+
+    # -- the shared forward frontier --------------------------------------
+
+    def frontier(self, include_inputs: bool = False) -> _Frontier:
+        frontier = self._frontiers.get(include_inputs)
+        if frontier is None:
+            frontier = _Frontier(self, include_inputs)
+            self._frontiers[include_inputs] = frontier
+        return frontier
+
+    def states(self, max_states: int = 100_000, include_inputs: bool = False) -> Iterator[State]:
+        """Reachable states in BFS discovery order (resumable, budgeted)."""
+        return self.frontier(include_inputs).states(max_states)
+
+    def reachable(self, max_states: int = 100_000, include_inputs: bool = False) -> Set[State]:
+        """The full reachable state set (a copy; the frontier stays cached)."""
+        frontier = self.frontier(include_inputs)
+        frontier.expand_all(max_states)
+        return set(frontier.parents)
+
+    def parents(self, include_inputs: bool = False) -> Dict[State, Optional[Tuple[State, Action]]]:
+        """The BFS parent map of the (so far) explored frontier (a copy)."""
+        return dict(self.frontier(include_inputs).parents)
+
+    # -- cones (reachability from an arbitrary configuration) -------------
+
+    def cone(self, start: State, max_states: int = 100_000) -> FrozenSet[State]:
+        """All states reachable from ``start`` by locally controlled actions.
+
+        Complete cones are memoized per start state, which is what makes
+        repeated "is a v-decision reachable from C?" queries cheap.
+        """
+        cached = self._cones.get(start)
+        if cached is not None:
+            return cached
+        seen: Set[State] = {start}
+        queue: deque = deque([start])
+        while queue:
+            state = queue.popleft()
+            for succ in self.successors(state):
+                if succ in seen:
+                    continue
+                if len(seen) >= max_states:
+                    raise SearchBudgetExceeded(
+                        f"cone exploration of {self.automaton.name} from "
+                        f"{start!r} exceeded {max_states} states"
+                    )
+                seen.add(succ)
+                queue.append(succ)
+        cone = frozenset(seen)
+        self._cones[start] = cone
+        return cone
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cache accounting: expansion hits/misses and frontier sizes."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "states_expanded": len(self._local),
+            "frontier_states": sum(
+                len(f.parents) for f in self._frontiers.values()
+            ),
+            "cones_cached": len(self._cones),
+        }
+
+
+# The graph is cached as an attribute on the automaton itself, so its
+# lifetime is exactly the automaton's lifetime.  (A global map keyed by
+# automaton — even a WeakKeyDictionary — would pin every automaton
+# forever, because the graph holds a strong reference back to its key;
+# exhaustive protocol searches create thousands of throwaway automata
+# and would leak every explored graph.)  The automaton <-> graph cycle
+# is ordinary cyclic garbage, collected with the automaton.
+_GRAPH_ATTR = "_repro_state_graph"
+
+# Weak roster of automata carrying a cached graph, so clear_state_graphs
+# can find them without keeping any of them alive.
+_ROSTER: "weakref.WeakSet[IOAutomaton]" = weakref.WeakSet()
+
+
+def state_graph(automaton: IOAutomaton) -> StateGraph:
+    """The shared :class:`StateGraph` for ``automaton``.
+
+    The graph lives on the automaton and is garbage collected with it.
+    Automata that reject attribute assignment (slots, frozen) get a
+    fresh (unshared) graph per call.
+    """
+    graph = getattr(automaton, _GRAPH_ATTR, None)
+    if graph is not None and graph.automaton is automaton:
+        return graph
+    graph = StateGraph(automaton)
+    try:
+        setattr(automaton, _GRAPH_ATTR, graph)
+    except (AttributeError, TypeError):
+        return graph
+    try:
+        _ROSTER.add(automaton)
+    except TypeError:
+        pass
+    return graph
+
+
+def forget_state_graph(automaton: IOAutomaton) -> None:
+    """Drop the cached graph for ``automaton`` (after mutating it)."""
+    try:
+        delattr(automaton, _GRAPH_ATTR)
+    except (AttributeError, TypeError):
+        pass
+
+
+def clear_state_graphs() -> None:
+    """Drop every cached state graph (mainly for tests and benchmarks)."""
+    for automaton in list(_ROSTER):
+        forget_state_graph(automaton)
+    _ROSTER.clear()

@@ -20,6 +20,7 @@ from .bivalence import (
     DeciderWitness,
     StallResult,
     StallingAdversary,
+    TransitionCache,
     ValencyAnalyzer,
     find_herlihy_decider,
 )
@@ -45,6 +46,7 @@ from .pigeonhole import (
 
 __all__ = [
     "DecisionSystem",
+    "TransitionCache",
     "ValencyAnalyzer",
     "StallingAdversary",
     "StallResult",

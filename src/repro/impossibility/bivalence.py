@@ -104,6 +104,60 @@ class DecisionSystem(ABC):
 
 
 @dataclass
+class TransitionCache:
+    """Memoized ``events``/``apply`` expansion for a :class:`DecisionSystem`.
+
+    The decision-system analyses (valency labelling, agreement search,
+    stalling adversaries, wait-freedom verdicts) all walk the same
+    configuration graph; this cache is their shared successor oracle, the
+    :class:`DecisionSystem` counterpart of
+    :class:`repro.core.stategraph.StateGraph`.  Each configuration's full
+    ``(event, successor)`` sweep is computed exactly once.
+    """
+
+    system: DecisionSystem
+    hits: int = 0
+    misses: int = 0
+    _edges: Dict[Configuration, Tuple[Tuple[Event, Configuration], ...]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def transitions(
+        self, config: Configuration
+    ) -> Tuple[Tuple[Event, Configuration], ...]:
+        """All ``(event, successor)`` pairs out of ``config``, memoized."""
+        edges = self._edges.get(config)
+        if edges is None:
+            self.misses += 1
+            edges = tuple(
+                (event, self.system.apply(config, event))
+                for event in self.system.events(config)
+            )
+            self._edges[config] = edges
+        else:
+            self.hits += 1
+        return edges
+
+    def successors(self, config: Configuration) -> Tuple[Configuration, ...]:
+        return tuple(child for _event, child in self.transitions(config))
+
+    def apply(self, config: Configuration, event: Event) -> Configuration:
+        """The successor through ``event`` (from cache when expanded)."""
+        for candidate, child in self.transitions(config):
+            if candidate == event:
+                return child
+        return self.system.apply(config, event)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "configurations_expanded": len(self._edges),
+        }
+
+
+@dataclass
 class ValencyAnalyzer:
     """Computes valencies with global memoization.
 
@@ -111,61 +165,136 @@ class ValencyAnalyzer:
     reachable from C has a process decided on v.  Configurations are
     classified *v-valent* (singleton valency {v}), *bivalent* (≥2 values)
     or *null-valent* (no decision reachable — a protocol bug).
+
+    Labelling is a single forward expansion of the not-yet-cached cone
+    followed by one backward pass over its strongly connected components
+    in reverse topological order, so whole-space analyses are
+    O(configurations + transitions) — not O(configurations × queries).
     """
 
     system: DecisionSystem
     max_configurations: int = 200_000
+    cache: Optional[TransitionCache] = None
     _valency_cache: Dict[Configuration, FrozenSet[Hashable]] = field(
         default_factory=dict
     )
 
+    def __post_init__(self):
+        if self.cache is None:
+            self.cache = TransitionCache(self.system)
+
+    def transitions(
+        self, config: Configuration
+    ) -> Tuple[Tuple[Event, Configuration], ...]:
+        """Shared memoized successor expansion (see :class:`TransitionCache`)."""
+        return self.cache.transitions(config)
+
     def valency(self, config: Configuration) -> FrozenSet[Hashable]:
         """The valency of ``config`` (memoized over the whole analyzer)."""
-        if config in self._valency_cache:
-            return self._valency_cache[config]
-        # Iterative DFS computing, for every config in the reachable cone,
-        # the union of decided values over its descendants.
-        reachable: List[Configuration] = []
-        seen: Dict[Configuration, FrozenSet[Hashable]] = {}
-        order: List[Configuration] = []
-        stack: List[Configuration] = [config]
-        succs: Dict[Configuration, List[Configuration]] = {}
+        cached = self._valency_cache.get(config)
+        if cached is not None:
+            return cached
+        self._label_from([config])
+        return self._valency_cache[config]
+
+    def _label_from(self, roots: Sequence[Configuration]) -> None:
+        """Label every configuration in the cones of ``roots``.
+
+        One forward expansion discovers the not-yet-labelled subgraph
+        (already-cached configurations act as boundary: their valencies
+        are final).  Tarjan's algorithm then emits its strongly connected
+        components sinks-first, so a single reverse-topological sweep —
+        union of own decided values and all successor valencies —
+        computes the exact fixpoint without iteration.
+        """
+        labels = self._valency_cache
+        roots = [r for r in roots if r not in labels]
+        if not roots:
+            return
+        # Forward expansion of the unlabelled cone.
+        nodes: Set[Configuration] = set()
+        stack: List[Configuration] = list(roots)
         while stack:
             current = stack.pop()
-            if current in seen or current in self._valency_cache:
+            if current in nodes or current in labels:
                 continue
-            seen[current] = self.system.decided_values(current)
-            order.append(current)
-            if len(seen) + len(self._valency_cache) > self.max_configurations:
+            nodes.add(current)
+            if len(nodes) + len(labels) > self.max_configurations:
                 raise SearchBudgetExceeded(
                     f"valency analysis exceeded {self.max_configurations} configurations"
                 )
-            children = [
-                self.system.apply(current, event)
-                for event in self.system.events(current)
-            ]
-            succs[current] = children
-            for child in children:
-                if child not in seen and child not in self._valency_cache:
+            for child in self.cache.successors(current):
+                if child not in nodes and child not in labels:
                     stack.append(child)
-        # Propagate decided values backwards until fixpoint.  The cone may
-        # contain cycles, so iterate.
-        changed = True
-        while changed:
-            changed = False
-            for current in order:
-                acc = seen[current]
-                for child in succs[current]:
-                    child_vals = self._valency_cache.get(child) or seen.get(
-                        child, frozenset()
-                    )
-                    if not child_vals <= acc:
-                        acc = acc | child_vals
-                if acc != seen[current]:
-                    seen[current] = acc
-                    changed = True
-        self._valency_cache.update(seen)
-        return self._valency_cache[config]
+
+        # Iterative Tarjan SCC over the new subgraph.  Components pop off
+        # in reverse topological order of the condensation, so every
+        # cross-edge target is already labelled when its source's
+        # component is processed.
+        index: Dict[Configuration, int] = {}
+        low: Dict[Configuration, int] = {}
+        on_stack: Set[Configuration] = set()
+        scc_stack: List[Configuration] = []
+        counter = 0
+        decided = self.system.decided_values
+        for root in roots:
+            if root in index:
+                continue
+            # Explicit call stack of (node, successor iterator) frames.
+            work: List[Tuple[Configuration, Iterator[Configuration]]] = []
+            index[root] = low[root] = counter
+            counter += 1
+            scc_stack.append(root)
+            on_stack.add(root)
+            work.append((root, iter(self.cache.successors(root))))
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in nodes:
+                        continue  # boundary: already labelled in cache
+                    if child not in index:
+                        index[child] = low[child] = counter
+                        counter += 1
+                        scc_stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(self.cache.successors(child))))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    # Pop one SCC and label it: union of member decisions
+                    # and of every outgoing valency (cache-final by now).
+                    component: List[Configuration] = []
+                    while True:
+                        member = scc_stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member is node or member == node:
+                            break
+                    valency: FrozenSet[Hashable] = frozenset()
+                    for member in component:
+                        valency |= decided(member)
+                    in_component = set(component)
+                    for member in component:
+                        for child in self.cache.successors(member):
+                            if child in in_component:
+                                continue
+                            valency |= labels[child]
+                    for member in component:
+                        labels[member] = valency
+
+    def label_reachable(self) -> Dict[Configuration, FrozenSet[Hashable]]:
+        """Valency of *every* reachable configuration, in one linear pass."""
+        self._label_from(list(self.system.initial_configurations()))
+        return dict(self._valency_cache)
 
     def is_bivalent(self, config: Configuration) -> bool:
         return len(self.valency(config)) >= 2
@@ -174,11 +303,10 @@ class ValencyAnalyzer:
         return len(self.valency(config)) == 1
 
     def classify_initial(self) -> List[Tuple[Configuration, FrozenSet[Hashable]]]:
-        """Valency of every initial configuration."""
-        return [
-            (config, self.valency(config))
-            for config in self.system.initial_configurations()
-        ]
+        """Valency of every initial configuration (one batched labelling)."""
+        configs = list(self.system.initial_configurations())
+        self._label_from(configs)
+        return [(config, self._valency_cache[config]) for config in configs]
 
     def bivalent_initial_configuration(self) -> Optional[Configuration]:
         """FLP Lemma 2 mechanized: find a bivalent initial configuration.
@@ -210,11 +338,14 @@ class ValencyAnalyzer:
                 )
             if len(self.system.decided_values(config)) >= 2:
                 return config
-            for event in self.system.events(config):
-                child = self.system.apply(config, event)
+            for child in self.cache.successors(config):
                 if child not in seen:
                     queue.append(child)
         return None
+
+    # The survey's name for the same query: a reachable configuration in
+    # which two processes have decided differently.
+    find_disagreement = find_agreement_violation
 
 
 @dataclass
@@ -298,11 +429,12 @@ class StallingAdversary:
                 return None
             owed = self.system.fair_events(current)
             if obligation_process in owed:
-                candidate = self.system.apply(current, owed[obligation_process])
+                candidate = self.analyzer.cache.apply(
+                    current, owed[obligation_process]
+                )
                 if self.analyzer.is_bivalent(candidate):
                     return schedule + (owed[obligation_process],), candidate
-            for event in self.system.events(current):
-                child = self.system.apply(current, event)
+            for event, child in self.analyzer.transitions(current):
                 if child not in seen and self.analyzer.is_bivalent(child):
                     seen.add(child)
                     queue.append((child, schedule + (event,)))
@@ -364,10 +496,9 @@ class StallingAdversary:
                 return None
             if self.analyzer.valency(current) == frozenset([value]):
                 return schedule
-            for event in self.system.events(current):
+            for event, child in self.analyzer.transitions(current):
                 if self.system.owner(event) != process:
                     continue
-                child = self.system.apply(current, event)
                 if child not in seen:
                     seen.add(child)
                     queue.append((child, schedule + (event,)))
@@ -398,16 +529,14 @@ def find_herlihy_decider(
             raise SearchBudgetExceeded(
                 f"decider search exceeded {max_configurations} configurations"
             )
-        events = list(system.events(config))
-        if events and analyzer.is_bivalent(config):
+        edges = analyzer.transitions(config)
+        if edges and analyzer.is_bivalent(config):
             successor_valencies = {
-                event: analyzer.valency(system.apply(config, event))
-                for event in events
+                event: analyzer.valency(child) for event, child in edges
             }
             if all(len(v) == 1 for v in successor_valencies.values()):
                 return config, successor_valencies
-        for event in events:
-            child = system.apply(config, event)
+        for _event, child in edges:
             if child not in seen:
                 queue.append(child)
     return None

@@ -41,7 +41,11 @@ from typing import (
 
 from ..core.errors import ModelError, SearchBudgetExceeded
 from ..core.freeze import frozendict
-from ..impossibility.bivalence import DecisionSystem, ValencyAnalyzer
+from ..impossibility.bivalence import (
+    DecisionSystem,
+    TransitionCache,
+    ValencyAnalyzer,
+)
 from ..shared_memory.variables import Access, binary_tas, cas, read, tas, write
 
 BOTTOM = "_|_"
@@ -169,6 +173,7 @@ def wait_free_verdict(
     system: ObjectConsensusSystem,
     solo_bound: int = 64,
     max_configurations: int = 300_000,
+    cache: Optional[TransitionCache] = None,
 ) -> WaitFreeVerdict:
     """Exhaustively verify agreement, validity and wait-freedom.
 
@@ -176,8 +181,15 @@ def wait_free_verdict(
     every reachable configuration, every undecided process that still has
     steps must decide within ``solo_bound`` of its *own* steps, with every
     other process suspended.
+
+    Expansion goes through a :class:`TransitionCache` (pass one in to
+    share it with other analyses of the same system), so the solo runs —
+    which revisit the same configurations from every BFS node — reuse the
+    breadth-first pass's successor sweeps instead of re-applying events.
     """
     protocol = system.protocol
+    if cache is None:
+        cache = TransitionCache(system)
     seen = set()
     queue: deque = deque()
     inputs_of: Dict[Configuration, Tuple[Hashable, ...]] = {}
@@ -210,26 +222,33 @@ def wait_free_verdict(
                     protocol.name, system.n, len(seen), True, False, True,
                     config, "validity",
                 )
+        edges = cache.transitions(config)
         # Wait-freedom from this configuration.
         for pid in range(system.n):
             if pid in decisions:
                 continue
             solo = config
+            solo_edges = edges
             decided = False
             for _ in range(solo_bound):
                 if pid in system.decisions(solo):
                     decided = True
                     break
-                if ("step", pid) not in set(system.events(solo)):
+                solo_next = next(
+                    (child for event, child in solo_edges
+                     if event == ("step", pid)),
+                    None,
+                )
+                if solo_next is None:
                     break  # halted without deciding
-                solo = system.apply(solo, ("step", pid))
+                solo = solo_next
+                solo_edges = cache.transitions(solo)
             if not decided and pid not in system.decisions(solo):
                 return WaitFreeVerdict(
                     protocol.name, system.n, len(seen), True, True, False,
                     config, "wait-freedom",
                 )
-        for event in system.events(config):
-            child = system.apply(config, event)
+        for _event, child in edges:
             if child not in seen:
                 inputs_of[child] = inputs
                 queue.append(child)

@@ -46,6 +46,7 @@ from ..core.automaton import Action, IOAutomaton, Signature, State
 from ..core.errors import ModelError
 from ..core.exploration import explore
 from ..core.freeze import frozendict
+from ..core.stategraph import state_graph
 from .process import SharedMemoryProcess
 
 
@@ -212,22 +213,23 @@ def find_starvation_cycle(
     an incompatible infinite admissible execution" from [26].
     """
     reach = explore(system, max_states=max_states, include_inputs=True)
+    # The exploration above populated the shared state graph; rebuilding
+    # the stuck-subgraph edges below is served entirely from its cache.
+    shared = state_graph(system)
+    inputs = system.signature.inputs
 
     graph = nx.MultiDiGraph()
     for state in reach.reachable:
         if not victim_stuck(state):
             continue
         graph.add_node(state)
-        actions = list(system.enabled_actions(state))
-        actions.extend(system.signature.inputs)
-        for action in actions:
+        for action, succ in shared.transitions(state, include_inputs=True):
             if forbidden_actions is not None and forbidden_actions(action):
                 continue
-            for succ in system.apply(state, action):
-                if succ == state and action in system.signature.inputs:
-                    continue  # ignored input; not a real step
-                if victim_stuck(succ):
-                    graph.add_edge(state, succ, action=action)
+            if succ == state and action in inputs:
+                continue  # ignored input; not a real step
+            if victim_stuck(succ):
+                graph.add_edge(state, succ, action=action)
 
     for component in nx.strongly_connected_components(graph):
         subgraph = graph.subgraph(component)
