@@ -11,13 +11,11 @@ Paper claims reproduced:
   the synchronous lower bound is necessary.
 """
 
-import math
 
 from conftest import record
 
 from repro.rings import (
     bit_reversal_ring,
-    hs_election,
     lcr_election,
     order_equivalent_segments,
     ring_election_certificate,
@@ -41,7 +39,9 @@ def test_e13_message_series(benchmark):
 
 def test_e13_lcr_worst_case_exact(benchmark):
     def sweep():
-        return {n: lcr_election(worst_case_ring(n)).messages
+        # Message-count sweep only; the traced election path is measured
+        # separately by bench_runtime.py.
+        return {n: lcr_election(worst_case_ring(n), record_trace=False).messages
                 for n in (16, 64, 128)}
 
     series = benchmark(sweep)

@@ -11,7 +11,6 @@ import networkx as nx
 from conftest import record
 
 from repro.asynchronous import (
-    ring_diameter,
     run_async_sessions,
     run_sync_sessions,
     stretching_lower_bound,

@@ -1,0 +1,46 @@
+"""Unified runtime — trace recording and replay stay cheap.
+
+Guards the tentpole refactor: routing every substrate through the
+``repro.core.runtime`` trace schema must not slow the simulators down.
+Two representative workloads, each exercised end to end (run, record the
+unified trace, verify by replay):
+
+* ring election (asynchronous LCR under the seeded scheduler);
+* synchronous consensus (FloodSet under a crash adversary).
+"""
+
+from conftest import record
+
+from repro.consensus.floodset import FloodSet
+from repro.consensus.synchronous import CrashAdversary, run_synchronous
+from repro.core.runtime import replay
+from repro.rings import lcr_election, worst_case_ring
+
+
+def test_runtime_ring_election_traced(benchmark):
+    ring = worst_case_ring(64)
+
+    def run():
+        return lcr_election(ring, seed=0)
+
+    result = benchmark(run)
+    record(benchmark, messages=result.messages,
+           trace_events=len(result.trace.events))
+    assert result.election_complete
+    assert result.trace.fingerprint() == replay(result.trace).fingerprint()
+
+
+def test_runtime_sync_consensus_traced(benchmark):
+    adversary_spec = {0: (1, (2, 3))}
+
+    def run():
+        return run_synchronous(
+            FloodSet(), [0, 1, 1, 0, 1, 0], adversary=CrashAdversary(dict(adversary_spec)),
+            t=1,
+        )
+
+    result = benchmark(run)
+    record(benchmark, decisions={str(p): d for p, d in result.decisions.items()},
+           trace_events=len(result.trace.events))
+    assert result.agreement_holds()
+    assert result.trace.fingerprint() == replay(result.trace).fingerprint()

@@ -33,10 +33,10 @@ import tempfile
 BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(BENCH_DIR)
 
-# The smoke subset exercises the three pillars of the engine: valency
-# analysis (E6), exhaustive protocol search + liveness checking (E1), and
-# the ablation harness.
-QUICK_FILES = ("bench_e6_flp.py", "bench_ablations.py")
+# The smoke subset exercises the pillars of the engine: valency analysis
+# (E6), the ablation harness, and the unified simulation runtime
+# (ring-election and synchronous-consensus trace/replay round trips).
+QUICK_FILES = ("bench_e6_flp.py", "bench_ablations.py", "bench_runtime.py")
 
 SCHEMA = "repro-bench-core/v1"
 

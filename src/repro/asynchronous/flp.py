@@ -30,7 +30,7 @@ process's input out of the system.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Hashable, List, Optional, Tuple
 
 from ..core.errors import ModelError
 from ..impossibility.bivalence import (

@@ -22,14 +22,16 @@ from typing import (
     Hashable,
     Iterable,
     Iterator,
-    List,
     Mapping,
     Optional,
     Sequence,
     Tuple,
 )
 
+from dataclasses import dataclass, field
+
 from ..core.freeze import frozendict
+from ..core.runtime import Trace
 from ..impossibility.bivalence import DecisionSystem
 
 Pid = int
@@ -76,6 +78,15 @@ class AsyncProtocol(ABC):
 Buffer = frozendict
 Configuration = Tuple[Tuple[Hashable, ...], Buffer]
 Event = Tuple[str, Pid, Message]  # ("deliver", dest, message)
+
+
+@dataclass
+class FairRun:
+    """Outcome of :meth:`AsyncConsensusSystem.run_fair_traced`."""
+
+    config: Configuration
+    steps: int
+    trace: Optional[Trace] = field(repr=False, default=None, compare=False)
 
 
 def _buffer_add(buffer: Buffer, items: Iterable[Tuple[Pid, Message]]) -> Buffer:
@@ -209,12 +220,46 @@ class AsyncConsensusSystem(DecisionSystem):
         admissibility notion permits for faulty processes).
 
         Returns (final configuration, steps taken).  Stops when every
-        non-excluded process has decided or nothing is deliverable.
+        non-excluded process has decided or nothing is deliverable.  For a
+        unified-schema trace of the same schedule use
+        :meth:`run_fair_traced`.
         """
-        import random
+        run = self.run_fair_traced(
+            inputs, max_steps=max_steps, exclude=exclude, seed=seed,
+            record_trace=False,
+        )
+        return run.config, run.steps
 
-        rng = random.Random(seed) if seed is not None else None
+    def run_fair_traced(
+        self,
+        inputs: Sequence[Hashable],
+        max_steps: int = 10_000,
+        exclude: Iterable[Pid] = (),
+        seed: Optional[int] = None,
+        record_trace: bool = True,
+    ) -> "FairRun":
+        """:meth:`run_fair`, recorded in the unified trace schema.
+
+        Each scheduling step emits a DELIVER event (actor = the stepping
+        process, payload = the delivered message); CRASH events for the
+        ``exclude`` set open the trace.  The trace replays through
+        :func:`repro.core.runtime.replay` — the whole schedule is a
+        deterministic function of ``(protocol, inputs, exclude, seed)``.
+        """
+        from ..core.runtime import CRASH, DELIVER, SimulationRuntime
+
         excluded = set(exclude)
+        runtime = SimulationRuntime(
+            substrate="async-network",
+            protocol=self.protocol.name,
+            seed=seed,
+            record=record_trace,
+        )
+        record = record_trace
+        rng = runtime.rng if seed is not None else None
+        if record:
+            for pid in sorted(excluded):
+                runtime.emit(CRASH, pid)
         config = self.configuration_for(tuple(inputs))
         steps = 0
         order = [p for p in range(self.n) if p not in excluded]
@@ -236,12 +281,34 @@ class AsyncConsensusSystem(DecisionSystem):
                     pid = order[(cursor + offset) % len(order)]
                     if pid in live:
                         cursor = (cursor + offset + 1) % len(order)
+                        if record:
+                            runtime.emit(DELIVER, pid, live[pid][2])
                         config = self.apply(config, live[pid])
                         break
                 else:
                     break
             else:
                 pid = rng.choice(sorted(live))
+                if record:
+                    runtime.emit(DELIVER, pid, live[pid][2])
                 config = self.apply(config, live[pid])
             steps += 1
-        return config, steps
+
+        trace: Optional[Trace] = None
+        if record:
+            def replayer(
+                _self=self, _inputs=tuple(inputs), _max=max_steps,
+                _exclude=frozenset(excluded), _seed=seed,
+            ) -> Trace:
+                return _self.run_fair_traced(
+                    _inputs, max_steps=_max, exclude=_exclude, seed=_seed,
+                ).trace
+
+            trace = runtime.finish(
+                outcome={
+                    "steps": steps,
+                    "decisions": tuple(sorted(self.decisions(config).items())),
+                },
+                replayer=replayer,
+            )
+        return FairRun(config=config, steps=steps, trace=trace)

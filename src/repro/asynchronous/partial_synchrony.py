@@ -28,8 +28,8 @@ GST.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.errors import ModelError
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
 
 import networkx as nx
 

@@ -20,8 +20,8 @@ adversarial scheduler.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..core.errors import ModelError
 

@@ -14,7 +14,7 @@ receive naming the send it matches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Set
 
 from ..core.errors import ModelError
 

@@ -20,10 +20,9 @@ the bounds' separations: EQ on k bits costs exactly k+1, matching its
 
 from __future__ import annotations
 
-import itertools
 import math
 from functools import lru_cache
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 

@@ -75,13 +75,13 @@ from .scenarios import (
     run_spliced_ring,
 )
 from .synchronous import (
-    Adversary,
     ByzantineAdversary,
     CrashAdversary,
     NoFaults,
     OmissionAdversary,
     ProcessView,
     ScriptedByzantine,
+    SyncAdversary,
     SyncProcess,
     SyncProtocol,
     SyncRun,
@@ -94,6 +94,7 @@ __all__ = [
     "SyncRun",
     "ProcessView",
     "run_synchronous",
+    "SyncAdversary",
     "Adversary",
     "NoFaults",
     "CrashAdversary",
@@ -156,3 +157,17 @@ __all__ = [
     "connectivity_scenarios",
     "connectivity_certificate",
 ]
+
+
+def __getattr__(name: str):
+    if name == "Adversary":
+        import warnings
+
+        warnings.warn(
+            "repro.consensus.Adversary is deprecated; use SyncAdversary "
+            "(the unified FaultAdversary hierarchy lives in repro.core.runtime)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return SyncAdversary
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -18,10 +18,9 @@ curves.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from .synchronous import (
-    Adversary,
     ByzantineAdversary,
     Pid,
     Round,

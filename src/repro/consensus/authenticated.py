@@ -16,10 +16,10 @@ signature per round of transit.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Mapping, Optional, Set, Tuple
+from typing import Hashable, Mapping, Optional, Set, Tuple
 
 from .synchronous import (
-    Adversary,
+    SyncAdversary,
     Message,
     Pid,
     Round,
@@ -112,7 +112,7 @@ class DolevStrong(SyncProtocol):
         return DolevStrongProcess(pid, n, t, input_value)
 
 
-class EquivocatingSender(Adversary):
+class EquivocatingSender(SyncAdversary):
     """A faulty designated sender that signs different values to different
     recipients — the canonical attack signatures are meant to contain.
 
@@ -133,7 +133,7 @@ class EquivocatingSender(Adversary):
         return frozenset({(value, (src,))})
 
 
-class LateRevealRelay(Adversary):
+class LateRevealRelay(SyncAdversary):
     """Sender and a colluding relay: withhold the second value as long as
     the signature discipline allows, then reveal it to a single victim.
 

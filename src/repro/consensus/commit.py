@@ -22,7 +22,6 @@ This module provides:
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .synchronous import (

@@ -22,13 +22,12 @@ machinery already enumerates:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Dict, Hashable, Mapping, Optional, Tuple
+from typing import Dict, Hashable, Mapping, Optional
 
 from .lower_bounds import enumerate_crash_adversaries
 from .synchronous import (
-    Adversary,
+    SyncAdversary,
     Pid,
     Round,
     SyncProcess,
@@ -109,7 +108,7 @@ class HastyFiringSquad(SyncProtocol):
 class SimultaneityResult:
     protocol_name: str
     runs_checked: int
-    violation_adversary: Optional[Adversary]
+    violation_adversary: Optional[SyncAdversary]
     firing_rounds: Optional[Dict[Pid, Optional[Round]]]
 
 
@@ -125,7 +124,8 @@ def find_simultaneity_violation(
     rounds = protocol.rounds(n, t)
     runs = 0
     for adversary in enumerate_crash_adversaries(n, t, rounds):
-        run = run_synchronous(protocol, inputs, adversary=adversary, t=t)
+        run = run_synchronous(protocol, inputs, adversary=adversary, t=t,
+                              record_trace=False)
         runs += 1
         fired = {pid: run.decisions[pid] for pid in run.honest_pids}
         distinct = {r for r in fired.values()}

@@ -29,15 +29,13 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..impossibility.certificate import (
-    CounterexampleCertificate,
     ImpossibilityCertificate,
 )
 from .synchronous import (
-    Adversary,
+    SyncAdversary,
     CrashAdversary,
     NoFaults,
     Pid,
-    Round,
     SyncProtocol,
     SyncRun,
     run_synchronous,
@@ -46,7 +44,7 @@ from .synchronous import (
 
 def enumerate_crash_adversaries(
     n: int, t: int, rounds: int
-) -> Iterator[Adversary]:
+) -> Iterator[SyncAdversary]:
     """Every crash adversary with at most t faults.
 
     Each faulty process gets a crash round in 1..rounds and a subset of the
@@ -111,7 +109,8 @@ def find_round_bound_violation(
     for inputs in input_vectors:
         for adversary in enumerate_crash_adversaries(n, t, rounds):
             run = run_synchronous(
-                protocol, list(inputs), adversary=adversary, t=t, rounds=rounds
+                protocol, list(inputs), adversary=adversary, t=t, rounds=rounds,
+                record_trace=False,
             )
             runs_checked += 1
             violated = _check_run(run)
@@ -203,7 +202,7 @@ def find_fooling_pair(
             runs.append(
                 run_synchronous(
                     protocol, list(inputs), adversary=adversary, t=t,
-                    rounds=rounds,
+                    rounds=rounds, record_trace=False,
                 )
             )
             if len(runs) > max_runs:

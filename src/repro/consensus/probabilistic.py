@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+from typing import Dict, Hashable, Mapping, Optional
 
+from ..core.runtime import derive_seed
 from ..impossibility.certificate import BoundCertificate
 from .scenarios import byzantine_scenarios, run_spliced_ring
 from .synchronous import Pid, Round, SyncProcess, SyncProtocol
@@ -92,7 +93,7 @@ class CoinFlipAgreement(SyncProtocol):
         return self.spawn_tagged(pid, n, t, input_value, 0)
 
     def spawn_tagged(self, pid, n, t, input_value, tag):
-        seed = hash((self.trial_seed, pid, tag)) & 0x7FFFFFFF
+        seed = derive_seed(self.trial_seed, pid, tag)
         return CoinFlipProcess(pid, n, t, input_value, seed)
 
 

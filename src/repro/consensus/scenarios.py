@@ -275,7 +275,8 @@ def byzantine_scenarios(
         runner = protocol
         if getattr(protocol, "spawn_tagged", None) is not None:
             runner = _TaggedSpawnShim(protocol, honest_copy_of)
-        run = run_synchronous(runner, inputs, adversary=adversary, t=t)
+        run = run_synchronous(runner, inputs, adversary=adversary, t=t,
+                              record_trace=False)
         # Sanity: every honest process's view matches its hexagon node.
         for pid, copy in honest_copy_of.items():
             if run.views[pid].key()[1:] != spliced.views[(pid, copy)].key()[1:]:

@@ -6,8 +6,9 @@ sends one message to every other process (point-to-point; a message may be
 None), then all messages are delivered simultaneously, then every process
 updates its state.
 
-Faults are injected by an :class:`Adversary`, which owns a set of faulty
-processes and may intercept every message they send:
+Faults are injected by a :class:`SyncAdversary` (the synchronous
+instantiation of :class:`repro.core.runtime.FaultAdversary`), which owns a
+set of faulty processes and may intercept every message they send:
 
 * :class:`CrashAdversary` — a faulty process stops mid-round, reaching only
   a chosen subset of recipients with its final messages (the classic
@@ -20,15 +21,17 @@ processes and may intercept every message they send:
   a concrete Byzantine execution of the real system.
 
 Everything is deterministic: the same protocol, inputs and adversary give
-the same run, so every certificate replays.
+the same run, so every certificate replays.  Runs are recorded in the
+unified :class:`~repro.core.runtime.Trace` schema and replayable through
+:func:`repro.core.runtime.replay`.
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import (
-    Any,
     Callable,
     Dict,
     FrozenSet,
@@ -38,11 +41,17 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
-    Set,
     Tuple,
 )
 
-from ..core.errors import ModelError
+from ..core.runtime import (
+    DECIDE,
+    DELIVER,
+    SEND,
+    FaultAdversary,
+    SimulationRuntime,
+    Trace,
+)
 
 Pid = int
 Message = Hashable
@@ -89,8 +98,13 @@ class SyncProtocol(ABC):
         """How many rounds the protocol runs."""
 
 
-class Adversary:
-    """Base adversary: no faults.
+class SyncAdversary(FaultAdversary):
+    """Base synchronous adversary: no faults.
+
+    The synchronous instantiation of the unified
+    :class:`~repro.core.runtime.FaultAdversary`: it uses the *fault* power
+    only (``is_faulty`` + ``transform`` over faulty senders' messages);
+    scheduling is vacuous because rounds are lockstep.
 
     ``inputs_trustworthy`` says whether faulty processes' *inputs* count
     for validity: crash and omission failures are honest processes that
@@ -98,34 +112,12 @@ class Adversary:
     input.
     """
 
-    inputs_trustworthy = True
 
-    def __init__(self, faulty: Iterable[Pid] = ()):
-        self.faulty: FrozenSet[Pid] = frozenset(faulty)
-
-    def is_faulty(self, pid: Pid) -> bool:
-        return pid in self.faulty
-
-    def transform(
-        self,
-        rnd: Round,
-        src: Pid,
-        dest: Pid,
-        honest_message: Message,
-    ) -> Message:
-        """The message actually delivered from a *faulty* ``src``.
-
-        Called only for faulty senders; honest senders' messages are
-        untouchable (that is the model).  Return None to suppress.
-        """
-        return honest_message
-
-
-class NoFaults(Adversary):
+class NoFaults(SyncAdversary):
     """Every process behaves honestly."""
 
 
-class CrashAdversary(Adversary):
+class CrashAdversary(SyncAdversary):
     """Crash (stopping) faults with partial final rounds.
 
     ``crashes`` maps pid -> (crash_round, receivers): in ``crash_round``
@@ -154,7 +146,7 @@ class CrashAdversary(Adversary):
         return rnd >= self.crashes[pid][0]
 
 
-class OmissionAdversary(Adversary):
+class OmissionAdversary(SyncAdversary):
     """Send-omission faults: drop messages matching a predicate."""
 
     def __init__(self, faulty: Iterable[Pid],
@@ -168,7 +160,7 @@ class OmissionAdversary(Adversary):
         return honest_message
 
 
-class ByzantineAdversary(Adversary):
+class ByzantineAdversary(SyncAdversary):
     """Arbitrary behaviour computed from the honest message.
 
     ``behaviour(rnd, src, dest, honest_message) -> message`` may lie,
@@ -186,7 +178,7 @@ class ByzantineAdversary(Adversary):
         return self._behaviour(rnd, src, dest, honest_message)
 
 
-class ScriptedByzantine(Adversary):
+class ScriptedByzantine(SyncAdversary):
     """Replay an explicit per-(round, src, dest) message script.
 
     Unscripted triples fall back to silence.  Used by the scenario engine
@@ -232,13 +224,14 @@ class SyncRun:
     n: int
     t: int
     inputs: Tuple[Hashable, ...]
-    adversary: Adversary
+    adversary: SyncAdversary
     rounds_run: int
     decisions: Dict[Pid, Optional[Hashable]]
     views: Dict[Pid, ProcessView]
     messages_delivered: int
     messages_sent: int
     processes: Sequence[SyncProcess] = field(repr=False, default=())
+    trace: Optional[Trace] = field(repr=False, default=None, compare=False)
 
     @property
     def honest_pids(self) -> List[Pid]:
@@ -279,16 +272,28 @@ class SyncRun:
 def run_synchronous(
     protocol: SyncProtocol,
     inputs: Sequence[Hashable],
-    adversary: Optional[Adversary] = None,
+    adversary: Optional[SyncAdversary] = None,
     t: Optional[int] = None,
     rounds: Optional[int] = None,
+    record_trace: bool = True,
 ) -> SyncRun:
-    """Execute the protocol synchronously and return the completed run."""
+    """Execute the protocol synchronously and return the completed run.
+
+    The run is recorded in the unified trace schema (``record_trace=False``
+    skips recording for bulk searches); ``SyncRun.trace`` replays through
+    :func:`repro.core.runtime.replay`.
+    """
     adversary = adversary or NoFaults()
     n = len(inputs)
     if t is None:
         t = len(adversary.faulty)
     total_rounds = rounds if rounds is not None else protocol.rounds(n, t)
+    runtime = SimulationRuntime(
+        substrate="synchronous",
+        protocol=protocol.name,
+        adversary=adversary,
+        record=record_trace,
+    )
     processes = [
         protocol.spawn(pid, n, t, inputs[pid]) for pid in range(n)
     ]
@@ -311,6 +316,8 @@ def run_synchronous(
                 if msg is not None:
                     outbox[(src, dest)] = msg
                     sent_count += 1
+                    if record_trace:
+                        runtime.emit(SEND, src, (dest, msg), round=rnd)
         # Deliver simultaneously.
         for dest in range(n):
             received = {
@@ -321,12 +328,38 @@ def run_synchronous(
             delivered_count += len(received)
             view_rounds[dest].append(received)
             processes[dest].receive(rnd, received)
+            if record_trace and received:
+                runtime.emit(
+                    DELIVER, dest, tuple(sorted(received.items())), round=rnd
+                )
 
     decisions = {pid: processes[pid].decision() for pid in range(n)}
+    if record_trace:
+        for pid in range(n):
+            if decisions[pid] is not None:
+                runtime.emit(DECIDE, pid, decisions[pid], round=total_rounds)
     views = {
         pid: ProcessView(pid, inputs[pid], tuple(view_rounds[pid]))
         for pid in range(n)
     }
+    trace: Optional[Trace] = None
+    if record_trace:
+        def replayer(
+            _protocol=protocol, _inputs=tuple(inputs), _adversary=adversary,
+            _t=t, _rounds=rounds,
+        ) -> Trace:
+            _adversary.reset()
+            return run_synchronous(
+                _protocol, _inputs, _adversary, t=_t, rounds=_rounds
+            ).trace
+
+        trace = runtime.finish(
+            outcome={
+                "decisions": tuple(sorted(decisions.items())),
+                "rounds_run": total_rounds,
+            },
+            replayer=replayer,
+        )
     return SyncRun(
         protocol_name=protocol.name,
         n=n,
@@ -339,4 +372,24 @@ def run_synchronous(
         messages_delivered=delivered_count,
         messages_sent=sent_count,
         processes=processes,
+        trace=trace,
     )
+
+
+# -- deprecated names -------------------------------------------------------
+
+_DEPRECATED = {"Adversary": ("SyncAdversary", SyncAdversary)}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        new_name, obj = _DEPRECATED[name]
+        warnings.warn(
+            f"repro.consensus.synchronous.{name} is deprecated; "
+            f"use {new_name} (the unified FaultAdversary hierarchy lives in "
+            "repro.core.runtime)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return obj
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -45,12 +45,35 @@ from .indistinguishability import (
     ViewExtractor,
     decisions_constant_along_chain,
 )
+from .runtime import (
+    CRASH,
+    DECIDE,
+    DECLARE,
+    DELIVER,
+    DROP,
+    DUPLICATE,
+    EVENT_KINDS,
+    HALT,
+    OUTPUT,
+    SEND,
+    STEP,
+    FaultAdversary,
+    ReplayError,
+    SchedulingAdversary,
+    SimulationRuntime,
+    Trace,
+    TraceEvent,
+    derive_seed,
+    replay,
+    spawn_rng,
+)
 from .scheduler import (
     FixedScheduler,
-    GreedyAdversary,
+    GreedyScheduler,
     RandomScheduler,
     RoundRobinScheduler,
     Scheduler,
+    TracedExecution,
 )
 
 __all__ = [
@@ -67,7 +90,29 @@ __all__ = [
     "Scheduler",
     "RoundRobinScheduler",
     "RandomScheduler",
+    "GreedyScheduler",
     "GreedyAdversary",
+    "TracedExecution",
+    "FaultAdversary",
+    "SchedulingAdversary",
+    "SimulationRuntime",
+    "Trace",
+    "TraceEvent",
+    "ReplayError",
+    "replay",
+    "derive_seed",
+    "spawn_rng",
+    "SEND",
+    "DELIVER",
+    "DROP",
+    "DUPLICATE",
+    "CRASH",
+    "STEP",
+    "DECIDE",
+    "DECLARE",
+    "OUTPUT",
+    "HALT",
+    "EVENT_KINDS",
     "FixedScheduler",
     "explore",
     "check_invariant",
@@ -97,3 +142,16 @@ __all__ = [
     "SearchBudgetExceeded",
     "CertificateError",
 ]
+
+
+def __getattr__(name: str):
+    if name == "GreedyAdversary":
+        import warnings
+
+        warnings.warn(
+            "repro.core.GreedyAdversary is deprecated; use GreedyScheduler",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return GreedyScheduler
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -28,19 +28,16 @@ reachability analysis and valency analysis can put them in sets.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
-    Any,
     Callable,
     Dict,
     FrozenSet,
     Hashable,
     Iterable,
     Iterator,
-    List,
     Optional,
     Sequence,
-    Set,
     Tuple,
 )
 

@@ -18,7 +18,7 @@ of none.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple
 
 from .automaton import Action, IOAutomaton, Signature, State
 from .errors import ModelError

@@ -16,7 +16,7 @@ style sharing is unnecessary at our scale; we copy).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from .automaton import Action, IOAutomaton, State
 from .errors import ExecutionError
@@ -149,6 +149,34 @@ class Execution:
                 break
             parts.append(f"  --{action!r}--> {post!r}")
         return "\n".join(parts)
+
+    def to_trace(
+        self,
+        substrate: str = "io-automaton",
+        actor_of: Optional[Callable[[Action], object]] = None,
+    ) -> "Trace":
+        """This execution in the unified trace schema.
+
+        One STEP event per action, attributed by ``actor_of`` (default:
+        the automaton's name).  The trace's replayer re-validates every
+        transition against the automaton (:func:`check_execution`) and
+        re-derives the trace, so :func:`repro.core.runtime.replay` is a
+        machine-checked certificate replay.
+        """
+        from .runtime import STEP, SimulationRuntime, Trace
+
+        runtime = SimulationRuntime(substrate=substrate, protocol=self.automaton.name)
+        for action in self.actions:
+            actor = actor_of(action) if actor_of is not None else self.automaton.name
+            runtime.emit(STEP, actor, action)
+
+        def replayer(_self=self, _substrate=substrate, _actor_of=actor_of) -> Trace:
+            check_execution(_self)
+            return _self.to_trace(substrate=_substrate, actor_of=_actor_of)
+
+        return runtime.finish(
+            outcome={"steps": len(self)}, replayer=replayer
+        )
 
 
 def check_execution(execution: Execution) -> None:

@@ -32,7 +32,7 @@ from typing import (
 from .automaton import Action, IOAutomaton, State
 from .errors import InvariantViolation, SearchBudgetExceeded
 from .execution import Execution
-from .stategraph import StateGraph, state_graph
+from .stategraph import state_graph
 
 
 @dataclass

@@ -16,7 +16,7 @@ executions with equal views but incompatible required behaviours.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Hashable, Iterable, List, Optional, Tuple
 
 from .automaton import Action, State
 from .execution import Execution

@@ -1,0 +1,425 @@
+"""The unified simulation runtime: one trace schema, one adversary
+interface, seeded determinism for every model.
+
+The survey's power comes from moving one argument across many models —
+chain arguments, scenario splicing and valency all *replay executions* of
+different substrates.  Historically each substrate in this repository
+(synchronous rounds, the FLP asynchronous network, rings, datalink
+channels, shared memory, raw I/O-automaton executions) grew a private
+adversary hierarchy, a private result type and a private notion of a
+trace.  This module is the shared kernel they now all route through:
+
+* :class:`TraceEvent` / :class:`Trace` — the uniform record schema
+  ``(step, actor, kind, payload, round, time)`` every substrate emits.
+  A :class:`Trace` carries the substrate name, protocol name, seed and
+  outcome summary, and has a stable :meth:`~Trace.fingerprint` so
+  "byte-identical run" is a checkable proposition.
+
+* :class:`FaultAdversary` — one adversary protocol subsuming the
+  crash/omission/Byzantine adversaries of the synchronous model, the
+  channel adversaries of the datalink layer, and the schedulers of the
+  I/O-automaton and ring simulators.  An adversary owns three optional
+  powers: *faults* (``is_faulty`` + ``transform`` over faulty senders'
+  messages), *scheduling* (``schedule`` picks which enabled option
+  happens next) and *reset* (return to the initial state so a run can be
+  replayed).
+
+* :class:`SimulationRuntime` — the per-run kernel: a seeded
+  ``random.Random``, a step counter, and the trace recorder.  Every run
+  is a deterministic function of ``(protocol, inputs, adversary, seed)``.
+
+* :func:`replay` — the single replay entry point: re-execute the run
+  that produced a trace and verify the fresh trace is byte-identical.
+  Every impossibility certificate whose evidence is a :class:`Trace` is
+  replayable through it.
+
+* :func:`derive_seed` / :func:`spawn_rng` — stable seed derivation
+  (independent of ``PYTHONHASHSEED``) for sub-processes and child RNGs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .errors import ReproError
+
+# ---------------------------------------------------------------------------
+# Canonical event vocabulary
+# ---------------------------------------------------------------------------
+#
+# Substrates map their native happenings onto this shared vocabulary so a
+# trace consumer (replayer, counter, indistinguishability check) never needs
+# substrate-specific knowledge to read a run.
+
+SEND = "send"          # a message/packet enters a channel or buffer
+DELIVER = "deliver"    # a message/packet reaches its destination
+DROP = "drop"          # the adversary destroys a buffered message
+DUPLICATE = "dup"      # the adversary duplicates a buffered message
+CRASH = "crash"        # an endpoint loses state / stops
+STEP = "step"          # a process takes a local step
+DECIDE = "decide"      # a process irrevocably decides a value
+DECLARE = "declare"    # a status declaration (leader / nonleader)
+OUTPUT = "output"      # a computed output value
+HALT = "halt"          # the run ends
+
+EVENT_KINDS = frozenset(
+    {SEND, DELIVER, DROP, DUPLICATE, CRASH, STEP, DECIDE, DECLARE, OUTPUT, HALT}
+)
+
+
+class ReplayError(ReproError):
+    """A trace could not be replayed, or the replay diverged."""
+
+
+class TraceEvent(NamedTuple):
+    """One event of a simulation run, in the shared schema.
+
+    ``step`` is the global 0-based sequence number within the run;
+    ``actor`` identifies the process/node/endpoint the event belongs to
+    (or a distinguished name like ``"channel"``); ``kind`` is one of the
+    canonical vocabulary above; ``payload`` is substrate data (message
+    contents, decided value, ...); ``round`` is set by round-based
+    substrates and ``time`` by timed ones.
+
+    A NamedTuple rather than a dataclass: event construction sits on the
+    hot path of every simulator, and tuples are ~3x cheaper to build.
+    """
+
+    step: int
+    actor: Hashable
+    kind: str
+    payload: Hashable = None
+    round: Optional[int] = None
+    time: Optional[float] = None
+
+    def key(self) -> Tuple:
+        return tuple(self)
+
+
+@dataclass
+class Trace:
+    """A completed run of any substrate, in the uniform schema.
+
+    Equality and :meth:`fingerprint` cover the identity fields only —
+    the optional replayer closure is deliberately excluded, so a trace
+    and its replay compare equal.
+    """
+
+    substrate: str
+    protocol: str
+    seed: Optional[int]
+    events: Tuple[TraceEvent, ...]
+    outcome: Tuple[Tuple[str, Hashable], ...] = ()
+    replayer: Optional[Callable[[], "Trace"]] = field(
+        default=None, compare=False, repr=False
+    )
+
+    # -- counters (free for every substrate) ------------------------------
+
+    @property
+    def steps(self) -> int:
+        return len(self.events)
+
+    @property
+    def messages_sent(self) -> int:
+        return sum(1 for e in self.events if e.kind == SEND)
+
+    @property
+    def messages_delivered(self) -> int:
+        return sum(1 for e in self.events if e.kind == DELIVER)
+
+    @property
+    def rounds(self) -> int:
+        return max((e.round for e in self.events if e.round is not None),
+                   default=0)
+
+    # -- projections ------------------------------------------------------
+
+    def events_of(self, *kinds: str) -> Tuple[TraceEvent, ...]:
+        wanted = frozenset(kinds)
+        return tuple(e for e in self.events if e.kind in wanted)
+
+    def view(self, actor: Hashable) -> Tuple[TraceEvent, ...]:
+        """The projection onto one actor — the indistinguishability
+        currency: two runs look the same to ``actor`` iff its views are
+        equal."""
+        return tuple(e for e in self.events if e.actor == actor)
+
+    def outcome_dict(self) -> Dict[str, Hashable]:
+        return dict(self.outcome)
+
+    # -- identity ---------------------------------------------------------
+
+    def canonical_bytes(self) -> bytes:
+        """A canonical byte encoding of the identity fields."""
+        parts = [
+            repr((self.substrate, self.protocol, self.seed)),
+            repr(self.outcome),
+        ]
+        parts.extend(repr(e.key()) for e in self.events)
+        return "\n".join(parts).encode("utf-8")
+
+    def fingerprint(self) -> str:
+        """A stable digest: equal fingerprints <=> byte-identical runs."""
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
+
+    @property
+    def replayable(self) -> bool:
+        return self.replayer is not None
+
+
+# ---------------------------------------------------------------------------
+# Seed plumbing
+# ---------------------------------------------------------------------------
+
+
+def derive_seed(*components: Hashable) -> int:
+    """A stable 63-bit seed derived from the components.
+
+    Unlike ``hash()``, this is independent of ``PYTHONHASHSEED`` and of
+    the process, so per-process sub-seeds derived from a master seed are
+    reproducible across runs and machines.
+    """
+    digest = hashlib.sha256(repr(components).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
+
+
+def spawn_rng(rng: random.Random) -> random.Random:
+    """A child RNG deterministically derived from (and advancing) ``rng``."""
+    return random.Random(rng.getrandbits(63))
+
+
+# ---------------------------------------------------------------------------
+# The unified adversary interface
+# ---------------------------------------------------------------------------
+
+
+class FaultAdversary:
+    """One adversary interface for every substrate.
+
+    The base class is the benign adversary: no process is faulty, messages
+    pass untouched, and scheduling defers to the runtime's seeded RNG.
+    Substrates use the three powers selectively:
+
+    * the synchronous model calls :meth:`transform` on faulty senders'
+      messages (crash / omission / Byzantine subclasses live in
+      :mod:`repro.consensus.synchronous`);
+    * event-driven substrates (rings, I/O-automaton schedulers) call
+      :meth:`schedule` to pick which enabled option happens next;
+    * the datalink layer subclasses this with a full channel-action
+      interface (:class:`repro.datalink.simulate.ChannelAdversary`).
+
+    ``inputs_trustworthy`` says whether faulty processes' *inputs* count
+    for validity: crash and omission failures are honest processes that
+    die, so their inputs are real; Byzantine processes have no meaningful
+    input.
+
+    :meth:`reset` must return the adversary to its initial state; it is
+    what makes runs with stateful adversaries (scripts, cursors, RNGs)
+    replayable through :func:`replay`.
+    """
+
+    inputs_trustworthy = True
+    faulty: frozenset = frozenset()  # overridden per instance in __init__
+
+    def __init__(self, faulty: Iterable[Hashable] = ()):
+        self.faulty = frozenset(faulty)
+
+    # -- faults -----------------------------------------------------------
+
+    def is_faulty(self, actor: Hashable) -> bool:
+        return actor in self.faulty
+
+    def transform(
+        self,
+        rnd: int,
+        src: Hashable,
+        dest: Hashable,
+        honest_message: Hashable,
+    ) -> Hashable:
+        """The message actually delivered from a *faulty* ``src``.
+
+        Called only for faulty senders; honest senders' messages are
+        untouchable (that is the model).  Return None to suppress.
+        """
+        return honest_message
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(
+        self,
+        options: Sequence[Hashable],
+        rng: Optional[random.Random] = None,
+    ) -> int:
+        """Pick the index of the option that happens next.
+
+        ``options`` is a deterministically ordered non-empty sequence of
+        whatever the substrate offers (channel keys, enabled actions, live
+        processes).  The default is the seeded-uniform choice — the benign
+        scheduler — falling back to index 0 when no RNG is supplied.
+        """
+        if rng is None:
+            return 0
+        return rng.randrange(len(options))
+
+    # -- replay -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return to the initial state (cursors, RNGs) for replay."""
+
+
+class SchedulingAdversary(FaultAdversary):
+    """Wrap a bare ``options -> index`` function as a scheduling adversary.
+
+    The adapter for the legacy ``schedule=`` callables the ring simulator
+    used to take.
+    """
+
+    def __init__(self, choose: Callable[[Sequence[Hashable]], int]):
+        super().__init__()
+        self._choose = choose
+
+    def schedule(self, options, rng=None):
+        return self._choose(list(options))
+
+
+# ---------------------------------------------------------------------------
+# The per-run kernel
+# ---------------------------------------------------------------------------
+
+# The benign adversary is stateless, so every runtime without an explicit
+# adversary shares this instance instead of constructing one per run.
+_BENIGN = FaultAdversary()
+
+
+class SimulationRuntime:
+    """A single run's kernel: seeded RNG + step counter + trace recorder.
+
+    Substrate runners create one per run, ``emit`` events as they happen,
+    and ``finish`` to obtain the :class:`Trace`.  The RNG is the *only*
+    source of randomness a substrate may use, which is what makes every
+    run a deterministic function of ``(protocol, inputs, adversary,
+    seed)``.
+    """
+
+    def __init__(
+        self,
+        substrate: str,
+        protocol: str = "",
+        seed: Optional[int] = None,
+        adversary: Optional[FaultAdversary] = None,
+        record: bool = True,
+    ):
+        self.substrate = substrate
+        self.protocol = protocol
+        self.seed = seed
+        self._rng: Optional[random.Random] = None
+        self.adversary = adversary if adversary is not None else _BENIGN
+        self.record = record
+        self._events: List[TraceEvent] = []
+        self._step = 0
+
+    @property
+    def rng(self) -> random.Random:
+        # Built on first use: bulk searches (record=False, deterministic
+        # adversaries) never touch the RNG, and seeding one per run is
+        # measurable across tens of thousands of runs.
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = random.Random(self.seed)
+        return rng
+
+    # -- events -----------------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        actor: Hashable,
+        payload: Hashable = None,
+        *,
+        round: Optional[int] = None,
+        time: Optional[float] = None,
+    ) -> Optional[TraceEvent]:
+        """Record one event (and allocate its global step number)."""
+        if not self.record:
+            self._step += 1
+            return None
+        event = TraceEvent(self._step, actor, kind, payload, round, time)
+        self._step += 1
+        self._events.append(event)
+        return event
+
+    # -- scheduling -------------------------------------------------------
+
+    def choose(self, options: Sequence[Hashable]) -> Hashable:
+        """Let the adversary (default: seeded-uniform) pick one option."""
+        index = self.adversary.schedule(options, self.rng)
+        return options[index]
+
+    def choose_index(self, options: Sequence[Hashable]) -> int:
+        return self.adversary.schedule(options, self.rng)
+
+    # -- completion -------------------------------------------------------
+
+    def finish(
+        self,
+        outcome: Optional[Mapping[str, Hashable]] = None,
+        replayer: Optional[Callable[[], Trace]] = None,
+    ) -> Trace:
+        """Seal the run into a :class:`Trace`.
+
+        ``replayer`` is a zero-argument closure re-running the simulation
+        from scratch (fresh processes, reset adversary, same seed); it is
+        what :func:`replay` invokes.
+        """
+        packed = tuple(sorted((str(k), v) for k, v in (outcome or {}).items()))
+        return Trace(
+            substrate=self.substrate,
+            protocol=self.protocol,
+            seed=self.seed,
+            events=tuple(self._events),
+            outcome=packed,
+            replayer=replayer,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+
+
+def replay(trace: Trace) -> Trace:
+    """Re-execute the run that produced ``trace`` and verify it.
+
+    Returns the freshly produced trace; raises :class:`ReplayError` if the
+    trace carries no replayer or the replay diverges from the original
+    (non-determinism escaping the seeded RNG — exactly the bug class this
+    kernel exists to eliminate).
+    """
+    if trace.replayer is None:
+        raise ReplayError(
+            f"trace of substrate {trace.substrate!r} carries no replayer; "
+            "run it through the unified runtime to get a replayable trace"
+        )
+    fresh = trace.replayer()
+    if fresh.fingerprint() != trace.fingerprint():
+        raise ReplayError(
+            f"replay diverged for substrate {trace.substrate!r} "
+            f"(protocol {trace.protocol!r}, seed {trace.seed!r}): "
+            f"{trace.steps} events originally, {fresh.steps} on replay"
+        )
+    return fresh

@@ -2,35 +2,57 @@
 
 Every impossibility argument in the survey is a game against a scheduler —
 the entity choosing which process moves next, which message is delivered,
-which fault occurs.  This module provides the schedulers the simulators and
-experiments use:
+which fault occurs.  Schedulers are the I/O-automaton instantiation of the
+unified :class:`~repro.core.runtime.FaultAdversary` interface: they use the
+*scheduling* power only.  This module provides the schedulers the
+simulators and experiments use:
 
 * :class:`RoundRobinScheduler` — cycles through tasks, giving each enabled
   task a turn; its infinite runs are fair, so its finite runs approximate
   admissible executions.
 * :class:`RandomScheduler` — seeded uniform choice among enabled actions;
   used for randomized-algorithm experiments (Ben-Or, Itai–Rodeh).
-* :class:`GreedyAdversary` — picks the enabled action minimizing/maximizing
+* :class:`GreedyScheduler` — picks the enabled action minimizing/maximizing
   a user-supplied score; used to build *bad* executions (e.g. stalling
   consensus, maximizing message counts).
 
 All schedulers are deterministic functions of their seed and the run so
-far, which keeps every test and benchmark reproducible.
+far, which keeps every test and benchmark reproducible; :meth:`~Scheduler.
+run_traced` additionally records the run in the unified
+:class:`~repro.core.runtime.Trace` schema so it replays through
+:func:`repro.core.runtime.replay`.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from abc import ABC, abstractmethod
-from typing import Callable, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, List, Optional, Sequence
 
 from .automaton import Action, IOAutomaton, State
 from .errors import ExecutionError
 from .execution import Execution
+from .runtime import STEP, FaultAdversary, SimulationRuntime, Trace
 
 
-class Scheduler(ABC):
-    """Chooses the next action of an execution."""
+@dataclass
+class TracedExecution:
+    """An execution plus its unified-schema trace."""
+
+    execution: Execution
+    trace: Trace
+
+
+class Scheduler(FaultAdversary, ABC):
+    """Chooses the next action of an execution.
+
+    The I/O-automaton face of :class:`~repro.core.runtime.FaultAdversary`:
+    subclasses implement :meth:`choose` (and optionally
+    :meth:`resolve_state` for nondeterministic automata) and inherit the
+    uniform fault/reset contract.
+    """
 
     @abstractmethod
     def choose(self, execution: Execution, enabled: Sequence[Action]) -> Action:
@@ -54,6 +76,63 @@ class Scheduler(ABC):
         Stops early when the automaton is quiescent or ``stop_when`` holds
         in the current state.
         """
+        execution, _runtime = self._drive(
+            automaton, max_steps, start, stop_when, runtime=None
+        )
+        return execution
+
+    def run_traced(
+        self,
+        automaton: IOAutomaton,
+        max_steps: int,
+        start: Optional[State] = None,
+        stop_when: Optional[Callable[[State], bool]] = None,
+        *,
+        substrate: str = "io-automaton",
+        actor_of: Optional[Callable[[Action], Hashable]] = None,
+    ) -> TracedExecution:
+        """Like :meth:`run`, recording the run in the unified trace schema.
+
+        ``actor_of`` maps an action to the actor charged with it in the
+        trace (default: the automaton's name), letting composed systems
+        attribute steps to their component processes.
+        """
+        runtime = SimulationRuntime(
+            substrate=substrate, protocol=automaton.name, adversary=self
+        )
+        execution, runtime = self._drive(
+            automaton, max_steps, start, stop_when,
+            runtime=runtime, actor_of=actor_of,
+        )
+
+        def replayer(
+            _self=self, _automaton=automaton, _max_steps=max_steps,
+            _start=start, _stop_when=stop_when, _substrate=substrate,
+            _actor_of=actor_of,
+        ) -> Trace:
+            _self.reset()
+            return _self.run_traced(
+                _automaton, _max_steps, _start, _stop_when,
+                substrate=_substrate, actor_of=_actor_of,
+            ).trace
+
+        trace = runtime.finish(
+            outcome={"steps": len(execution)},
+            replayer=replayer,
+        )
+        return TracedExecution(execution=execution, trace=trace)
+
+    def _drive(
+        self,
+        automaton: IOAutomaton,
+        max_steps: int,
+        start: Optional[State],
+        stop_when: Optional[Callable[[State], bool]],
+        runtime: Optional[SimulationRuntime],
+        actor_of: Optional[Callable[[Action], Hashable]] = None,
+    ):
+        """The single scheduling loop behind :meth:`run` and
+        :meth:`run_traced`."""
         execution = Execution.initial(automaton, start)
         for _ in range(max_steps):
             state = execution.last_state
@@ -70,7 +149,10 @@ class Scheduler(ABC):
                 )
             next_state = self.resolve_state(execution, action, successors)
             execution = execution.extend(action, next_state)
-        return execution
+            if runtime is not None:
+                actor = actor_of(action) if actor_of is not None else automaton.name
+                runtime.emit(STEP, actor, action)
+        return execution, runtime
 
 
 class RoundRobinScheduler(Scheduler):
@@ -83,6 +165,7 @@ class RoundRobinScheduler(Scheduler):
     """
 
     def __init__(self, automaton: IOAutomaton):
+        super().__init__()
         self._tasks = list(automaton.tasks())
         self._cursor = 0
 
@@ -98,11 +181,16 @@ class RoundRobinScheduler(Scheduler):
         # automata); fall back to a deterministic choice.
         return sorted(enabled, key=repr)[0]
 
+    def reset(self) -> None:
+        self._cursor = 0
+
 
 class RandomScheduler(Scheduler):
     """Uniformly random choice among enabled actions, from a seed."""
 
     def __init__(self, seed: int = 0):
+        super().__init__()
+        self._seed = seed
         self._rng = random.Random(seed)
 
     def choose(self, execution: Execution, enabled: Sequence[Action]) -> Action:
@@ -115,8 +203,15 @@ class RandomScheduler(Scheduler):
         ordered = sorted(successors, key=repr)
         return ordered[self._rng.randrange(len(ordered))]
 
+    def schedule(self, options, rng=None):
+        """Scheduling-adversary face: the scheduler's own seeded RNG rules."""
+        return self._rng.randrange(len(options))
 
-class GreedyAdversary(Scheduler):
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+class GreedyScheduler(Scheduler):
     """Choose the enabled action maximizing ``score(execution, action)``.
 
     Ties are broken deterministically by repr ordering.  Used to construct
@@ -125,6 +220,7 @@ class GreedyAdversary(Scheduler):
     """
 
     def __init__(self, score: Callable[[Execution, Action], float]):
+        super().__init__()
         self._score = score
 
     def choose(self, execution: Execution, enabled: Sequence[Action]) -> Action:
@@ -136,6 +232,7 @@ class FixedScheduler(Scheduler):
     """Replay a fixed schedule of actions; used to re-validate certificates."""
 
     def __init__(self, schedule: Iterable[Action]):
+        super().__init__()
         self._schedule: List[Action] = list(schedule)
         self._index = 0
 
@@ -149,3 +246,24 @@ class FixedScheduler(Scheduler):
                 f"scheduled action {action!r} is not enabled; enabled: {sorted(map(repr, enabled))}"
             )
         return action
+
+    def reset(self) -> None:
+        self._index = 0
+
+
+# -- deprecated names -------------------------------------------------------
+
+_DEPRECATED = {"GreedyAdversary": ("GreedyScheduler", GreedyScheduler)}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        new_name, obj = _DEPRECATED[name]
+        warnings.warn(
+            f"repro.core.scheduler.{name} is deprecated; use {new_name} "
+            "(the unified FaultAdversary hierarchy lives in repro.core.runtime)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return obj
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -38,10 +38,8 @@ from __future__ import annotations
 import weakref
 from collections import deque
 from typing import (
-    Callable,
     Dict,
     FrozenSet,
-    Iterable,
     Iterator,
     List,
     Optional,

@@ -22,7 +22,7 @@ exactly that to concrete protocols:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..core.errors import ModelError
 from ..impossibility.certificate import CounterexampleCertificate
@@ -33,7 +33,6 @@ from .protocols import (
     StenningSender,
 )
 from .simulate import (
-    DataLinkResult,
     FairLossyScheduler,
     ScriptedAdversary,
     run_datalink,

@@ -17,9 +17,20 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
 
 from ..core.errors import ModelError
+from ..core.runtime import (
+    CRASH,
+    DELIVER,
+    DROP,
+    DUPLICATE,
+    HALT,
+    SEND,
+    FaultAdversary,
+    SimulationRuntime,
+    Trace,
+)
 
 
 class DataLinkSender(ABC):
@@ -64,6 +75,7 @@ class DataLinkResult:
     ack_packets: int
     steps: int
     sender_done: bool
+    trace: Optional[Trace] = field(repr=False, default=None, compare=False)
 
     @property
     def exactly_once_in_order(self) -> bool:
@@ -85,8 +97,13 @@ class DataLinkResult:
         return any(got[m] > sent[m] for m in got)
 
 
-class ChannelAdversary(ABC):
+class ChannelAdversary(FaultAdversary, ABC):
     """Controls both channel directions, one scheduling decision at a time.
+
+    The datalink instantiation of the unified
+    :class:`~repro.core.runtime.FaultAdversary`: it wields full channel
+    control through :meth:`act` rather than the message-transform or
+    scheduling powers.
 
     Each step the adversary sees the forward buffer (data packets in
     flight) and backward buffer (acks) and returns one action:
@@ -113,9 +130,14 @@ class FairLossyScheduler(ChannelAdversary):
 
     def __init__(self, loss: float = 0.3, seed: int = 0,
                  reorder: bool = False):
+        super().__init__()
         self.loss = loss
+        self.seed = seed
         self.rng = random.Random(seed)
         self.reorder = reorder
+
+    def reset(self):
+        self.rng = random.Random(self.seed)
 
     def act(self, fwd, bwd, sender_done, steps):
         choices = []
@@ -141,7 +163,11 @@ class ScriptedAdversary(ChannelAdversary):
     """Replays an explicit action script, then halts."""
 
     def __init__(self, script: Sequence[Tuple]):
+        super().__init__()
         self.script = list(script)
+        self.cursor = 0
+
+    def reset(self):
         self.cursor = 0
 
     def act(self, fwd, bwd, sender_done, steps):
@@ -158,9 +184,26 @@ def run_datalink(
     messages: Sequence[Hashable],
     adversary: ChannelAdversary,
     max_steps: int = 50_000,
+    *,
+    sender_factory: Optional[Callable[[], DataLinkSender]] = None,
+    receiver_factory: Optional[Callable[[], DataLinkReceiver]] = None,
+    record_trace: bool = True,
 ) -> DataLinkResult:
-    """Run the protocol against the adversary; return what was delivered."""
+    """Run the protocol against the adversary; return what was delivered.
+
+    The run is recorded in the unified trace schema (one event per channel
+    action).  Senders and receivers are stateful, so the trace carries a
+    replayer only when ``sender_factory``/``receiver_factory`` provide
+    fresh endpoints; the adversary is ``reset()`` before each replay.
+    """
     sender.load(messages)
+    runtime = SimulationRuntime(
+        substrate="datalink",
+        protocol=f"{type(sender).__name__}/{type(receiver).__name__}",
+        adversary=adversary,
+        record=record_trace,
+    )
+    record = record_trace
     fwd: List[Hashable] = []
     bwd: List[Hashable] = []
     delivered: List[Hashable] = []
@@ -172,12 +215,16 @@ def run_datalink(
         action = adversary.act(list(fwd), list(bwd), sender.done(), steps)
         kind = action[0]
         if kind == "halt":
+            if record:
+                runtime.emit(HALT, "channel", time=steps)
             break
         if kind == "transmit":
             packet = sender.next_packet()
             if packet is not None:
                 fwd.append(packet)
                 data_packets += 1
+                if record:
+                    runtime.emit(SEND, "sender", packet, time=steps)
             continue
         if kind in ("deliver", "drop", "dup"):
             _tag, side, index = action
@@ -186,29 +233,64 @@ def run_datalink(
                 continue
             index = min(index, len(buffer) - 1)
             if kind == "drop":
-                buffer.pop(index)
+                packet = buffer.pop(index)
+                if record:
+                    runtime.emit(DROP, side, packet, time=steps)
                 continue
             if kind == "dup":
                 buffer.append(buffer[index])
+                if record:
+                    runtime.emit(DUPLICATE, side, buffer[-1], time=steps)
                 continue
             packet = buffer.pop(index)
             if side == "fwd":
+                if record:
+                    runtime.emit(DELIVER, "receiver", packet, time=steps)
                 out, ack = receiver.on_packet(packet)
                 delivered.extend(out)
                 if ack is not None:
                     bwd.append(ack)
                     ack_packets += 1
             else:
+                if record:
+                    runtime.emit(DELIVER, "sender", packet, time=steps)
                 sender.on_ack(packet)
             continue
         if kind == "crash":
             _tag, who = action
+            if record:
+                runtime.emit(CRASH, who, time=steps)
             if who == "sender":
                 sender.crash()
             else:
                 receiver.crash()
             continue
         raise ModelError(f"unknown adversary action {action!r}")
+
+    trace: Optional[Trace] = None
+    if record:
+        replayer = None
+        if sender_factory is not None and receiver_factory is not None:
+            def replayer(
+                _sf=sender_factory, _rf=receiver_factory,
+                _messages=tuple(messages), _adversary=adversary,
+                _max=max_steps,
+            ) -> Trace:
+                _adversary.reset()
+                return run_datalink(
+                    _sf(), _rf(), _messages, _adversary, _max,
+                    sender_factory=_sf, receiver_factory=_rf,
+                ).trace
+
+        trace = runtime.finish(
+            outcome={
+                "delivered": tuple(delivered),
+                "data_packets": data_packets,
+                "ack_packets": ack_packets,
+                "sender_done": sender.done(),
+            },
+            replayer=replayer,
+        )
     return DataLinkResult(
         sent_messages=tuple(messages),
         delivered=delivered,
@@ -216,4 +298,5 @@ def run_datalink(
         ack_packets=ack_packets,
         steps=steps,
         sender_done=sender.done(),
+        trace=trace,
     )

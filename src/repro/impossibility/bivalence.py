@@ -23,7 +23,6 @@ from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (
-    Any,
     Dict,
     FrozenSet,
     Hashable,

@@ -23,7 +23,7 @@ Two kinds of certificate exist, mirroring the paper's two kinds of result:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional
 
 from ..core.errors import CertificateError
 

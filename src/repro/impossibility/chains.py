@@ -19,7 +19,6 @@ from __future__ import annotations
 from typing import (
     Callable,
     Hashable,
-    Iterable,
     Iterator,
     List,
     Optional,

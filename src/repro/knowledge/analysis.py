@@ -18,7 +18,7 @@ difference the survey attributes to synchrony.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Tuple
+from typing import Callable, Dict, Hashable, Tuple
 
 from ..asynchronous.two_generals import (
     ATTACK,

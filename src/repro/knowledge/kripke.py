@@ -16,11 +16,9 @@ the survey's knowledge-flavoured results need on bounded instances.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import (
     Callable,
     Dict,
-    FrozenSet,
     Hashable,
     Iterable,
     List,

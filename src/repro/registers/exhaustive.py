@@ -21,9 +21,8 @@ contain the natural write-then-read-then-decide protocols.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Hashable, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..core.errors import ModelError
 from ..impossibility.certificate import ImpossibilityCertificate
@@ -31,7 +30,6 @@ from ..shared_memory.variables import Access, read, write
 from .herlihy import (
     ObjectConsensusProtocol,
     ObjectConsensusSystem,
-    WaitFreeVerdict,
     wait_free_verdict,
 )
 

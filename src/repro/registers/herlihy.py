@@ -30,7 +30,6 @@ from dataclasses import dataclass
 from typing import (
     Dict,
     Hashable,
-    Iterable,
     Iterator,
     List,
     Mapping,
@@ -44,7 +43,6 @@ from ..core.freeze import frozendict
 from ..impossibility.bivalence import (
     DecisionSystem,
     TransitionCache,
-    ValencyAnalyzer,
 )
 from ..shared_memory.variables import Access, binary_tas, cas, read, tas, write
 

@@ -14,7 +14,6 @@ method; register, queue and snapshot specs are provided.
 
 from __future__ import annotations
 
-import itertools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import (

@@ -27,9 +27,8 @@ and bounded by 2n - 1 — the wait-free upper bound the survey quotes as
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Dict, Generator, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..core.errors import ModelError
 from .concurrent import RegisterSpace, ScheduledOp, run_concurrent

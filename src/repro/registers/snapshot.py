@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
-from .concurrent import RegisterSpace, ScheduledOp
+from .concurrent import ScheduledOp
 from .history import Operation, SnapshotSpec, is_linearizable
 
 Segment = Tuple[int, Any, Optional[Tuple[Any, ...]]]  # (seq, value, embedded)

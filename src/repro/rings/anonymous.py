@@ -19,9 +19,16 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from ..core.errors import ModelError
+from ..core.runtime import (
+    DECLARE,
+    SEND,
+    SimulationRuntime,
+    Trace,
+    derive_seed,
+)
 from ..impossibility.certificate import ImpossibilityCertificate
 from .simulator import LEFT, RIGHT, Action, RingProcess, RingResult, run_async_ring
 
@@ -59,6 +66,7 @@ class SymmetryTrace:
     states_identical_throughout: bool
     verdicts: List[Optional[str]]
     final_state: Hashable
+    trace: Optional[Trace] = None
 
 
 def run_lockstep(protocol: AnonymousProtocol, n: int, rounds: int
@@ -71,6 +79,9 @@ def run_lockstep(protocol: AnonymousProtocol, n: int, rounds: int
     neighbours); the trace records that the states stay equal — the
     induction at the heart of Angluin's argument, checked concretely.
     """
+    runtime = SimulationRuntime(
+        substrate="lockstep-ring", protocol=type(protocol).__name__
+    )
     states: List[Hashable] = [protocol.initial_state(n) for _ in range(n)]
     inboxes: List[Dict[str, Hashable]] = [{} for _ in range(n)]
     verdicts: List[Optional[str]] = [None] * n
@@ -84,6 +95,7 @@ def run_lockstep(protocol: AnonymousProtocol, n: int, rounds: int
             states[i] = new_state
             if verdict is not None:
                 verdicts[i] = verdict
+                runtime.emit(DECLARE, i, verdict, round=_round + 1)
             for direction, message in sends.items():
                 if message is None:
                     continue
@@ -93,16 +105,26 @@ def run_lockstep(protocol: AnonymousProtocol, n: int, rounds: int
                     new_inboxes[(i - 1) % n][RIGHT] = message
                 else:
                     raise ModelError(f"unknown direction {direction!r}")
+                runtime.emit(SEND, i, (direction, message), round=_round + 1)
         inboxes = new_inboxes
         if len(set(map(repr, states))) != 1:
             identical = False
             break
+
+    def replayer(_protocol=protocol, _n=n, _rounds=rounds) -> Trace:
+        return run_lockstep(_protocol, _n, _rounds).trace
+
+    unified = runtime.finish(
+        outcome={"identical": identical, "verdicts": tuple(verdicts)},
+        replayer=replayer,
+    )
     return SymmetryTrace(
         n=n,
         rounds=rounds,
         states_identical_throughout=identical,
         verdicts=verdicts,
         final_state=states[0],
+        trace=unified,
     )
 
 
@@ -246,10 +268,19 @@ class ItaiRodehProcess(RingProcess):
 
 
 def itai_rodeh_election(n: int, seed: int = 0, id_space: int = 2) -> RingResult:
-    """Run Itai–Rodeh on an anonymous ring of size n."""
-    rng = random.Random(seed)
-    processes = [
-        ItaiRodehProcess(n, random.Random(rng.randrange(2 ** 31)), id_space)
-        for _ in range(n)
-    ]
-    return run_async_ring(processes, seed=seed)
+    """Run Itai–Rodeh on an anonymous ring of size n.
+
+    Per-process coin RNGs are derived from the master seed with
+    :func:`~repro.core.runtime.derive_seed`, so the whole election —
+    coins and scheduling — is a deterministic, replayable function of
+    ``(n, seed, id_space)``.
+    """
+    def factory() -> List[ItaiRodehProcess]:
+        return [
+            ItaiRodehProcess(
+                n, random.Random(derive_seed(seed, "itai-rodeh", i)), id_space
+            )
+            for i in range(n)
+        ]
+
+    return run_async_ring(seed=seed, process_factory=factory)

@@ -10,7 +10,7 @@ the Omega(n log n) lower bounds of §2.4.2.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List
+from typing import Hashable, List
 
 from .simulator import LEFT, RIGHT, Action, RingProcess, RingResult, run_async_ring
 
@@ -74,6 +74,12 @@ class HSProcess(RingProcess):
         return []
 
 
-def hs_election(idents: List[Hashable], seed: int = 0) -> RingResult:
+def hs_election(idents: List[Hashable], seed: int = 0,
+                record_trace: bool = True) -> RingResult:
     """Run Hirschberg–Sinclair on the given ID arrangement."""
-    return run_async_ring([HSProcess(i) for i in idents], seed=seed)
+    idents = list(idents)
+    return run_async_ring(
+        seed=seed,
+        process_factory=lambda: [HSProcess(i) for i in idents],
+        record_trace=record_trace,
+    )

@@ -9,9 +9,9 @@ measured against.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List
+from typing import Hashable, List
 
-from .simulator import LEFT, RIGHT, Action, RingProcess, RingResult, run_async_ring
+from .simulator import RIGHT, Action, RingProcess, RingResult, run_async_ring
 
 
 class LCRProcess(RingProcess):
@@ -43,9 +43,15 @@ class LCRProcess(RingProcess):
         return []
 
 
-def lcr_election(idents: List[Hashable], seed: int = 0) -> RingResult:
+def lcr_election(idents: List[Hashable], seed: int = 0,
+                 record_trace: bool = True) -> RingResult:
     """Run LCR on the given ID arrangement."""
-    return run_async_ring([LCRProcess(i) for i in idents], seed=seed)
+    idents = list(idents)
+    return run_async_ring(
+        seed=seed,
+        process_factory=lambda: [LCRProcess(i) for i in idents],
+        record_trace=record_trace,
+    )
 
 
 def worst_case_ring(n: int) -> List[int]:

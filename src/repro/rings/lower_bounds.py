@@ -24,7 +24,7 @@ This module provides the constructions and the measurement harness:
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Hashable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..impossibility.certificate import BoundCertificate
 from .hs import hs_election
@@ -111,9 +111,11 @@ def ring_election_certificate(sizes: Sequence[int] = (8, 16, 32, 64, 128)
             raise ValueError("bit-reversal rings need power-of-two sizes")
         return bit_reversal_ring(k)
 
-    hs_measured = message_series(lambda r: hs_election(r), sizes, builder)
+    hs_measured = message_series(
+        lambda r: hs_election(r, record_trace=False), sizes, builder)
     lcr_measured = message_series(
-        lambda r: lcr_election(r), sizes, lambda n: worst_case_ring(n)
+        lambda r: lcr_election(r, record_trace=False), sizes,
+        lambda n: worst_case_ring(n)
     )
     cert = BoundCertificate(
         claim="leader election on rings costs Theta(n log n) messages",

@@ -16,11 +16,9 @@ ID, if the model grants IDs) and the direction a message came from.
 
 from __future__ import annotations
 
-import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import (
-    Any,
     Callable,
     Dict,
     Hashable,
@@ -31,6 +29,16 @@ from typing import (
 )
 
 from ..core.errors import ModelError
+from ..core.runtime import (
+    DECLARE,
+    DELIVER,
+    OUTPUT,
+    SEND,
+    FaultAdversary,
+    SchedulingAdversary,
+    SimulationRuntime,
+    Trace,
+)
 
 LEFT = "left"    # towards index - 1
 RIGHT = "right"  # towards index + 1
@@ -66,6 +74,7 @@ class RingResult:
     outputs: Dict[int, Hashable]
     steps: int
     rounds: Optional[int] = None  # synchronous runs only
+    trace: Optional[Trace] = field(repr=False, default=None, compare=False)
 
     @property
     def elected_exactly_one(self) -> bool:
@@ -80,25 +89,47 @@ class RingResult:
 
 
 def run_async_ring(
-    processes: Sequence[RingProcess],
+    processes: Optional[Sequence[RingProcess]] = None,
     seed: int = 0,
     max_steps: int = 2_000_000,
     schedule: Optional[Callable[[List[Tuple[int, str]]], int]] = None,
+    adversary: Optional[FaultAdversary] = None,
+    process_factory: Optional[Callable[[], Sequence[RingProcess]]] = None,
+    record_trace: bool = True,
 ) -> RingResult:
     """Execute the ring asynchronously with FIFO channels.
 
     Channels are per (node, direction) FIFO queues; each step delivers the
-    head of one nonempty channel, chosen uniformly by a seeded RNG (or by
-    ``schedule``, a function from the list of nonempty channel keys to a
-    chosen index — the general adversary hook).
+    head of one nonempty channel, chosen by the ``adversary``'s
+    ``schedule`` power (default: seeded-uniform from the runtime RNG).
+    The legacy ``schedule`` callable is still accepted and wrapped in a
+    :class:`~repro.core.runtime.SchedulingAdversary`.
+
+    The run is recorded in the unified trace schema; passing
+    ``process_factory`` (fresh processes per call) instead of — or in
+    addition to — ``processes`` makes the trace replayable through
+    :func:`repro.core.runtime.replay`.
     """
+    if processes is None:
+        if process_factory is None:
+            raise ModelError("need processes or process_factory")
+        processes = list(process_factory())
+    if schedule is not None and adversary is None:
+        adversary = SchedulingAdversary(schedule)
     n = len(processes)
-    rng = random.Random(seed)
+    runtime = SimulationRuntime(
+        substrate="async-ring",
+        protocol=type(processes[0]).__name__ if processes else "empty",
+        seed=seed,
+        adversary=adversary,
+        record=record_trace,
+    )
     channels: Dict[Tuple[int, str], List[Hashable]] = {}
     messages = 0
     leaders: List[int] = []
     nonleaders: List[int] = []
     outputs: Dict[int, Hashable] = {}
+    record = record_trace
 
     def perform(node: int, actions: List[Action]) -> None:
         nonlocal messages
@@ -114,12 +145,20 @@ def run_async_ring(
                     raise ModelError(f"unknown direction {direction!r}")
                 channels.setdefault((dest, arrival), []).append(message)
                 messages += 1
+                if record:
+                    runtime.emit(SEND, node, (direction, message))
             elif kind == "leader":
                 leaders.append(node)
+                if record:
+                    runtime.emit(DECLARE, node, "leader")
             elif kind == "nonleader":
                 nonleaders.append(node)
+                if record:
+                    runtime.emit(DECLARE, node, "nonleader")
             elif kind == "output":
                 outputs[node] = action[1]
+                if record:
+                    runtime.emit(OUTPUT, node, action[1])
             else:
                 raise ModelError(f"unknown action {action!r}")
 
@@ -132,19 +171,41 @@ def run_async_ring(
         if not nonempty:
             break
         nonempty.sort()
-        if schedule is not None:
-            index = schedule(nonempty)
-        else:
-            index = rng.randrange(len(nonempty))
-        node, direction = nonempty[index]
+        node, direction = nonempty[runtime.choose_index(nonempty)]
         message = channels[(node, direction)].pop(0)
+        if record:
+            runtime.emit(DELIVER, node, (direction, message))
         perform(node, processes[node].on_message(direction, message))
         steps += 1
     if steps >= max_steps:
         raise ModelError(f"async ring did not quiesce within {max_steps} steps")
+
+    trace: Optional[Trace] = None
+    if record:
+        replayer = None
+        if process_factory is not None:
+            def replayer(
+                _factory=process_factory, _seed=seed, _max=max_steps,
+                _adversary=adversary,
+            ) -> Trace:
+                if _adversary is not None:
+                    _adversary.reset()
+                return run_async_ring(
+                    seed=_seed, max_steps=_max, adversary=_adversary,
+                    process_factory=_factory,
+                ).trace
+
+        trace = runtime.finish(
+            outcome={
+                "messages": messages,
+                "leaders": tuple(leaders),
+                "nonleaders": tuple(sorted(nonleaders)),
+            },
+            replayer=replayer,
+        )
     return RingResult(
         n=n, messages=messages, leaders=leaders, nonleaders=nonleaders,
-        outputs=outputs, steps=steps,
+        outputs=outputs, steps=steps, trace=trace,
     )
 
 
@@ -169,21 +230,36 @@ class SyncRingProcess(ABC):
 
 
 def run_sync_ring(
-    processes: Sequence[SyncRingProcess],
+    processes: Optional[Sequence[SyncRingProcess]] = None,
     max_rounds: int = 1_000_000,
+    process_factory: Optional[Callable[[], Sequence[SyncRingProcess]]] = None,
+    record_trace: bool = True,
 ) -> RingResult:
     """Execute the ring in lockstep rounds until quiescence.
 
     Quiescence: a round in which nothing was sent and no process changed
     its declared status.  The message count excludes "null messages" —
     that is the point of the synchronous lower-bound discussion.
+
+    As with :func:`run_async_ring`, the run is recorded in the unified
+    trace schema and ``process_factory`` makes the trace replayable.
     """
+    if processes is None:
+        if process_factory is None:
+            raise ModelError("need processes or process_factory")
+        processes = list(process_factory())
     n = len(processes)
+    runtime = SimulationRuntime(
+        substrate="sync-ring",
+        protocol=type(processes[0]).__name__ if processes else "empty",
+        record=record_trace,
+    )
     messages = 0
     leaders: List[int] = []
     nonleaders: List[int] = []
     outputs: Dict[int, Hashable] = {}
     halted = False
+    record = record_trace
 
     rnd = 0
     while not halted and rnd < max_rounds:
@@ -200,6 +276,8 @@ def run_sync_ring(
                 else:
                     raise ModelError(f"unknown direction {direction!r}")
                 messages += 1
+                if record:
+                    runtime.emit(SEND, node, (direction, message), round=rnd)
         any_action = bool(outbox)
         for node, proc in enumerate(processes):
             received = {
@@ -207,21 +285,49 @@ def run_sync_ring(
                 for (dest, direction), message in outbox.items()
                 if dest == node
             }
+            if record and received:
+                runtime.emit(
+                    DELIVER, node, tuple(sorted(received.items())), round=rnd
+                )
             for action in proc.receive(rnd, received):
                 any_action = True
                 if action[0] == "leader":
                     leaders.append(node)
+                    if record:
+                        runtime.emit(DECLARE, node, "leader", round=rnd)
                 elif action[0] == "nonleader":
                     nonleaders.append(node)
+                    if record:
+                        runtime.emit(DECLARE, node, "nonleader", round=rnd)
                 elif action[0] == "output":
                     outputs[node] = action[1]
+                    if record:
+                        runtime.emit(OUTPUT, node, action[1], round=rnd)
                 else:
                     raise ModelError(f"unknown action {action!r}")
         if not any_action and not any(
             proc.active(rnd) for proc in processes
         ):
             halted = True
+
+    trace: Optional[Trace] = None
+    if record:
+        replayer = None
+        if process_factory is not None:
+            def replayer(_factory=process_factory, _max=max_rounds) -> Trace:
+                return run_sync_ring(
+                    max_rounds=_max, process_factory=_factory
+                ).trace
+
+        trace = runtime.finish(
+            outcome={
+                "messages": messages,
+                "leaders": tuple(leaders),
+                "rounds": rnd,
+            },
+            replayer=replayer,
+        )
     return RingResult(
         n=n, messages=messages, leaders=leaders, nonleaders=nonleaders,
-        outputs=outputs, steps=rnd, rounds=rnd,
+        outputs=outputs, steps=rnd, rounds=rnd, trace=trace,
     )

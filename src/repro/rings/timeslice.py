@@ -82,7 +82,12 @@ class TimeSliceProcess(SyncRingProcess):
         return []
 
 
-def timeslice_election(idents: List[int]) -> RingResult:
+def timeslice_election(idents: List[int],
+                       record_trace: bool = True) -> RingResult:
     """Run the time-slice algorithm; returns messages AND rounds."""
+    idents = list(idents)
     n = len(idents)
-    return run_sync_ring([TimeSliceProcess(i, n) for i in idents])
+    return run_sync_ring(
+        process_factory=lambda: [TimeSliceProcess(i, n) for i in idents],
+        record_trace=record_trace,
+    )

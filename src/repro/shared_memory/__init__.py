@@ -32,6 +32,7 @@ from .system import (
     SharedMemorySystem,
     StarvationWitness,
     find_starvation_cycle,
+    run_system,
 )
 from .variables import (
     BINARY_TAS,
@@ -63,6 +64,7 @@ __all__ = [
     "SharedMemorySystem",
     "StarvationWitness",
     "find_starvation_cycle",
+    "run_system",
     "Access",
     "Operation",
     "Read",

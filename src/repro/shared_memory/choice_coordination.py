@@ -23,9 +23,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Optional, Tuple
+from typing import Callable, Hashable, List, Optional, Tuple
 
 from ..core.errors import ModelError
+from ..core.runtime import derive_seed
 from ..impossibility.certificate import CounterexampleCertificate
 
 # A deterministic, symmetric protocol step: given the process's local state
@@ -134,6 +135,7 @@ class RabinChoiceCoordination:
         if n_processes < 2:
             raise ValueError("need at least two processes")
         self.n = n_processes
+        self.seed = seed
         self.rng = random.Random(seed)
         # Global variable contents: (count, random_bit) or MARK.
         self.variables: List[Hashable] = [(0, 0), (0, 0)]
@@ -175,9 +177,12 @@ class RabinChoiceCoordination:
         Returns True when every process halted and exactly one variable is
         marked.
         """
-        sched = random.Random(
-            scheduler_seed if scheduler_seed is not None else self.rng.random()
-        )
+        if scheduler_seed is None:
+            # Derive the schedule from the coin seed instead of drawing from
+            # the coin RNG: the coin-flip stream must be a pure function of
+            # ``seed`` regardless of whether the caller pins the scheduler.
+            scheduler_seed = derive_seed(self.seed, "choice-coordination-schedule")
+        sched = random.Random(scheduler_seed)
         for _ in range(max_steps):
             live = [i for i in range(self.n) if not self.done[i]]
             if not live:

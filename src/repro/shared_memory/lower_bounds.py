@@ -25,7 +25,7 @@ evidence that the other process ever ran.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 from ..core.errors import ModelError
@@ -33,10 +33,9 @@ from ..core.execution import Execution
 from ..core.freeze import frozendict
 from ..impossibility.certificate import (
     CounterexampleCertificate,
-    FailureWitness,
     ImpossibilityCertificate,
 )
-from .mutex.base import CRITICAL, MutexProcess, MutexSystem, REMAINDER, TRYING
+from .mutex.base import CRITICAL, MutexProcess, MutexSystem, REMAINDER
 from .variables import Access, Read, Write, tas
 
 # --------------------------------------------------------------------------

@@ -23,7 +23,6 @@ lockout-freedom (fairness).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Optional, Sequence
 
 from ...core.automaton import Action, State

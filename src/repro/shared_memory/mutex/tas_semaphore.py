@@ -13,7 +13,7 @@ from typing import Hashable, Optional
 
 from ...core.freeze import frozendict
 from ..variables import Access, binary_tas, write
-from .base import CRITICAL, MutexProcess, REMAINDER, TRYING
+from .base import CRITICAL, MutexProcess, REMAINDER
 
 
 class TasSemaphoreProcess(MutexProcess):

@@ -15,7 +15,7 @@ n = 4 (a ~10^5-state exploration).
 from __future__ import annotations
 
 import math
-from typing import Hashable, List, Optional, Tuple
+from typing import Hashable, Optional
 
 from ...core.freeze import frozendict
 from ..variables import Access, read, write

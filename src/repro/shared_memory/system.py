@@ -31,7 +31,6 @@ from typing import (
     Dict,
     FrozenSet,
     Hashable,
-    Iterable,
     Iterator,
     List,
     Optional,
@@ -184,6 +183,37 @@ def _process_of_action(system: SharedMemorySystem, action: Action) -> Optional[s
         if action in p.output_actions():
             return p.name
     return None
+
+
+def run_system(
+    system: SharedMemorySystem,
+    scheduler=None,
+    max_steps: int = 1_000,
+    start: Optional[State] = None,
+    stop_when: Optional[Callable[[State], bool]] = None,
+):
+    """Drive the composed system under a scheduler, in the unified schema.
+
+    A thin adapter over :meth:`repro.core.scheduler.Scheduler.run_traced`
+    with ``substrate="shared-memory"`` and each STEP event attributed to
+    the process owning the action (via :func:`_process_of_action`), so
+    shared-memory runs interleave into the same
+    :class:`~repro.core.runtime.Trace` schema as every other substrate.
+    Defaults to the fair :class:`~repro.core.scheduler.RoundRobinScheduler`.
+    Returns a :class:`~repro.core.scheduler.TracedExecution`.
+    """
+    from ..core.scheduler import RoundRobinScheduler
+
+    if scheduler is None:
+        scheduler = RoundRobinScheduler(system)
+    return scheduler.run_traced(
+        system,
+        max_steps,
+        start=start,
+        stop_when=stop_when,
+        substrate="shared-memory",
+        actor_of=lambda action: _process_of_action(system, action) or "environment",
+    )
 
 
 def find_starvation_cycle(

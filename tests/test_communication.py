@@ -15,7 +15,6 @@ from repro.communication import (
     largest_fooling_set,
     log_rank_bound,
     parity_matrix,
-    trivial_upper_bound,
 )
 
 

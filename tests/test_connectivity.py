@@ -1,6 +1,5 @@
 """Tests for the Byzantine connectivity bound (E22, §2.2.1, Dolev [39])."""
 
-import pytest
 
 from repro.consensus import (
     FloodVote,

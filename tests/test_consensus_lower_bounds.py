@@ -1,6 +1,5 @@
 """Tests for the t+1-round lower bound machinery (E4)."""
 
-import pytest
 
 from repro.consensus import (
     FloodSet,

@@ -5,7 +5,6 @@ import pytest
 from repro.consensus import (
     CrashAdversary,
     FloodSet,
-    NoFaults,
     OmissionAdversary,
     run_synchronous,
 )

@@ -5,7 +5,7 @@ import pytest
 from repro.core import (
     ExecutionError,
     FixedScheduler,
-    GreedyAdversary,
+    GreedyScheduler,
     RandomScheduler,
     RoundRobinScheduler,
     Signature,
@@ -69,11 +69,11 @@ class TestRandomScheduler:
         assert len(runs) > 1
 
 
-class TestGreedyAdversary:
+class TestGreedyScheduler:
     def test_maximizes_score(self):
         auto = two_clocks()
         # Adversary that always advances clock 0.
-        adversary = GreedyAdversary(
+        adversary = GreedyScheduler(
             lambda execution, action: 1.0 if action == ("tick", 0) else 0.0
         )
         execution = adversary.run(auto, max_steps=9)

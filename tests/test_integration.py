@@ -6,7 +6,6 @@ certificate revalidation across every engine, and the generic bivalence
 machinery running against two different substrate kinds.
 """
 
-import pytest
 
 from repro.core import (
     Execution,

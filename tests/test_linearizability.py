@@ -130,14 +130,13 @@ class TestPropertyBased:
     def test_sequential_register_runs_always_linearizable(self, values):
         """Any strictly sequential run of writes and faithful reads is
         linearizable — a soundness property of the checker."""
-        spec = RegisterSpec(0)
         history = []
         time = 0.0
         for i, v in enumerate(values):
-            history.append(op(f"w", "write", v, None, time, time + 1))
+            history.append(op("w", "write", v, None, time, time + 1))
             time += 2
             result = v
-            history.append(op(f"r", "read", None, result, time, time + 1))
+            history.append(op("r", "read", None, result, time, time + 1))
             time += 2
         assert check_register_history(history, initial=0) is not None
 

@@ -8,7 +8,6 @@ and partial-synchrony validity.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -18,7 +18,6 @@ bakery (r/w, FIFO)      yes    (simulated: unbounded state)
 
 import pytest
 
-from repro.core import RandomScheduler, RoundRobinScheduler
 from repro.shared_memory.mutex import (
     CRITICAL,
     TRYING,
@@ -120,7 +119,6 @@ class TestBakerySimulation:
         state = next(iter(system.initial_states()))
         max_critical = 0
         entries = {p.name: 0 for p in system.processes}
-        rng_actions = []
         for step in range(steps):
             # Environment: request for anyone idle, release anyone critical.
             for p in system.processes:

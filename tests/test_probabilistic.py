@@ -1,6 +1,5 @@
 """Tests for the Karlin–Yao randomized agreement bound (E17)."""
 
-import pytest
 
 from repro.consensus import (
     CoinFlipAgreement,

@@ -1,7 +1,6 @@
 """Tests for the exhaustive read/write consensus search (E11's searched-
 class strengthening)."""
 
-import pytest
 
 from repro.registers import (
     ObjectConsensusSystem,

@@ -174,7 +174,7 @@ class TestRingSimulatorErrors:
             run_async_ring([Bad(), Bad()])
 
     def test_step_budget_enforced(self):
-        from repro.rings import LEFT, RIGHT, RingProcess, run_async_ring
+        from repro.rings import RIGHT, RingProcess, run_async_ring
 
         class Chatter(RingProcess):
             def on_start(self):
