@@ -1,0 +1,53 @@
+"""Chaos engine — fuzzing, shrinking and replay verification stay cheap.
+
+Guards the campaign runner's throughput: a seeded smoke campaign over a
+planted-bug target and the healthy control, with shrinking and replay
+verification on, must stay fast enough to sit in CI on every push.  The
+recorded extra_info preserves what the campaign actually found so a
+report run doubles as a regression check on the planted bugs.
+"""
+
+from conftest import record
+
+from repro.chaos import (
+    VIOLATION,
+    EIGByzantineTarget,
+    LCRRingTarget,
+    RacyLockTarget,
+    run_campaign,
+)
+
+
+def test_chaos_campaign_planted_bug(benchmark):
+    """Fuzz + shrink + replay-verify the EIG planted bug, 10 seeded runs."""
+
+    def run():
+        return run_campaign(
+            targets=[EIGByzantineTarget()], runs=10, master_seed=0
+        )
+
+    report = benchmark(run)
+    counts = report.verdict_counts()["eig-n3t1-byzantine"]
+    smallest = min(
+        (len(cx.shrunk) for cx in report.counterexamples), default=0
+    )
+    record(benchmark, violations=counts.get(VIOLATION, 0),
+           counterexamples=len(report.counterexamples),
+           smallest_shrunk_schedule=smallest)
+    assert counts.get(VIOLATION, 0) > 0
+    assert all(cx.replay_verified for cx in report.counterexamples)
+
+
+def test_chaos_campaign_healthy_control(benchmark):
+    """The no-shrink fuzzing path: 20 runs of the healthy LCR control."""
+
+    def run():
+        return run_campaign(
+            targets=[LCRRingTarget(), RacyLockTarget()],
+            runs=10, master_seed=0, shrink=False,
+        )
+
+    report = benchmark(run)
+    record(benchmark, cases=len(report.results),
+           verdicts={t: dict(v) for t, v in report.verdict_counts().items()})
+    assert report.failures([LCRRingTarget()]) == []

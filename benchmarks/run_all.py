@@ -36,7 +36,12 @@ REPO_ROOT = os.path.dirname(BENCH_DIR)
 # The smoke subset exercises the pillars of the engine: valency analysis
 # (E6), the ablation harness, and the unified simulation runtime
 # (ring-election and synchronous-consensus trace/replay round trips).
-QUICK_FILES = ("bench_e6_flp.py", "bench_ablations.py", "bench_runtime.py")
+QUICK_FILES = (
+    "bench_e6_flp.py",
+    "bench_ablations.py",
+    "bench_runtime.py",
+    "bench_chaos.py",
+)
 
 SCHEMA = "repro-bench-core/v1"
 

@@ -30,8 +30,9 @@ from typing import (
 
 from dataclasses import dataclass, field
 
+from ..core.budget import BudgetMeter
 from ..core.freeze import frozendict
-from ..core.runtime import Trace
+from ..core.runtime import FaultAdversary, Trace
 from ..impossibility.bivalence import DecisionSystem
 
 Pid = int
@@ -237,6 +238,8 @@ class AsyncConsensusSystem(DecisionSystem):
         exclude: Iterable[Pid] = (),
         seed: Optional[int] = None,
         record_trace: bool = True,
+        adversary: Optional[FaultAdversary] = None,
+        meter: Optional[BudgetMeter] = None,
     ) -> "FairRun":
         """:meth:`run_fair`, recorded in the unified trace schema.
 
@@ -244,7 +247,15 @@ class AsyncConsensusSystem(DecisionSystem):
         process, payload = the delivered message); CRASH events for the
         ``exclude`` set open the trace.  The trace replays through
         :func:`repro.core.runtime.replay` — the whole schedule is a
-        deterministic function of ``(protocol, inputs, exclude, seed)``.
+        deterministic function of ``(protocol, inputs, exclude, adversary,
+        seed)``.
+
+        An ``adversary`` wields the *scheduling* power of the unified
+        :class:`~repro.core.runtime.FaultAdversary`: each step it picks
+        which live process (sorted pid order) is served its owed event —
+        the delivery-order control every FLP-style argument quantifies
+        over, and what the chaos fuzzer's scripted schedulers drive.  A
+        ``meter`` charges one step per delivery.
         """
         from ..core.runtime import CRASH, DELIVER, SimulationRuntime
 
@@ -253,6 +264,7 @@ class AsyncConsensusSystem(DecisionSystem):
             substrate="async-network",
             protocol=self.protocol.name,
             seed=seed,
+            adversary=adversary,
             record=record_trace,
         )
         record = record_trace
@@ -265,6 +277,8 @@ class AsyncConsensusSystem(DecisionSystem):
         order = [p for p in range(self.n) if p not in excluded]
         cursor = 0
         while steps < max_steps:
+            if meter is not None:
+                meter.charge_steps()
             live = {
                 pid: event
                 for pid, event in self.fair_events(config).items()
@@ -275,7 +289,13 @@ class AsyncConsensusSystem(DecisionSystem):
             ]
             if not undecided or not live:
                 break
-            if rng is None:
+            if adversary is not None:
+                pids = sorted(live)
+                pid = pids[adversary.schedule(pids, rng)]
+                if record:
+                    runtime.emit(DELIVER, pid, live[pid][2])
+                config = self.apply(config, live[pid])
+            elif rng is None:
                 # Round-robin over processes with pending events.
                 for offset in range(len(order)):
                     pid = order[(cursor + offset) % len(order)]
@@ -299,9 +319,13 @@ class AsyncConsensusSystem(DecisionSystem):
             def replayer(
                 _self=self, _inputs=tuple(inputs), _max=max_steps,
                 _exclude=frozenset(excluded), _seed=seed,
+                _adversary=adversary,
             ) -> Trace:
+                if _adversary is not None:
+                    _adversary.reset()
                 return _self.run_fair_traced(
                     _inputs, max_steps=_max, exclude=_exclude, seed=_seed,
+                    adversary=_adversary,
                 ).trace
 
             trace = runtime.finish(

@@ -1,0 +1,83 @@
+"""Chaos campaign engine: adversary fuzzing over every substrate.
+
+The survey proves impossibility by *constructing* bad executions; this
+package searches for them mechanically.  A :class:`~repro.chaos.targets.
+ChaosTarget` packages a protocol with a seeded adversary generator and
+the safety/liveness monitors its executions must satisfy; the campaign
+runner (:func:`~repro.chaos.campaign.run_campaign`) fuzzes each target
+under per-run budgets, classifies every run (PASS / VIOLATION /
+BUDGET_EXCEEDED / CRASH), delta-debugs violating adversary schedules to
+1-minimal counterexamples, and re-verifies each shrunk schedule through
+the unified :func:`repro.core.runtime.replay` before reporting the
+``(seed, fingerprint)`` pair that reproduces it.
+"""
+
+from .campaign import (
+    BUDGET_EXCEEDED,
+    CRASH,
+    PASS,
+    VIOLATION,
+    CampaignReport,
+    CaseResult,
+    Counterexample,
+    reproduce,
+    run_campaign,
+    write_artifacts,
+    write_counterexample,
+)
+from .monitors import (
+    AgreementMonitor,
+    FifoDeliveryMonitor,
+    MutualExclusionMonitor,
+    TerminationMonitor,
+    TraceMonitor,
+    UniqueLeaderMonitor,
+    ValidityMonitor,
+    Violation,
+    check_all,
+)
+from .shrink import shrink_schedule
+from .targets import (
+    AlternatingBitTarget,
+    ChaosTarget,
+    EIGByzantineTarget,
+    EagerMajorityTarget,
+    FloodSetCrashTarget,
+    LCRRingTarget,
+    RacyLockTarget,
+    default_targets,
+    target_registry,
+)
+
+__all__ = [
+    "AgreementMonitor",
+    "AlternatingBitTarget",
+    "BUDGET_EXCEEDED",
+    "CRASH",
+    "CampaignReport",
+    "CaseResult",
+    "ChaosTarget",
+    "Counterexample",
+    "EIGByzantineTarget",
+    "EagerMajorityTarget",
+    "FifoDeliveryMonitor",
+    "FloodSetCrashTarget",
+    "LCRRingTarget",
+    "MutualExclusionMonitor",
+    "PASS",
+    "RacyLockTarget",
+    "TerminationMonitor",
+    "TraceMonitor",
+    "UniqueLeaderMonitor",
+    "VIOLATION",
+    "ValidityMonitor",
+    "Violation",
+    "check_all",
+    "default_targets",
+    "reproduce",
+    "run_campaign",
+    "shrink_schedule",
+    "target_registry",
+    "write_artifacts",
+    "write_counterexample",
+]

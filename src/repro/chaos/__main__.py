@@ -1,0 +1,112 @@
+"""Command-line entry point: ``python -m repro.chaos``.
+
+Runs a seeded chaos campaign (or reproduces a saved counterexample
+artifact) and exits nonzero when the campaign fails — a planted-bug
+target whose bug was never found, or a healthy target that produced a
+violation or crash.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..core.budget import Budget
+from .campaign import reproduce, run_campaign, write_artifacts
+from .targets import target_registry
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Seeded adversary-fuzzing campaigns with counterexample "
+        "shrinking over every simulation substrate.",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=40, help="fuzzed runs per target"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="campaign master seed"
+    )
+    parser.add_argument(
+        "--targets",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="restrict to these target names (default: full roster)",
+    )
+    parser.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="write shrunk-counterexample JSONL artifacts into DIR",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="campaign wall-clock budget; overdraft yields a resumable "
+        "partial report",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip delta-debugging of violating schedules",
+    )
+    parser.add_argument(
+        "--reproduce",
+        default=None,
+        metavar="PATH",
+        help="re-derive and verify a saved counterexample artifact, "
+        "then exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.reproduce is not None:
+        trace = reproduce(args.reproduce)
+        print(
+            f"reproduced {args.reproduce}: substrate={trace.substrate} "
+            f"protocol={trace.protocol} events={trace.steps} "
+            f"fingerprint={trace.fingerprint()[:16]} — byte-identical, "
+            "still violating"
+        )
+        return 0
+
+    registry = target_registry()
+    if args.targets:
+        unknown = [name for name in args.targets if name not in registry]
+        if unknown:
+            parser.error(
+                f"unknown targets {unknown}; known: {sorted(registry)}"
+            )
+        roster = [registry[name] for name in args.targets]
+    else:
+        roster = list(registry.values())
+
+    budget = (
+        Budget(max_seconds=args.max_seconds)
+        if args.max_seconds is not None
+        else None
+    )
+    report = run_campaign(
+        targets=roster,
+        runs=args.runs,
+        master_seed=args.seed,
+        shrink=not args.no_shrink,
+        budget=budget,
+    )
+    print(report.summary(roster))
+
+    if args.artifacts and report.counterexamples:
+        for path in write_artifacts(report, args.artifacts):
+            print(f"wrote {path}")
+
+    failures = report.failures(roster)
+    for problem in failures:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

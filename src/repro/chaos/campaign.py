@@ -1,0 +1,409 @@
+"""The chaos campaign runner: fuzz, classify, shrink, replay, report.
+
+A campaign runs seeded batches of adversary schedules against each
+:class:`~repro.chaos.targets.ChaosTarget`:
+
+* every case's seed is ``derive_seed(master_seed, target.name, index)``,
+  so any single case replays from the ``(master_seed, target, index)``
+  coordinates alone;
+* every run executes under a per-run :class:`~repro.core.budget.Budget`
+  and is classified PASS / VIOLATION / BUDGET_EXCEEDED / CRASH — a crash
+  in one case never takes down the campaign;
+* violating schedules are delta-debugged
+  (:func:`~repro.chaos.shrink.shrink_schedule`) to 1-minimal
+  counterexamples, re-executed, and re-verified byte-identical through
+  :func:`repro.core.runtime.replay`;
+* an optional campaign-wide budget turns the whole sweep into a
+  resumable anytime computation: overdraft returns a partial report with
+  ``complete=False`` and per-target ``resume_at`` indices, accepted back
+  via ``resume=`` to continue exactly where it stopped.
+
+Counterexamples serialize to single-file JSONL artifacts (metadata line
+plus the shrunk run's trace) and :func:`reproduce` re-derives and
+re-verifies one from its file alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.budget import Budget, BudgetExceeded
+from ..core.runtime import (
+    ReplayError,
+    Trace,
+    _decode_value,
+    _encode_value,
+    derive_seed,
+    replay,
+)
+from .monitors import Violation
+from .shrink import shrink_schedule
+from .targets import ChaosTarget, default_targets, target_registry
+
+PASS = "PASS"
+VIOLATION = "VIOLATION"
+BUDGET_EXCEEDED = "BUDGET_EXCEEDED"
+CRASH = "CRASH"
+
+ARTIFACT_SCHEMA = "repro-chaos-counterexample/v1"
+
+DEFAULT_PER_RUN_BUDGET = Budget(max_steps=20_000)
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """The structured verdict of one fuzzed run."""
+
+    target: str
+    index: int
+    seed: int
+    verdict: str
+    violations: Tuple[Violation, ...] = ()
+    error: str = ""
+
+
+@dataclass
+class Counterexample:
+    """A shrunk, replay-verified failure with its reproduction coordinates."""
+
+    target: str
+    index: int
+    seed: int
+    atoms: Tuple
+    shrunk: Tuple
+    violation: Violation
+    trace: Trace = field(repr=False)
+    fingerprint: str = ""
+    shrink_checks: int = 0
+    replay_verified: bool = False
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign produced; feed back as ``resume=`` to extend."""
+
+    master_seed: int
+    runs: int
+    results: List[CaseResult] = field(default_factory=list)
+    counterexamples: List[Counterexample] = field(default_factory=list)
+    complete: bool = True
+    resume_at: Dict[str, int] = field(default_factory=dict)
+
+    def verdict_counts(self) -> Dict[str, Dict[str, int]]:
+        counts: Dict[str, Dict[str, int]] = {}
+        for result in self.results:
+            per_target = counts.setdefault(result.target, {})
+            per_target[result.verdict] = per_target.get(result.verdict, 0) + 1
+        return counts
+
+    def counterexamples_for(self, target: str) -> List[Counterexample]:
+        return [cx for cx in self.counterexamples if cx.target == target]
+
+    def failures(
+        self, targets: Optional[Iterable[ChaosTarget]] = None
+    ) -> List[str]:
+        """Why this campaign fails CI (empty list = healthy).
+
+        A planted-bug target that produced no violation means the fuzzer
+        lost its prey; a healthy target with a violation or crash means
+        the engine (or a simulator) produced a false positive.
+        """
+        registry = target_registry(targets)
+        counts = self.verdict_counts()
+        problems = []
+        for name, target in registry.items():
+            per_target = counts.get(name, {})
+            if target.expect_violation:
+                if not per_target.get(VIOLATION):
+                    problems.append(
+                        f"{name}: planted bug never tripped a monitor "
+                        f"(verdicts: {per_target or 'none'})"
+                    )
+            else:
+                for bad in (VIOLATION, CRASH):
+                    if per_target.get(bad):
+                        problems.append(
+                            f"{name}: healthy target produced "
+                            f"{per_target[bad]} {bad} verdict(s)"
+                        )
+        return problems
+
+    def summary(
+        self, targets: Optional[Iterable[ChaosTarget]] = None
+    ) -> str:
+        registry = target_registry(targets)
+        counts = self.verdict_counts()
+        lines = [
+            f"chaos campaign: master_seed={self.master_seed} "
+            f"runs/target={self.runs} complete={self.complete}"
+        ]
+        for name in sorted(set(counts) | set(registry)):
+            per_target = counts.get(name, {})
+            tally = " ".join(
+                f"{verdict}={per_target[verdict]}"
+                for verdict in (PASS, VIOLATION, BUDGET_EXCEEDED, CRASH)
+                if per_target.get(verdict)
+            ) or "no runs"
+            expectation = (
+                "expects violation"
+                if name in registry and registry[name].expect_violation
+                else "healthy"
+            )
+            lines.append(f"  {name} ({expectation}): {tally}")
+        for cx in self.counterexamples:
+            lines.append(
+                f"  counterexample {cx.target}: seed={cx.seed} "
+                f"|schedule| {len(cx.atoms)} -> {len(cx.shrunk)} "
+                f"[{cx.violation.monitor}] fingerprint={cx.fingerprint[:16]} "
+                f"replay={'ok' if cx.replay_verified else 'DIVERGED'}"
+            )
+        if not self.complete:
+            lines.append(
+                "  budget exhausted; resume from "
+                + ", ".join(
+                    f"{name}@{index}"
+                    for name, index in sorted(self.resume_at.items())
+                    if index < self.runs
+                )
+            )
+        return "\n".join(lines)
+
+
+def _shrink_case(
+    target: ChaosTarget,
+    atoms: Tuple,
+    seed: int,
+    index: int,
+    per_run_budget: Optional[Budget],
+    shrink_checks: int,
+) -> Counterexample:
+    """Minimize one violating schedule and re-verify the result."""
+
+    def fails(candidate: Tuple) -> bool:
+        meter = (
+            per_run_budget.meter(f"{target.name}-shrink")
+            if per_run_budget is not None
+            else None
+        )
+        try:
+            trace = target.run(tuple(candidate), seed, meter=meter)
+        except Exception:
+            # A crash or budget overdraft is a *different* failure mode;
+            # the shrinker must stay on the monitored violation.
+            return False
+        return bool(target.violations(trace, tuple(candidate)))
+
+    shrunk, checks = shrink_schedule(
+        atoms, fails, target.simplify_atom, max_checks=shrink_checks
+    )
+    trace = target.run(shrunk, seed)
+    violation = target.violations(trace, shrunk)[0]
+    try:
+        replay(trace)
+        verified = True
+    except ReplayError:
+        verified = False
+    return Counterexample(
+        target=target.name,
+        index=index,
+        seed=seed,
+        atoms=tuple(atoms),
+        shrunk=tuple(shrunk),
+        violation=violation,
+        trace=trace,
+        fingerprint=trace.fingerprint(),
+        shrink_checks=checks,
+        replay_verified=verified,
+    )
+
+
+def _run_case(
+    target: ChaosTarget,
+    index: int,
+    master_seed: int,
+    per_run_budget: Optional[Budget],
+    shrink: bool,
+    shrink_checks: int,
+) -> Tuple[CaseResult, Optional[Counterexample]]:
+    seed = derive_seed(master_seed, target.name, index)
+    atoms = tuple(target.generate(random.Random(seed)))
+    meter = (
+        per_run_budget.meter(f"{target.name}#{index}")
+        if per_run_budget is not None
+        else None
+    )
+    try:
+        trace = target.run(atoms, seed, meter=meter)
+    except BudgetExceeded as exc:
+        return (
+            CaseResult(target.name, index, seed, BUDGET_EXCEEDED, error=str(exc)),
+            None,
+        )
+    except Exception as exc:
+        # Fault isolation: one broken run is a verdict, not a campaign abort.
+        return CaseResult(target.name, index, seed, CRASH, error=repr(exc)), None
+    violations = tuple(target.violations(trace, atoms))
+    if not violations:
+        return CaseResult(target.name, index, seed, PASS), None
+    result = CaseResult(
+        target.name, index, seed, VIOLATION, violations=violations
+    )
+    counterexample = None
+    if shrink:
+        counterexample = _shrink_case(
+            target, atoms, seed, index, per_run_budget, shrink_checks
+        )
+    return result, counterexample
+
+
+def run_campaign(
+    targets: Optional[Iterable[ChaosTarget]] = None,
+    runs: int = 40,
+    master_seed: int = 0,
+    per_run_budget: Optional[Budget] = DEFAULT_PER_RUN_BUDGET,
+    shrink: bool = True,
+    shrink_checks: int = 256,
+    budget: Optional[Budget] = None,
+    resume: Optional[CampaignReport] = None,
+) -> CampaignReport:
+    """Fuzz every target ``runs`` times; shrink and verify what breaks.
+
+    ``budget`` (one step charged per case) bounds the whole campaign; on
+    overdraft the report comes back with ``complete=False`` and
+    ``resume_at`` marking the first unexecuted case per target — pass the
+    report back as ``resume`` to continue.  ``per_run_budget`` bounds
+    each individual run; overdrafts there are BUDGET_EXCEEDED verdicts,
+    not campaign aborts.
+    """
+    roster = list(targets) if targets is not None else default_targets()
+    results = list(resume.results) if resume is not None else []
+    counterexamples = list(resume.counterexamples) if resume is not None else []
+    campaign_meter = budget.meter("chaos-campaign") if budget is not None else None
+    resume_at: Dict[str, int] = {}
+    interrupted = False
+
+    for target in roster:
+        index = resume.resume_at.get(target.name, 0) if resume is not None else 0
+        while index < runs:
+            if campaign_meter is not None:
+                try:
+                    campaign_meter.charge_steps()
+                except BudgetExceeded:
+                    interrupted = True
+                    break
+            result, counterexample = _run_case(
+                target, index, master_seed, per_run_budget, shrink, shrink_checks
+            )
+            results.append(result)
+            if counterexample is not None:
+                counterexamples.append(counterexample)
+            index += 1
+        resume_at[target.name] = index
+        if interrupted:
+            break
+
+    if interrupted:
+        for target in roster:
+            resume_at.setdefault(
+                target.name,
+                resume.resume_at.get(target.name, 0) if resume is not None else 0,
+            )
+
+    return CampaignReport(
+        master_seed=master_seed,
+        runs=runs,
+        results=results,
+        counterexamples=counterexamples,
+        complete=not interrupted,
+        resume_at=resume_at,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Artifacts
+# ---------------------------------------------------------------------------
+
+
+def write_counterexample(cx: Counterexample, directory: str) -> str:
+    """Save one counterexample as a self-contained JSONL artifact.
+
+    Line 1 is campaign metadata (target, seed, original and shrunk
+    schedules, the violated property, the trace fingerprint); the rest is
+    the shrunk run's trace via :meth:`~repro.core.runtime.Trace.to_jsonl`.
+    """
+    os.makedirs(directory, exist_ok=True)
+    meta = {
+        "schema": ARTIFACT_SCHEMA,
+        "target": cx.target,
+        "index": cx.index,
+        "seed": cx.seed,
+        "atoms": _encode_value(tuple(cx.atoms)),
+        "shrunk": _encode_value(tuple(cx.shrunk)),
+        "violation": {
+            "monitor": cx.violation.monitor,
+            "description": cx.violation.description,
+        },
+        "fingerprint": cx.fingerprint,
+        "replay_verified": cx.replay_verified,
+    }
+    path = os.path.join(directory, f"{cx.target}-{cx.seed}.jsonl")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(meta, sort_keys=True) + "\n")
+        handle.write(cx.trace.to_jsonl())
+    return path
+
+
+def write_artifacts(report: CampaignReport, directory: str) -> List[str]:
+    """Save every counterexample in the report; return the paths."""
+    return [
+        write_counterexample(cx, directory) for cx in report.counterexamples
+    ]
+
+
+def reproduce(
+    path: str, targets: Optional[Iterable[ChaosTarget]] = None
+) -> Trace:
+    """Re-derive a saved counterexample from its artifact and verify it.
+
+    Three checks: the stored trace's fingerprint is internally consistent
+    (via :meth:`Trace.from_jsonl`), a fresh run of the shrunk schedule
+    reproduces that exact fingerprint, and the fresh run still violates
+    the target's monitors.  Returns the fresh trace.
+    """
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise ReplayError(f"empty counterexample artifact {path!r}")
+    meta = json.loads(lines[0])
+    if meta.get("schema") != ARTIFACT_SCHEMA:
+        raise ReplayError(
+            f"unknown artifact schema {meta.get('schema')!r} "
+            f"(expected {ARTIFACT_SCHEMA!r})"
+        )
+    registry = target_registry(targets)
+    if meta["target"] not in registry:
+        raise ReplayError(f"unknown chaos target {meta['target']!r}")
+    target = registry[meta["target"]]
+    shrunk = tuple(_decode_value(meta["shrunk"]))
+    saved = Trace.from_jsonl("\n".join(lines[1:]) + "\n")
+    if saved.fingerprint() != meta["fingerprint"]:
+        raise ReplayError(
+            "artifact metadata fingerprint does not match the stored trace"
+        )
+    fresh = target.run(shrunk, meta["seed"])
+    if fresh.fingerprint() != meta["fingerprint"]:
+        raise ReplayError(
+            f"re-run of shrunk schedule produced fingerprint "
+            f"{fresh.fingerprint()}, artifact recorded {meta['fingerprint']} "
+            "— the counterexample no longer reproduces byte-identically"
+        )
+    if not target.violations(fresh, shrunk):
+        raise ReplayError(
+            "re-run of shrunk schedule no longer violates any monitor — "
+            "the planted bug may have been fixed"
+        )
+    return fresh

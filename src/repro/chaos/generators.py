@@ -1,0 +1,240 @@
+"""Seeded adversary generators: random atoms, and atoms back to adversaries.
+
+The fuzzing side of the chaos engine.  Every adversary a campaign throws
+at a substrate is generated as a flat tuple of *atoms* — plain hashable
+data — and only then compiled into the substrate's concrete adversary
+object.  The split is what makes counterexamples shrinkable
+(:mod:`repro.chaos.shrink` deletes atoms) and serializable (atoms are
+tuples of scalars, so they ride in the JSONL artifact next to the trace).
+
+Atom vocabularies:
+
+* ``("crash", pid, round, receivers)`` — a crash-with-partial-send for
+  the synchronous model's :class:`~repro.consensus.synchronous.
+  CrashAdversary`;
+* ``("lie", round, dest, label, value)`` — a Byzantine claim "EIG node
+  ``label`` holds ``value``", told to ``dest`` in ``round``, layered over
+  the honest message;
+* datalink channel actions, verbatim from the
+  :class:`~repro.datalink.simulate.ChannelAdversary` vocabulary
+  (``("transmit",)``, ``("deliver", side, i)``, ``("drop", side, i)``,
+  ``("dup", side, i)``, ``("crash", endpoint)``);
+* bare ints — a script for :class:`~repro.core.scheduler.
+  ScriptedIndexScheduler`, indexing the repr-sorted enabled set of any
+  scheduling-shaped substrate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterator, Sequence, Tuple
+
+from ..consensus.synchronous import ByzantineAdversary, CrashAdversary
+
+Atom = Tuple
+Schedule = Tuple[Atom, ...]
+
+
+# ---------------------------------------------------------------------------
+# Crash schedules (synchronous rounds)
+# ---------------------------------------------------------------------------
+
+
+def random_crash_atoms(
+    rng: random.Random, n: int, rounds: int, max_crashes: int
+) -> Schedule:
+    """Up to ``max_crashes`` crash atoms with distinct pids.
+
+    The sampler is biased toward the shape the round-by-round chain
+    argument (§2.2.2) predicts is lethal: usually one crash per round
+    (distinct, increasing rounds), with receiver sets kept small — the
+    interesting crashes are the ones that reach almost nobody.
+    """
+    if max_crashes <= rounds and rng.random() < 0.75:
+        count = max_crashes  # a full chain: one crash per round
+    else:
+        count = rng.randint(1, max_crashes)
+    pids = rng.sample(range(n), count)
+    if count <= rounds:
+        crash_rounds = sorted(rng.sample(range(1, rounds + 1), count))
+    else:
+        crash_rounds = sorted(rng.randint(1, rounds) for _ in range(count))
+    chained = count >= 2 and rng.random() < 0.6
+    crashed = set(pids)
+    atoms = []
+    for i, (pid, rnd) in enumerate(zip(pids, crash_rounds)):
+        others = [p for p in range(n) if p != pid]
+        if chained and i + 1 < count:
+            # Hand the poison down the chain: the dying process's last
+            # message reaches exactly the next process scheduled to die.
+            reach = [pids[i + 1]]
+        elif chained:
+            # The chain's end decides the split: leak to exactly one
+            # survivor, so some live process learns what the rest missed.
+            live = [p for p in others if p not in crashed]
+            reach = rng.sample(live, 1) if live else []
+        else:
+            reach = rng.sample(others, rng.choice((0, 1, 1, 2)))
+        atoms.append(("crash", pid, rnd, tuple(sorted(reach))))
+    return tuple(sorted(atoms))
+
+
+def crash_adversary(atoms: Schedule) -> CrashAdversary:
+    """Compile crash atoms into a :class:`CrashAdversary`.
+
+    Duplicate pids (possible after shrinking mangles a schedule) resolve
+    to the last atom, matching dict-comprehension semantics.
+    """
+    return CrashAdversary(
+        {pid: (rnd, receivers) for (_tag, pid, rnd, receivers) in atoms}
+    )
+
+
+def grow_receivers(atom: Atom, n: int) -> Iterator[Atom]:
+    """Simplification for a crash atom: reach one more recipient.
+
+    A crash whose final messages reach more processes is *milder* — closer
+    to honest behaviour — so the shrinker prefers it.
+    """
+    _tag, pid, rnd, receivers = atom
+    present = set(receivers)
+    for p in range(n):
+        if p != pid and p not in present:
+            yield ("crash", pid, rnd, tuple(sorted(present | {p})))
+
+
+# ---------------------------------------------------------------------------
+# Byzantine lies (EIG)
+# ---------------------------------------------------------------------------
+
+
+def random_lie_atoms(
+    rng: random.Random,
+    faulty: int,
+    n: int,
+    rounds: int,
+    max_lies: int,
+    values: Sequence[Hashable] = (0, 1),
+) -> Schedule:
+    """Up to ``max_lies`` per-label Byzantine claims.
+
+    A round-``r`` EIG message carries level-``r-1`` labels excluding the
+    sender; each lie overrides one label's value for one recipient — the
+    per-edge equivocation the n > 3t bound is about.
+    """
+    honest = [p for p in range(n) if p != faulty]
+    atoms = set()
+    for _ in range(rng.randint(1, max_lies)):
+        rnd = rng.randint(1, rounds)
+        dest = rng.choice(honest)
+        if rnd == 1:
+            label: Tuple[int, ...] = ()
+        else:
+            label = tuple(
+                rng.sample([p for p in range(n) if p != faulty], rnd - 1)
+            )
+        atoms.add(("lie", rnd, dest, label, rng.choice(list(values))))
+    return tuple(sorted(atoms))
+
+
+def lie_adversary(atoms: Schedule, faulty: int) -> ByzantineAdversary:
+    """Compile lie atoms into a :class:`ByzantineAdversary`.
+
+    The faulty process sends its honest message with the scripted labels
+    overridden — minimal deviation, so deleting a lie atom really does
+    mean "one claim fewer".
+    """
+    script = {}
+    for (_tag, rnd, dest, label, value) in atoms:
+        script.setdefault((rnd, dest), {})[label] = value
+
+    def behaviour(rnd, src, dest, honest_message):
+        lies = script.get((rnd, dest))
+        if not lies:
+            return honest_message
+        try:
+            entries = dict(honest_message)
+        except (TypeError, ValueError):
+            entries = {}
+        for label, value in lies.items():
+            if len(label) == rnd - 1 and src not in label:
+                entries[label] = value
+        return tuple(sorted(entries.items()))
+
+    return ByzantineAdversary([faulty], behaviour)
+
+
+# ---------------------------------------------------------------------------
+# Channel programs (datalink)
+# ---------------------------------------------------------------------------
+
+_SIDES = ("fwd", "bwd")
+_ENDPOINTS = ("sender", "receiver")
+
+
+def random_channel_atoms(
+    rng: random.Random,
+    min_length: int = 6,
+    max_length: int = 16,
+    drain_cycles: int = 12,
+) -> Schedule:
+    """A random channel program plus a cooperative drain suffix.
+
+    The random prefix mixes transmissions, (possibly reordered)
+    deliveries, drops, duplicates and endpoint crashes; the drain suffix
+    then runs the channel honestly long enough for a correct protocol to
+    finish.  The suffix makes liveness-flavoured failures observable —
+    "the sender believes it is done but a message was lost" only shows
+    once the sender has been allowed to finish — and the shrinker deletes
+    whatever part of the drain the counterexample does not need.
+    """
+    atoms = []
+    for _ in range(rng.randint(min_length, max_length)):
+        roll = rng.random()
+        if roll < 0.30:
+            atoms.append(("transmit",))
+        elif roll < 0.55:
+            atoms.append(("deliver", "fwd", rng.randint(0, 2)))
+        elif roll < 0.75:
+            atoms.append(("deliver", "bwd", rng.randint(0, 2)))
+        elif roll < 0.80:
+            atoms.append(("drop", rng.choice(_SIDES), rng.randint(0, 2)))
+        elif roll < 0.85:
+            atoms.append(("dup", rng.choice(_SIDES), rng.randint(0, 2)))
+        else:
+            atoms.append(("crash", rng.choice(_ENDPOINTS)))
+    for _ in range(drain_cycles):
+        atoms.extend(
+            [("transmit",), ("deliver", "fwd", 0), ("deliver", "bwd", 0)]
+        )
+    return tuple(atoms)
+
+
+def simplify_channel_atom(atom: Atom) -> Iterator[Atom]:
+    """Simplification: pull buffer indices to 0 (FIFO is the tame case)."""
+    if atom[0] in ("deliver", "drop", "dup") and atom[2] > 0:
+        yield (atom[0], atom[1], 0)
+
+
+# ---------------------------------------------------------------------------
+# Interleaving scripts (shared memory, rings, asynchronous network)
+# ---------------------------------------------------------------------------
+
+
+def random_index_atoms(
+    rng: random.Random, min_length: int, max_length: int, width: int
+) -> Schedule:
+    """A random :class:`~repro.core.scheduler.ScriptedIndexScheduler`
+    script: ints in ``[0, width)``; the scheduler wraps them mod the live
+    option count and falls back to 0 when the script runs dry."""
+    return tuple(
+        rng.randrange(width) for _ in range(rng.randint(min_length, max_length))
+    )
+
+
+def simplify_index_atom(atom: int) -> Iterator[int]:
+    """Simplification: smaller indices are simpler; 0 is the fair default."""
+    if isinstance(atom, int) and atom > 0:
+        yield 0
+        if atom > 1:
+            yield atom - 1

@@ -1,0 +1,232 @@
+"""Trace monitors: the correctness conditions chaos campaigns check.
+
+Each monitor is a reusable predicate over a completed
+:class:`~repro.core.runtime.Trace` — evaluated post-hoc, never inline, so
+the same monitor reads runs of any substrate that speaks the unified
+schema.  The conditions are the survey's: agreement and validity for
+consensus (§2.2), termination, mutual exclusion (§2.3), exactly-once
+in-order delivery for the data link (§2.5), and unique leaders for rings
+(§2.4).
+
+Decisions are read from DECIDE events when the substrate emits them and
+from the trace outcome's ``decisions`` entry otherwise, so the consensus
+monitors work unchanged on the synchronous rounds substrate (which emits
+both) and the FLP asynchronous network (outcome only).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.runtime import DECIDE, DECLARE, Trace
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One monitored property failing on one trace."""
+
+    monitor: str
+    description: str
+    step: Optional[int] = None
+
+    def __str__(self) -> str:
+        at = f" (at event {self.step})" if self.step is not None else ""
+        return f"{self.monitor}: {self.description}{at}"
+
+
+class TraceMonitor(ABC):
+    """A safety/liveness predicate over a completed trace."""
+
+    name: str = "monitor"
+
+    @abstractmethod
+    def check(self, trace: Trace) -> Optional[Violation]:
+        """The first violation this trace exhibits, or None."""
+
+
+def check_all(trace: Trace, monitors: Iterable[TraceMonitor]) -> List[Violation]:
+    """Every violation the monitors find, in monitor order."""
+    found = []
+    for monitor in monitors:
+        violation = monitor.check(trace)
+        if violation is not None:
+            found.append(violation)
+    return found
+
+
+def _decisions(trace: Trace) -> Dict[Hashable, Hashable]:
+    """actor -> first decided value, from DECIDE events and the outcome."""
+    decided: Dict[Hashable, Hashable] = {}
+    for event in trace.events_of(DECIDE):
+        decided.setdefault(event.actor, event.payload)
+    for actor, value in trace.outcome_dict().get("decisions", ()) or ():
+        if value is not None:
+            decided.setdefault(actor, value)
+    return decided
+
+
+class AgreementMonitor(TraceMonitor):
+    """No two honest processes decide differently."""
+
+    name = "agreement"
+
+    def __init__(self, honest: Iterable[Hashable]):
+        self.honest = frozenset(honest)
+
+    def check(self, trace: Trace) -> Optional[Violation]:
+        decided = {
+            actor: value
+            for actor, value in _decisions(trace).items()
+            if actor in self.honest
+        }
+        values = set(decided.values())
+        if len(values) > 1:
+            detail = ", ".join(
+                f"{actor}->{value}" for actor, value in sorted(
+                    decided.items(), key=repr
+                )
+            )
+            return Violation(self.name, f"honest decisions disagree: {detail}")
+        return None
+
+
+class ValidityMonitor(TraceMonitor):
+    """If every trusted input is ``v``, honest decisions must equal ``v``."""
+
+    name = "validity"
+
+    def __init__(
+        self,
+        inputs: Mapping[Hashable, Hashable],
+        honest: Iterable[Hashable],
+        trusted: Optional[Iterable[Hashable]] = None,
+    ):
+        self.inputs = dict(inputs)
+        self.honest = frozenset(honest)
+        self.trusted = frozenset(trusted) if trusted is not None else self.honest
+
+    def check(self, trace: Trace) -> Optional[Violation]:
+        relevant = {self.inputs[actor] for actor in self.trusted}
+        if len(relevant) != 1:
+            return None
+        (value,) = relevant
+        for actor, decision in sorted(_decisions(trace).items(), key=repr):
+            if actor in self.honest and decision != value:
+                return Violation(
+                    self.name,
+                    f"all trusted inputs are {value!r} but {actor} decided "
+                    f"{decision!r}",
+                )
+        return None
+
+
+class TerminationMonitor(TraceMonitor):
+    """Every expected process decides by the end of the run."""
+
+    name = "termination"
+
+    def __init__(self, expected: Iterable[Hashable]):
+        self.expected = frozenset(expected)
+
+    def check(self, trace: Trace) -> Optional[Violation]:
+        missing = self.expected - set(_decisions(trace))
+        if missing:
+            return Violation(
+                self.name,
+                f"processes never decided: {sorted(missing, key=repr)}",
+            )
+        return None
+
+
+class MutualExclusionMonitor(TraceMonitor):
+    """At most one process in its critical region at any point.
+
+    Reads the shared-memory mutex convention: an event whose payload is
+    ``("crit", name)`` announces entry, ``("rem", name)`` announces exit.
+    """
+
+    name = "mutual-exclusion"
+
+    def check(self, trace: Trace) -> Optional[Violation]:
+        inside: set = set()
+        for event in trace.events:
+            payload = event.payload
+            if not (isinstance(payload, tuple) and len(payload) == 2):
+                continue
+            tag, who = payload
+            if tag == "crit":
+                inside.add(who)
+                if len(inside) > 1:
+                    return Violation(
+                        self.name,
+                        f"{sorted(inside, key=repr)} simultaneously in the "
+                        "critical region",
+                        step=event.step,
+                    )
+            elif tag == "rem":
+                inside.discard(who)
+        return None
+
+
+class FifoDeliveryMonitor(TraceMonitor):
+    """Exactly-once, in-order delivery of the sent message sequence.
+
+    The data-link correctness condition of §2.5: what the receiver
+    delivered must be a prefix of what was sent (no duplicates, no
+    reordering, no invention), and once the sender believes it is done,
+    the prefix must be the whole sequence (no loss).
+    """
+
+    name = "fifo-delivery"
+
+    def __init__(self, sent: Sequence[Hashable]):
+        self.sent = tuple(sent)
+
+    def check(self, trace: Trace) -> Optional[Violation]:
+        outcome = trace.outcome_dict()
+        delivered = tuple(outcome.get("delivered", ()))
+        if delivered != self.sent[: len(delivered)]:
+            return Violation(
+                self.name,
+                f"delivered {delivered!r} is not a prefix of sent "
+                f"{self.sent!r} (duplicate, reordering or invention)",
+            )
+        if outcome.get("sender_done") and len(delivered) < len(self.sent):
+            return Violation(
+                self.name,
+                f"sender believes all {len(self.sent)} messages are "
+                f"acknowledged but only {len(delivered)} were delivered "
+                "(loss)",
+            )
+        return None
+
+
+class UniqueLeaderMonitor(TraceMonitor):
+    """Exactly one leader is declared (optionally, a specific one)."""
+
+    name = "unique-leader"
+
+    def __init__(self, expected: Optional[Hashable] = None):
+        self.expected = expected
+
+    def check(self, trace: Trace) -> Optional[Violation]:
+        leaders = [
+            event.actor
+            for event in trace.events_of(DECLARE)
+            if event.payload == "leader"
+        ]
+        if not leaders:
+            leaders = list(trace.outcome_dict().get("leaders", ()))
+        if len(leaders) != 1:
+            return Violation(
+                self.name,
+                f"expected exactly one leader, saw {leaders!r}",
+            )
+        if self.expected is not None and leaders[0] != self.expected:
+            return Violation(
+                self.name,
+                f"leader {leaders[0]!r} is not the expected {self.expected!r}",
+            )
+        return None

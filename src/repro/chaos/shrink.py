@@ -1,0 +1,96 @@
+"""Delta debugging for adversary schedules.
+
+Every generated adversary in the chaos engine is a flat tuple of *atoms*
+(crash specs, omission triples, channel actions, scheduling indices) that
+rebuilds into a concrete adversary, so minimizing a counterexample is
+pure data manipulation: delete atoms while the failure persists.
+
+:func:`shrink_schedule` is Zeller's ddmin specialised to that shape —
+chunked complement deletion down to 1-minimality (no single atom can be
+removed without losing the failure), followed by an optional per-atom
+simplification pass (e.g. shrinking a scheduling index toward 0, growing
+a crash's receiver set toward honesty).  The predicate is memoized and
+check-budgeted, and the whole procedure is deterministic: the same
+schedule and predicate always shrink to the same result, which is what
+lets a ``(seed, fingerprint)`` pair in a CI artifact re-derive the exact
+counterexample.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+Atom = object
+Schedule = Tuple[Atom, ...]
+
+
+def shrink_schedule(
+    atoms: Iterable[Atom],
+    fails: Callable[[Schedule], bool],
+    simplify_atom: Optional[Callable[[Atom], Iterable[Atom]]] = None,
+    max_checks: int = 512,
+) -> Tuple[Schedule, int]:
+    """Minimize ``atoms`` while ``fails`` keeps returning True.
+
+    Returns ``(shrunk_schedule, checks_used)``.  The caller must have
+    established that the full schedule fails; predicate calls beyond
+    ``max_checks`` are conservatively treated as "does not fail", so the
+    budget can only leave the result larger, never wrong — the returned
+    schedule always satisfies ``fails``.
+    """
+    current: Schedule = tuple(atoms)
+    cache: Dict[Schedule, bool] = {current: True}
+    checks = 0
+
+    def check(candidate: Schedule) -> bool:
+        nonlocal checks
+        if candidate in cache:
+            return cache[candidate]
+        if checks >= max_checks:
+            return False
+        checks += 1
+        result = bool(fails(candidate))
+        cache[candidate] = result
+        return result
+
+    if current and check(()):
+        return (), checks
+
+    # -- ddmin: complement deletion to 1-minimality -----------------------
+    granularity = 2
+    while len(current) >= 2:
+        length = len(current)
+        chunk = max(1, length // granularity)
+        starts = list(range(0, length, chunk))
+        reduced = False
+        for start in starts:
+            candidate = current[:start] + current[start + chunk:]
+            if candidate != current and check(candidate):
+                current = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= length:
+                break
+            granularity = min(length, granularity * 2)
+
+    if len(current) == 1 and check(()):
+        current = ()
+
+    # -- per-atom simplification ------------------------------------------
+    if simplify_atom is not None:
+        changed = True
+        while changed and checks < max_checks:
+            changed = False
+            for i, atom in enumerate(current):
+                for simpler in simplify_atom(atom):
+                    candidate = current[:i] + (simpler,) + current[i + 1:]
+                    if candidate != current and check(candidate):
+                        current = candidate
+                        changed = True
+                        break
+                if changed:
+                    break
+
+    return current, checks

@@ -44,6 +44,7 @@ from typing import (
     Tuple,
 )
 
+from ..core.budget import BudgetMeter
 from ..core.runtime import (
     DECIDE,
     DELIVER,
@@ -156,6 +157,27 @@ class OmissionAdversary(SyncAdversary):
 
     def transform(self, rnd, src, dest, honest_message):
         if self._drop(rnd, src, dest):
+            return None
+        return honest_message
+
+
+class ScriptedOmission(SyncAdversary):
+    """Send-omission faults given by an explicit drop set.
+
+    ``drops`` is a set of ``(round, src, dest)`` triples to suppress —
+    the *data* form of :class:`OmissionAdversary`'s predicate, which is
+    what the chaos fuzzer generates and the shrinker minimizes: deleting
+    a triple from the set is exactly "fail one message fewer".  Processes
+    appearing as a source in ``drops`` are the faulty set.
+    """
+
+    def __init__(self, drops: Iterable[Tuple[Round, Pid, Pid]]):
+        drops = frozenset(drops)
+        super().__init__({src for (_rnd, src, _dest) in drops})
+        self.drops = drops
+
+    def transform(self, rnd, src, dest, honest_message):
+        if (rnd, src, dest) in self.drops:
             return None
         return honest_message
 
@@ -276,12 +298,14 @@ def run_synchronous(
     t: Optional[int] = None,
     rounds: Optional[int] = None,
     record_trace: bool = True,
+    meter: Optional[BudgetMeter] = None,
 ) -> SyncRun:
     """Execute the protocol synchronously and return the completed run.
 
     The run is recorded in the unified trace schema (``record_trace=False``
     skips recording for bulk searches); ``SyncRun.trace`` replays through
-    :func:`repro.core.runtime.replay`.
+    :func:`repro.core.runtime.replay`.  A ``meter`` charges one step per
+    round, so campaign budgets preempt runaway protocols.
     """
     adversary = adversary or NoFaults()
     n = len(inputs)
@@ -302,6 +326,8 @@ def run_synchronous(
     sent_count = 0
 
     for rnd in range(1, total_rounds + 1):
+        if meter is not None:
+            meter.charge_steps()
         # Compute all round-r messages from pre-round states.
         outbox: Dict[Tuple[Pid, Pid], Message] = {}
         for src in range(n):

@@ -30,6 +30,7 @@ from typing import (
 )
 
 from .automaton import Action, IOAutomaton, State
+from .budget import Budget, BudgetExceeded
 from .errors import InvariantViolation, SearchBudgetExceeded
 from .execution import Execution
 from .stategraph import state_graph
@@ -41,12 +42,20 @@ class ReachabilityResult:
 
     ``parents`` maps each discovered state to the ``(state, action)`` edge
     it was first discovered through, enabling path reconstruction.
+
+    When a :class:`~repro.core.budget.Budget` capped the exploration,
+    ``complete`` is False and ``budget_exceeded`` carries the structured
+    overdraft.  The partial result is *resumable*: the automaton's shared
+    frontier retains the BFS queue, so calling :func:`explore` again (with
+    a fresh or absent budget) continues exactly where this run stopped
+    instead of restarting.
     """
 
     automaton: IOAutomaton
     reachable: Set[State]
     parents: Dict[State, Optional[Tuple[State, Action]]]
     complete: bool
+    budget_exceeded: Optional[BudgetExceeded] = None
 
     def path_to(self, target: State) -> Execution:
         """Reconstruct a shortest execution from a start state to ``target``."""
@@ -75,6 +84,7 @@ def explore(
     include_inputs: bool = False,
     actions_filter: Optional[Callable[[State, Action], bool]] = None,
     initial_states: Optional[Iterable[State]] = None,
+    budget: Optional[Budget] = None,
 ) -> ReachabilityResult:
     """Breadth-first search of the reachable state graph.
 
@@ -90,12 +100,26 @@ def explore(
     still backed by the memoized successor cache.
 
     Raises :class:`SearchBudgetExceeded` when more than ``max_states``
-    distinct states are discovered.
+    distinct states are discovered.  A :class:`~repro.core.budget.Budget`
+    instead caps the search *gracefully*: on overdraft the function
+    returns a partial :class:`ReachabilityResult` (``complete=False``)
+    rather than raising, and — on the default shared-frontier path — a
+    later call resumes the same frontier where the budget ran out.
     """
     graph = state_graph(automaton)
+    meter = budget.meter(automaton.name) if budget is not None else None
     if actions_filter is None and initial_states is None:
         frontier = graph.frontier(include_inputs)
-        frontier.expand_all(max_states)
+        try:
+            frontier.expand_all(max_states, meter)
+        except BudgetExceeded as overdraft:
+            return ReachabilityResult(
+                automaton,
+                set(frontier.parents),
+                dict(frontier.parents),
+                complete=False,
+                budget_exceeded=overdraft,
+            )
         return ReachabilityResult(
             automaton, set(frontier.parents), dict(frontier.parents), complete=True
         )
@@ -111,21 +135,36 @@ def explore(
             reachable.add(s)
             parents[s] = None
             queue.append(s)
+    overdraft: Optional[BudgetExceeded] = None
     while queue:
         state = queue.popleft()
-        for action, succ in graph.transitions(state, include_inputs):
-            if actions_filter is not None and not actions_filter(state, action):
-                continue
-            if succ in reachable:
-                continue
-            if len(reachable) >= max_states:
-                raise SearchBudgetExceeded(
-                    f"exploration of {automaton.name} exceeded {max_states} states"
-                )
-            reachable.add(succ)
-            parents[succ] = (state, action)
-            queue.append(succ)
-    return ReachabilityResult(automaton, reachable, parents, complete=True)
+        try:
+            if meter is not None:
+                meter.check_time()
+            for action, succ in graph.transitions(state, include_inputs):
+                if actions_filter is not None and not actions_filter(state, action):
+                    continue
+                if succ in reachable:
+                    continue
+                if len(reachable) >= max_states:
+                    raise SearchBudgetExceeded(
+                        f"exploration of {automaton.name} exceeded {max_states} states"
+                    )
+                if meter is not None:
+                    meter.charge_states()
+                reachable.add(succ)
+                parents[succ] = (state, action)
+                queue.append(succ)
+        except BudgetExceeded as exc:
+            overdraft = exc
+            break
+    return ReachabilityResult(
+        automaton,
+        reachable,
+        parents,
+        complete=overdraft is None,
+        budget_exceeded=overdraft,
+    )
 
 
 def _check_invariant_counting(

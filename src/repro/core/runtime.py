@@ -40,6 +40,7 @@ trace.  This module is the shared kernel they now all route through:
 from __future__ import annotations
 
 import hashlib
+import json
 import random
 from dataclasses import dataclass, field
 from typing import (
@@ -83,6 +84,85 @@ EVENT_KINDS = frozenset(
 
 class ReplayError(ReproError):
     """A trace could not be replayed, or the replay diverged."""
+
+
+class ReplayDivergence(ReplayError):
+    """A replay produced a different run than the original trace.
+
+    Structured: ``index`` is the position of the first divergent event
+    (``None`` when the events all match but the metadata or outcome
+    differ), ``expected`` is the original's event at that position and
+    ``actual`` the replay's (either may be ``None`` when one run is a
+    strict prefix of the other).  Non-determinism escaping the seeded
+    RNG is exactly the bug class this error exists to pinpoint.
+    """
+
+    def __init__(self, original: "Trace", fresh: "Trace"):
+        self.original = original
+        self.fresh = fresh
+        self.index: Optional[int] = None
+        self.expected: Optional[TraceEvent] = None
+        self.actual: Optional[TraceEvent] = None
+        for i, (a, b) in enumerate(zip(original.events, fresh.events)):
+            if a != b:
+                self.index, self.expected, self.actual = i, a, b
+                break
+        else:
+            if len(original.events) != len(fresh.events):
+                i = min(len(original.events), len(fresh.events))
+                self.index = i
+                self.expected = (
+                    original.events[i] if i < len(original.events) else None
+                )
+                self.actual = fresh.events[i] if i < len(fresh.events) else None
+        if self.index is not None:
+            detail = (
+                f"first divergence at event {self.index}: "
+                f"expected {self.expected!r}, got {self.actual!r}"
+            )
+        else:
+            detail = (
+                f"events identical; outcome/metadata diverged: "
+                f"expected {(original.substrate, original.protocol, original.seed, original.outcome)!r}, "
+                f"got {(fresh.substrate, fresh.protocol, fresh.seed, fresh.outcome)!r}"
+            )
+        super().__init__(
+            f"replay diverged for substrate {original.substrate!r} "
+            f"(protocol {original.protocol!r}, seed {original.seed!r}): "
+            f"{original.steps} events originally, {fresh.steps} on replay; "
+            + detail
+        )
+
+
+# -- JSON-safe payload encoding ---------------------------------------------
+#
+# Trace payloads are arbitrary hashables built from tuples, frozensets and
+# scalars.  JSON has neither tuples nor frozensets, so both are encoded as
+# single-key tagged objects and decoded back to the exact original type —
+# which is what makes a saved counterexample's fingerprint verifiable.
+
+def _encode_value(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {"t": [_encode_value(v) for v in value]}
+    if isinstance(value, frozenset):
+        return {"fs": [_encode_value(v) for v in sorted(value, key=repr)]}
+    raise TypeError(
+        f"cannot serialize trace payload of type {type(value).__name__}: {value!r}"
+    )
+
+
+def _decode_value(value):
+    if isinstance(value, dict):
+        if set(value) == {"t"}:
+            return tuple(_decode_value(v) for v in value["t"])
+        if set(value) == {"fs"}:
+            return frozenset(_decode_value(v) for v in value["fs"])
+        raise ValueError(f"unknown tagged value {value!r}")
+    if isinstance(value, list):
+        raise ValueError(f"bare JSON array in trace payload: {value!r}")
+    return value
 
 
 class TraceEvent(NamedTuple):
@@ -180,6 +260,92 @@ class Trace:
     @property
     def replayable(self) -> bool:
         return self.replayer is not None
+
+    # -- serialization ----------------------------------------------------
+
+    JSONL_SCHEMA = "repro-trace/v1"
+
+    def to_jsonl(self) -> str:
+        """Serialize to JSON Lines: one header line, then one line per event.
+
+        Payloads built from tuples, frozensets and scalars round-trip
+        exactly; the header records the fingerprint so
+        :meth:`from_jsonl` can verify the reload is byte-identical.
+        This is how shrunk chaos counterexamples are saved as CI
+        artifacts and re-verified later.
+        """
+        header = {
+            "schema": self.JSONL_SCHEMA,
+            "substrate": self.substrate,
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "outcome": _encode_value(self.outcome),
+            "fingerprint": self.fingerprint(),
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        for e in self.events:
+            lines.append(
+                json.dumps(
+                    {
+                        "step": e.step,
+                        "actor": _encode_value(e.actor),
+                        "kind": e.kind,
+                        "payload": _encode_value(e.payload),
+                        "round": e.round,
+                        "time": e.time,
+                    },
+                    sort_keys=True,
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str, verify: bool = True) -> "Trace":
+        """Rebuild a trace from :meth:`to_jsonl` output.
+
+        The result carries no replayer (the closure does not serialize);
+        with ``verify`` (the default) the recomputed fingerprint is
+        checked against the header's, raising :class:`ReplayError` on
+        mismatch — a corrupted or hand-edited artifact never silently
+        passes as the original run.
+        """
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ReplayError("empty trace serialization")
+        header = json.loads(lines[0])
+        if header.get("schema") != cls.JSONL_SCHEMA:
+            raise ReplayError(
+                f"unknown trace schema {header.get('schema')!r} "
+                f"(expected {cls.JSONL_SCHEMA!r})"
+            )
+        events = []
+        for line in lines[1:]:
+            raw = json.loads(line)
+            events.append(
+                TraceEvent(
+                    step=raw["step"],
+                    actor=_decode_value(raw["actor"]),
+                    kind=raw["kind"],
+                    payload=_decode_value(raw["payload"]),
+                    round=raw["round"],
+                    time=raw["time"],
+                )
+            )
+        trace = cls(
+            substrate=header["substrate"],
+            protocol=header["protocol"],
+            seed=header["seed"],
+            events=tuple(events),
+            outcome=_decode_value(header["outcome"]),
+        )
+        recorded = header.get("fingerprint")
+        if verify and recorded != trace.fingerprint():
+            raise ReplayError(
+                f"reloaded trace fingerprint {trace.fingerprint()} does not "
+                f"match recorded fingerprint {recorded} — the serialization "
+                "was corrupted or the payload encoding is not faithful"
+            )
+        return trace
 
 
 # ---------------------------------------------------------------------------
@@ -406,9 +572,10 @@ def replay(trace: Trace) -> Trace:
     """Re-execute the run that produced ``trace`` and verify it.
 
     Returns the freshly produced trace; raises :class:`ReplayError` if the
-    trace carries no replayer or the replay diverges from the original
-    (non-determinism escaping the seeded RNG — exactly the bug class this
-    kernel exists to eliminate).
+    trace carries no replayer, and :class:`ReplayDivergence` — carrying
+    the index and both versions of the first divergent event — if the
+    replay differs from the original (non-determinism escaping the seeded
+    RNG — exactly the bug class this kernel exists to eliminate).
     """
     if trace.replayer is None:
         raise ReplayError(
@@ -417,9 +584,5 @@ def replay(trace: Trace) -> Trace:
         )
     fresh = trace.replayer()
     if fresh.fingerprint() != trace.fingerprint():
-        raise ReplayError(
-            f"replay diverged for substrate {trace.substrate!r} "
-            f"(protocol {trace.protocol!r}, seed {trace.seed!r}): "
-            f"{trace.steps} events originally, {fresh.steps} on replay"
-        )
+        raise ReplayDivergence(trace, fresh)
     return fresh

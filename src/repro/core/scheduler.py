@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, List, Optional, Sequence
 
 from .automaton import Action, IOAutomaton, State
+from .budget import BudgetMeter
 from .errors import ExecutionError
 from .execution import Execution
 from .runtime import STEP, FaultAdversary, SimulationRuntime, Trace
@@ -70,14 +71,16 @@ class Scheduler(FaultAdversary, ABC):
         max_steps: int,
         start: Optional[State] = None,
         stop_when: Optional[Callable[[State], bool]] = None,
+        meter: Optional[BudgetMeter] = None,
     ) -> Execution:
         """Generate an execution of up to ``max_steps`` steps.
 
         Stops early when the automaton is quiescent or ``stop_when`` holds
-        in the current state.
+        in the current state.  A ``meter`` charges one step per transition
+        and raises :class:`~repro.core.budget.BudgetExceeded` on overdraft.
         """
         execution, _runtime = self._drive(
-            automaton, max_steps, start, stop_when, runtime=None
+            automaton, max_steps, start, stop_when, runtime=None, meter=meter
         )
         return execution
 
@@ -90,6 +93,7 @@ class Scheduler(FaultAdversary, ABC):
         *,
         substrate: str = "io-automaton",
         actor_of: Optional[Callable[[Action], Hashable]] = None,
+        meter: Optional[BudgetMeter] = None,
     ) -> TracedExecution:
         """Like :meth:`run`, recording the run in the unified trace schema.
 
@@ -102,7 +106,7 @@ class Scheduler(FaultAdversary, ABC):
         )
         execution, runtime = self._drive(
             automaton, max_steps, start, stop_when,
-            runtime=runtime, actor_of=actor_of,
+            runtime=runtime, actor_of=actor_of, meter=meter,
         )
 
         def replayer(
@@ -130,11 +134,14 @@ class Scheduler(FaultAdversary, ABC):
         stop_when: Optional[Callable[[State], bool]],
         runtime: Optional[SimulationRuntime],
         actor_of: Optional[Callable[[Action], Hashable]] = None,
+        meter: Optional[BudgetMeter] = None,
     ):
         """The single scheduling loop behind :meth:`run` and
         :meth:`run_traced`."""
         execution = Execution.initial(automaton, start)
         for _ in range(max_steps):
+            if meter is not None:
+                meter.charge_steps()
             state = execution.last_state
             if stop_when is not None and stop_when(state):
                 break
@@ -246,6 +253,55 @@ class FixedScheduler(Scheduler):
                 f"scheduled action {action!r} is not enabled; enabled: {sorted(map(repr, enabled))}"
             )
         return action
+
+    def reset(self) -> None:
+        self._index = 0
+
+
+class ScriptedIndexScheduler(Scheduler):
+    """Replay a script of *indices* into the repr-sorted enabled set.
+
+    The chaos fuzzer's interleaving adversary: a schedule is a plain
+    tuple of ints, so delta-debugging can delete and simplify atoms
+    freely — out-of-range indices wrap (mod the number of options) and
+    an exhausted script falls back to index 0, so every finite script
+    denotes a total, deterministic schedule no matter how it is mangled.
+
+    The same instance serves every scheduling-shaped substrate: it is a
+    :class:`Scheduler` for I/O-automaton and shared-memory runs, and its
+    :meth:`schedule` face drives the ring and asynchronous-network
+    simulators through the unified
+    :class:`~repro.core.runtime.FaultAdversary` protocol.
+    """
+
+    def __init__(self, script: Iterable[int]):
+        super().__init__()
+        self._script: List[int] = [int(i) for i in script]
+        self._index = 0
+
+    @property
+    def script(self) -> List[int]:
+        return list(self._script)
+
+    def _next(self, width: int) -> int:
+        if width <= 0 or self._index >= len(self._script):
+            return 0
+        index = self._script[self._index]
+        self._index += 1
+        return index % width
+
+    def choose(self, execution: Execution, enabled: Sequence[Action]) -> Action:
+        ordered = sorted(enabled, key=repr)
+        return ordered[self._next(len(ordered))]
+
+    def resolve_state(
+        self, execution: Execution, action: Action, successors: Sequence[State]
+    ) -> State:
+        ordered = sorted(successors, key=repr)
+        return ordered[self._next(len(ordered))] if len(ordered) > 1 else ordered[0]
+
+    def schedule(self, options, rng=None):
+        return self._next(len(options))
 
     def reset(self) -> None:
         self._index = 0

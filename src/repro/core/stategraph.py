@@ -48,6 +48,7 @@ from typing import (
 )
 
 from .automaton import Action, IOAutomaton, State
+from .budget import BudgetMeter
 from .errors import SearchBudgetExceeded
 
 Edge = Tuple[Action, State]
@@ -84,13 +85,17 @@ class _Frontier:
                 self.order.append(s)
                 self.queue.append(s)
 
-    def _expand_one(self, max_states: int) -> None:
+    def _expand_one(
+        self, max_states: int, meter: Optional[BudgetMeter] = None
+    ) -> None:
         """Expand the state at the head of the queue.
 
         The head is popped only once its whole successor sweep is
         recorded, so a budget abort mid-sweep can be resumed without
         losing edges (the sweep is idempotent over already-seen states).
         """
+        if meter is not None:
+            meter.check_time()
         state = self.queue[0]
         for action, succ in self.graph.transitions(state, self.include_inputs):
             if succ in self.parents:
@@ -100,17 +105,23 @@ class _Frontier:
                     f"exploration of {self.graph.automaton.name} exceeded "
                     f"{max_states} states"
                 )
+            if meter is not None:
+                meter.charge_states()
             self.parents[succ] = (state, action)
             self.order.append(succ)
             self.queue.append(succ)
         self.queue.popleft()
 
-    def states(self, max_states: int) -> Iterator[State]:
+    def states(
+        self, max_states: int, meter: Optional[BudgetMeter] = None
+    ) -> Iterator[State]:
         """Yield every reachable state in BFS order, expanding on demand.
 
         Already-discovered states stream out of the cache; the frontier
         only grows when the consumer outruns it.  Raises
-        :class:`SearchBudgetExceeded` past ``max_states`` *new* states.
+        :class:`SearchBudgetExceeded` past ``max_states`` *new* states,
+        or :class:`~repro.core.budget.BudgetExceeded` when ``meter``
+        overdraws — in either case the frontier stays resumable.
         """
         if not self.started:
             self._start()
@@ -121,13 +132,15 @@ class _Frontier:
                 i += 1
             if not self.queue:
                 return
-            self._expand_one(max_states)
+            self._expand_one(max_states, meter)
 
-    def expand_all(self, max_states: int) -> None:
+    def expand_all(
+        self, max_states: int, meter: Optional[BudgetMeter] = None
+    ) -> None:
         if not self.started:
             self._start()
         while self.queue:
-            self._expand_one(max_states)
+            self._expand_one(max_states, meter)
 
 
 class StateGraph:
@@ -188,14 +201,24 @@ class StateGraph:
             self._frontiers[include_inputs] = frontier
         return frontier
 
-    def states(self, max_states: int = 100_000, include_inputs: bool = False) -> Iterator[State]:
+    def states(
+        self,
+        max_states: int = 100_000,
+        include_inputs: bool = False,
+        meter: Optional[BudgetMeter] = None,
+    ) -> Iterator[State]:
         """Reachable states in BFS discovery order (resumable, budgeted)."""
-        return self.frontier(include_inputs).states(max_states)
+        return self.frontier(include_inputs).states(max_states, meter)
 
-    def reachable(self, max_states: int = 100_000, include_inputs: bool = False) -> Set[State]:
+    def reachable(
+        self,
+        max_states: int = 100_000,
+        include_inputs: bool = False,
+        meter: Optional[BudgetMeter] = None,
+    ) -> Set[State]:
         """The full reachable state set (a copy; the frontier stays cached)."""
         frontier = self.frontier(include_inputs)
-        frontier.expand_all(max_states)
+        frontier.expand_all(max_states, meter)
         return set(frontier.parents)
 
     def parents(self, include_inputs: bool = False) -> Dict[State, Optional[Tuple[State, Action]]]:

@@ -19,6 +19,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, List, Optional, Sequence, Tuple
 
+from ..core.budget import BudgetMeter
 from ..core.errors import ModelError
 from ..core.runtime import (
     CRASH,
@@ -188,13 +189,16 @@ def run_datalink(
     sender_factory: Optional[Callable[[], DataLinkSender]] = None,
     receiver_factory: Optional[Callable[[], DataLinkReceiver]] = None,
     record_trace: bool = True,
+    meter: Optional[BudgetMeter] = None,
 ) -> DataLinkResult:
     """Run the protocol against the adversary; return what was delivered.
 
     The run is recorded in the unified trace schema (one event per channel
     action).  Senders and receivers are stateful, so the trace carries a
     replayer only when ``sender_factory``/``receiver_factory`` provide
-    fresh endpoints; the adversary is ``reset()`` before each replay.
+    fresh endpoints; the adversary is ``reset()`` before each replay.  A
+    ``meter`` charges one step per channel action, so campaign budgets
+    preempt adversaries that never halt.
     """
     sender.load(messages)
     runtime = SimulationRuntime(
@@ -211,6 +215,8 @@ def run_datalink(
     ack_packets = 0
     steps = 0
     while steps < max_steps:
+        if meter is not None:
+            meter.charge_steps()
         steps += 1
         action = adversary.act(list(fwd), list(bwd), sender.done(), steps)
         kind = action[0]

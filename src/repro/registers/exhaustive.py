@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
+from ..core.budget import Budget, BudgetExceeded
 from ..core.errors import ModelError
 from ..impossibility.certificate import ImpossibilityCertificate
 from ..shared_memory.variables import Access, read, write
@@ -122,14 +123,47 @@ class RegisterSearchOutcome:
     agreement_failures: int
     validity_failures: int
     wait_freedom_failures: int
+    complete: bool = True
+    resume_at: int = 0
 
 
-def search_register_consensus(depth: int = 2) -> RegisterSearchOutcome:
-    """Model-check every program in the class; collect the failure census."""
-    solutions: List[Program] = []
-    agreement = validity = wait_freedom = 0
-    total = 0
-    for program in enumerate_programs(depth):
+def search_register_consensus(
+    depth: int = 2,
+    budget: Optional[Budget] = None,
+    resume: Optional[RegisterSearchOutcome] = None,
+) -> RegisterSearchOutcome:
+    """Model-check every program in the class; collect the failure census.
+
+    A :class:`~repro.core.budget.Budget` (one step charged per candidate)
+    turns the search into a resumable anytime computation: on overdraft
+    it returns the census so far with ``complete=False`` and
+    ``resume_at`` set to the first unchecked candidate; pass that outcome
+    back as ``resume`` to continue where it stopped, accumulating counts.
+    """
+    start = resume.resume_at if resume is not None else 0
+    solutions: List[Program] = list(resume.solutions) if resume else []
+    agreement = resume.agreement_failures if resume else 0
+    validity = resume.validity_failures if resume else 0
+    wait_freedom = resume.wait_freedom_failures if resume else 0
+    total = resume.candidates if resume else 0
+    meter = budget.meter("register-consensus-search") if budget else None
+    for index, program in enumerate(enumerate_programs(depth)):
+        if index < start:
+            continue
+        if meter is not None:
+            try:
+                meter.charge_steps()
+            except BudgetExceeded:
+                return RegisterSearchOutcome(
+                    depth=depth,
+                    candidates=total,
+                    solutions=solutions,
+                    agreement_failures=agreement,
+                    validity_failures=validity,
+                    wait_freedom_failures=wait_freedom,
+                    complete=False,
+                    resume_at=index,
+                )
         total += 1
         system = ObjectConsensusSystem(ProgramConsensus(program), 2)
         verdict = wait_free_verdict(system, solo_bound=depth + 2)

@@ -28,6 +28,7 @@ from typing import (
     Tuple,
 )
 
+from ..core.budget import BudgetMeter
 from ..core.errors import ModelError
 from ..core.runtime import (
     DECLARE,
@@ -96,6 +97,7 @@ def run_async_ring(
     adversary: Optional[FaultAdversary] = None,
     process_factory: Optional[Callable[[], Sequence[RingProcess]]] = None,
     record_trace: bool = True,
+    meter: Optional[BudgetMeter] = None,
 ) -> RingResult:
     """Execute the ring asynchronously with FIFO channels.
 
@@ -167,6 +169,8 @@ def run_async_ring(
 
     steps = 0
     while steps < max_steps:
+        if meter is not None:
+            meter.charge_steps()
         nonempty = [key for key, queue in channels.items() if queue]
         if not nonempty:
             break
@@ -234,6 +238,7 @@ def run_sync_ring(
     max_rounds: int = 1_000_000,
     process_factory: Optional[Callable[[], Sequence[SyncRingProcess]]] = None,
     record_trace: bool = True,
+    meter: Optional[BudgetMeter] = None,
 ) -> RingResult:
     """Execute the ring in lockstep rounds until quiescence.
 
@@ -263,6 +268,8 @@ def run_sync_ring(
 
     rnd = 0
     while not halted and rnd < max_rounds:
+        if meter is not None:
+            meter.charge_steps()
         rnd += 1
         outbox: Dict[Tuple[int, str], Hashable] = {}
         for node, proc in enumerate(processes):

@@ -191,6 +191,7 @@ def run_system(
     max_steps: int = 1_000,
     start: Optional[State] = None,
     stop_when: Optional[Callable[[State], bool]] = None,
+    meter=None,
 ):
     """Drive the composed system under a scheduler, in the unified schema.
 
@@ -213,6 +214,7 @@ def run_system(
         stop_when=stop_when,
         substrate="shared-memory",
         actor_of=lambda action: _process_of_action(system, action) or "environment",
+        meter=meter,
     )
 
 
