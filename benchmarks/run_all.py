@@ -13,6 +13,14 @@ Usage::
     python benchmarks/run_all.py --quick     # CI smoke: subset, one round
     python benchmarks/run_all.py -k e6       # just the FLP benchmarks
     python benchmarks/run_all.py --output /tmp/after.json
+    python benchmarks/run_all.py --workers 4 # shard files across 4 pytests
+
+``--workers N`` shards the benchmark *files* across N concurrently
+running pytest processes and merges their reports into one snapshot
+(benchmarks are sorted by name, so the merged snapshot is independent of
+which shard finished first).  Timings of co-scheduled shards contend for
+cores, so use it for trajectory smoke runs, not for precision
+comparisons.
 
 The snapshot records, per benchmark: mean/stddev/min wall time, round
 count, and the experiment's reproduced numbers (``extra_info``), so a
@@ -23,6 +31,7 @@ diff.
 from __future__ import annotations
 
 import argparse
+import glob
 import json
 import os
 import platform
@@ -32,6 +41,9 @@ import tempfile
 
 BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(BENCH_DIR)
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.artifacts import atomic_write_json  # noqa: E402
 
 # The smoke subset exercises the pillars of the engine: valency analysis
 # (E6), the ablation harness, and the unified simulation runtime
@@ -41,9 +53,45 @@ QUICK_FILES = (
     "bench_ablations.py",
     "bench_runtime.py",
     "bench_chaos.py",
+    "bench_parallel.py",
 )
 
 SCHEMA = "repro-bench-core/v1"
+
+
+def _bench_env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    return env
+
+
+def _pytest_command(
+    targets: list, raw_path: str, args: argparse.Namespace
+) -> list:
+    min_rounds = 1 if args.quick else args.min_rounds
+    max_time = 0.01 if args.quick else args.max_time
+    command = [
+        sys.executable, "-m", "pytest", *targets,
+        "-q", "--no-header", "-p", "no:cacheprovider",
+        f"--benchmark-json={raw_path}",
+        f"--benchmark-min-rounds={min_rounds}",
+        f"--benchmark-max-time={max_time}",
+    ]
+    if args.keyword:
+        command += ["-k", args.keyword]
+    return command
+
+
+def _bench_files(args: argparse.Namespace) -> list:
+    if args.quick:
+        return list(QUICK_FILES)
+    return sorted(
+        os.path.basename(p)
+        for p in glob.glob(os.path.join(BENCH_DIR, "bench_*.py"))
+    )
 
 
 def run_suite(args: argparse.Namespace) -> dict:
@@ -57,30 +105,72 @@ def run_suite(args: argparse.Namespace) -> dict:
         if args.quick
         else [BENCH_DIR]
     )
-    min_rounds = 1 if args.quick else args.min_rounds
-    max_time = 0.01 if args.quick else args.max_time
-    command = [
-        sys.executable, "-m", "pytest", *targets,
-        "-q", "--no-header",
-        f"--benchmark-json={raw_path}",
-        f"--benchmark-min-rounds={min_rounds}",
-        f"--benchmark-max-time={max_time}",
-    ]
-    if args.keyword:
-        command += ["-k", args.keyword]
-    env = dict(os.environ)
-    src = os.path.join(REPO_ROOT, "src")
-    env["PYTHONPATH"] = (
-        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
-    )
+    command = _pytest_command(targets, raw_path, args)
     print("$", " ".join(command), flush=True)
-    proc = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    proc = subprocess.run(command, cwd=REPO_ROOT, env=_bench_env())
     if proc.returncode != 0:
         raise SystemExit(f"benchmark suite failed (pytest exit {proc.returncode})")
     with open(raw_path) as handle:
         report = json.load(handle)
     os.unlink(raw_path)
     return report
+
+
+def run_suite_sharded(args: argparse.Namespace) -> dict:
+    """Shard benchmark files across ``--workers`` concurrent pytests.
+
+    Files are dealt round-robin over the shards (cheap load balancing:
+    neighbours in the sorted list tend to have similar cost), every
+    shard runs as its own pytest process writing its own raw report,
+    and the reports are merged by concatenating their benchmark lists —
+    :func:`aggregate` sorts by full name, so the snapshot is independent
+    of shard assignment and completion order.
+    """
+    files = _bench_files(args)
+    shards = [files[i::args.workers] for i in range(args.workers)]
+    shards = [shard for shard in shards if shard]
+    procs = []
+    raw_paths = []
+    env = _bench_env()
+    for shard in shards:
+        with tempfile.NamedTemporaryFile(
+            mode="r", suffix=".json", prefix="bench-shard-", delete=False
+        ) as handle:
+            raw_path = handle.name
+        raw_paths.append(raw_path)
+        command = _pytest_command(
+            [os.path.join(BENCH_DIR, f) for f in shard], raw_path, args
+        )
+        print("$", " ".join(command), flush=True)
+        procs.append(subprocess.Popen(command, cwd=REPO_ROOT, env=env))
+    failures = 0
+    for proc in procs:
+        if proc.wait() != 0:
+            failures += 1
+    # Exit code 5 ("no tests collected") happens when -k filters a whole
+    # shard away; tolerate empty shards but fail on real errors.
+    reports = []
+    for raw_path in raw_paths:
+        try:
+            with open(raw_path) as handle:
+                reports.append(json.load(handle))
+        except (OSError, json.JSONDecodeError):
+            pass
+        finally:
+            try:
+                os.unlink(raw_path)
+            except OSError:
+                pass
+    if not reports or (failures and not args.keyword):
+        raise SystemExit(
+            f"benchmark shards failed ({failures} of {len(shards)} pytest "
+            "processes exited nonzero)"
+        )
+    merged = dict(reports[0])
+    merged["benchmarks"] = [
+        bench for report in reports for bench in report.get("benchmarks", [])
+    ]
+    return merged
 
 
 def aggregate(report: dict, args: argparse.Namespace) -> dict:
@@ -103,6 +193,7 @@ def aggregate(report: dict, args: argparse.Namespace) -> dict:
     return {
         "schema": SCHEMA,
         "quick": bool(args.quick),
+        "workers": getattr(args, "workers", 1),
         "recorded_at": report.get("datetime"),
         "python": platform.python_version(),
         "machine": {
@@ -134,12 +225,16 @@ def main(argv=None) -> None:
                         help="pytest-benchmark min rounds (full mode)")
     parser.add_argument("--max-time", type=float, default=0.5,
                         help="pytest-benchmark max seconds per bench (full mode)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="shard benchmark files across N concurrent "
+                        "pytest processes (default: 1, single process)")
     args = parser.parse_args(argv)
 
-    snapshot = aggregate(run_suite(args), args)
-    with open(args.output, "w") as handle:
-        json.dump(snapshot, handle, indent=2, sort_keys=False)
-        handle.write("\n")
+    report = run_suite_sharded(args) if args.workers > 1 else run_suite(args)
+    snapshot = aggregate(report, args)
+    # Atomic: a crashed or killed run never truncates the checked-in
+    # trajectory snapshot.
+    atomic_write_json(args.output, snapshot, indent=2, sort_keys=False)
     totals = snapshot["totals"]
     print(
         f"wrote {args.output}: {totals['benchmarks']} benchmarks, "

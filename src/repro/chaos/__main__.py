@@ -43,6 +43,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write shrunk-counterexample JSONL artifacts into DIR",
     )
     parser.add_argument(
+        "--workers",
+        default=1,
+        metavar="N",
+        help="shard case execution across N worker processes "
+        "(or 'auto' for one per CPU); results are bit-identical to "
+        "--workers 1 (default)",
+    )
+    parser.add_argument(
         "--max-seconds",
         type=float,
         default=None,
@@ -89,12 +97,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.max_seconds is not None
         else None
     )
+    workers = args.workers if args.workers == "auto" else int(args.workers)
     report = run_campaign(
         targets=roster,
         runs=args.runs,
         master_seed=args.seed,
         shrink=not args.no_shrink,
         budget=budget,
+        workers=workers,
     )
     print(report.summary(roster))
 

@@ -31,7 +31,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..core.artifacts import atomic_write_text
 from ..core.budget import Budget, BudgetExceeded
+from ..parallel.pool import WorkerPool, resolve_workers
 from ..core.runtime import (
     ReplayError,
     Trace,
@@ -260,6 +262,115 @@ def _run_case(
     return result, counterexample
 
 
+def _run_case_shard(payload: Tuple) -> CaseResult:
+    """The worker-side body of one sharded case (no shrinking).
+
+    A shard is pure coordinates: the worker re-derives its seed via
+    ``derive_seed(master_seed, target.name, index)`` exactly as a serial
+    run would.  Shrinking stays in the parent so counterexample
+    artifacts are byte-identical to serial runs.
+    """
+    target, index, master_seed, per_run_budget = payload
+    result, _none = _run_case(
+        target, index, master_seed, per_run_budget, shrink=False,
+        shrink_checks=0,
+    )
+    return result
+
+
+def _run_campaign_sharded(
+    roster: List[ChaosTarget],
+    runs: int,
+    master_seed: int,
+    per_run_budget: Optional[Budget],
+    shrink: bool,
+    shrink_checks: int,
+    budget: Optional[Budget],
+    resume: Optional[CampaignReport],
+    workers: int,
+) -> CampaignReport:
+    """The ``workers > 1`` campaign path: shard cases, merge, then shrink.
+
+    Determinism argument, case by case:
+
+    * the executed case set is decided up front by charging the campaign
+      meter in the serial iteration order (target by target, index
+      ascending), so ``complete``/``resume_at`` match a serial run for
+      step-capped budgets (wall-clock budgets are inherently timing
+      dependent, serial or not);
+    * workers return :class:`CaseResult` values which are merged by a
+      stable sort on the serial iteration order — ``pool.map`` already
+      preserves it, the sort documents (and enforces) order
+      independence;
+    * shrinking runs in the parent, in merge order, re-deriving each
+      violating schedule from ``random.Random(seed)`` — the same atoms
+      the worker fuzzed, so counterexamples, fingerprints and artifacts
+      are byte-identical to ``workers=1``.
+    """
+    results = list(resume.results) if resume is not None else []
+    counterexamples = list(resume.counterexamples) if resume is not None else []
+    campaign_meter = budget.meter("chaos-campaign") if budget is not None else None
+    resume_at: Dict[str, int] = {}
+    interrupted = False
+
+    # Phase 1 (parent): pick the executed cases in serial charge order.
+    plan: List[Tuple[int, ChaosTarget, int]] = []
+    for position, target in enumerate(roster):
+        index = resume.resume_at.get(target.name, 0) if resume is not None else 0
+        while index < runs:
+            if campaign_meter is not None:
+                try:
+                    campaign_meter.charge_steps()
+                except BudgetExceeded:
+                    interrupted = True
+                    break
+            plan.append((position, target, index))
+            index += 1
+        resume_at[target.name] = index
+        if interrupted:
+            break
+    if interrupted:
+        for target in roster:
+            resume_at.setdefault(
+                target.name,
+                resume.resume_at.get(target.name, 0) if resume is not None else 0,
+            )
+
+    # Phase 2 (workers): run every planned case, order preserved.
+    with WorkerPool(workers) as pool:
+        merged = pool.map(
+            _run_case_shard,
+            [
+                (target, index, master_seed, per_run_budget)
+                for (_position, target, index) in plan
+            ],
+        )
+    order = sorted(range(len(plan)), key=lambda i: (plan[i][0], plan[i][2]))
+
+    # Phase 3 (parent): fold results and shrink violations in serial order.
+    for i in order:
+        _position, target, index = plan[i]
+        result = merged[i]
+        results.append(result)
+        if result.verdict == VIOLATION and shrink:
+            atoms = tuple(target.generate(random.Random(result.seed)))
+            counterexamples.append(
+                _shrink_case(
+                    target, atoms, result.seed, index, per_run_budget,
+                    shrink_checks,
+                )
+            )
+
+    return CampaignReport(
+        master_seed=master_seed,
+        runs=runs,
+        results=results,
+        counterexamples=counterexamples,
+        complete=not interrupted,
+        resume_at=resume_at,
+    )
+
+
 def run_campaign(
     targets: Optional[Iterable[ChaosTarget]] = None,
     runs: int = 40,
@@ -269,6 +380,7 @@ def run_campaign(
     shrink_checks: int = 256,
     budget: Optional[Budget] = None,
     resume: Optional[CampaignReport] = None,
+    workers=1,
 ) -> CampaignReport:
     """Fuzz every target ``runs`` times; shrink and verify what breaks.
 
@@ -278,8 +390,21 @@ def run_campaign(
     report back as ``resume`` to continue.  ``per_run_budget`` bounds
     each individual run; overdrafts there are BUDGET_EXCEEDED verdicts,
     not campaign aborts.
+
+    ``workers=N`` shards case execution across N worker processes
+    (:mod:`repro.parallel`); every field of the report — classifications,
+    counterexamples, fingerprints, resume indices — is bit-identical to
+    a ``workers=1`` run (wall-clock budgets excepted: they are timing
+    dependent in any mode).  Targets must be picklable, which every
+    roster target is.
     """
     roster = list(targets) if targets is not None else default_targets()
+    nworkers = resolve_workers(workers)
+    if nworkers > 1:
+        return _run_campaign_sharded(
+            roster, runs, master_seed, per_run_budget, shrink, shrink_checks,
+            budget, resume, nworkers,
+        )
     results = list(resume.results) if resume is not None else []
     counterexamples = list(resume.counterexamples) if resume is not None else []
     campaign_meter = budget.meter("chaos-campaign") if budget is not None else None
@@ -351,9 +476,11 @@ def write_counterexample(cx: Counterexample, directory: str) -> str:
         "replay_verified": cx.replay_verified,
     }
     path = os.path.join(directory, f"{cx.target}-{cx.seed}.jsonl")
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(json.dumps(meta, sort_keys=True) + "\n")
-        handle.write(cx.trace.to_jsonl())
+    # Atomic: a campaign killed mid-write must never leave a truncated
+    # artifact that later "reproduces" as a corrupt counterexample.
+    atomic_write_text(
+        path, json.dumps(meta, sort_keys=True) + "\n" + cx.trace.to_jsonl()
+    )
     return path
 
 

@@ -1,0 +1,56 @@
+"""Atomic artifact writes: temp file + ``os.replace``.
+
+Campaign counterexamples, benchmark snapshots and golden-trace fixtures
+are all *evidence* — files a later process re-reads and re-verifies.  A
+worker or campaign killed mid-``write`` must never leave a truncated
+file that half-parses: every artifact writer in the repository routes
+through these helpers, which stage the full content in a temporary file
+in the destination directory and promote it with :func:`os.replace`
+(atomic on POSIX and Windows within one filesystem).  Readers therefore
+see either the previous complete artifact or the new complete artifact,
+never a prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> str:
+    """Write ``text`` to ``path`` atomically; return ``path``.
+
+    The temporary file lives in ``path``'s directory so the final
+    ``os.replace`` never crosses a filesystem boundary (cross-device
+    renames are not atomic).  On any failure the temporary file is
+    removed and the destination is untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, staging = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(staging, path)
+    except BaseException:
+        try:
+            os.unlink(staging)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path: str, payload, **dump_kwargs) -> str:
+    """Serialize ``payload`` and write it atomically; return ``path``.
+
+    Serialization happens *before* any file is touched, so an
+    unserializable payload can never clobber an existing artifact.
+    """
+    text = json.dumps(payload, **dump_kwargs) + "\n"
+    return atomic_write_text(path, text)

@@ -77,6 +77,21 @@ class _Frontier:
     def complete(self) -> bool:
         return self.started and not self.queue
 
+    def pending(self, limit: int) -> List[State]:
+        """The next (up to) ``limit`` states awaiting expansion, in order.
+
+        A read-only view of the queue head — the batch interface the
+        parallel fabric prefetches (:mod:`repro.parallel.explore`).
+        """
+        if limit >= len(self.queue):
+            return list(self.queue)
+        return [self.queue[i] for i in range(limit)]
+
+    def start(self) -> None:
+        """Seed the queue with the initial states (idempotent entry)."""
+        if not self.started:
+            self._start()
+
     def _start(self) -> None:
         self.started = True
         for s in self.graph.automaton.initial_states():
@@ -84,6 +99,12 @@ class _Frontier:
                 self.parents[s] = None
                 self.order.append(s)
                 self.queue.append(s)
+
+    def expand_one(
+        self, max_states: int, meter: Optional[BudgetMeter] = None
+    ) -> None:
+        """Expand the state at the head of the queue (public batch step)."""
+        self._expand_one(max_states, meter)
 
     def _expand_one(
         self, max_states: int, meter: Optional[BudgetMeter] = None
@@ -154,6 +175,7 @@ class StateGraph:
         self._cones: Dict[State, FrozenSet[State]] = {}
         self.hits = 0
         self.misses = 0
+        self.prefetched = 0
 
     # -- successor expansion ---------------------------------------------
 
@@ -192,6 +214,32 @@ class StateGraph:
     def successors(self, state: State, include_inputs: bool = False) -> Tuple[State, ...]:
         return tuple(s for _a, s in self.transitions(state, include_inputs))
 
+    def has_transitions(self, state: State, include_inputs: bool = False) -> bool:
+        """Is the successor sweep for ``state`` already memoized?"""
+        if state not in self._local:
+            return False
+        return not include_inputs or state in self._input
+
+    def seed_transitions(
+        self,
+        state: State,
+        local_edges: Tuple[Edge, ...],
+        input_edges: Optional[Tuple[Edge, ...]] = None,
+    ) -> None:
+        """Install an externally computed successor sweep into the memo.
+
+        The parallel fabric's prefetch channel: a worker process computed
+        the sweep, the parent folds it in so the subsequent (serial,
+        authoritative) expansion is a pure cache hit.  Already-memoized
+        states are left untouched — the first recorded sweep wins, which
+        keeps a racing prefetch harmless.
+        """
+        if state not in self._local:
+            self._local[state] = tuple(local_edges)
+            self.prefetched += 1
+        if input_edges is not None and state not in self._input:
+            self._input[state] = tuple(input_edges)
+
     # -- the shared forward frontier --------------------------------------
 
     def frontier(self, include_inputs: bool = False) -> _Frontier:
@@ -215,10 +263,23 @@ class StateGraph:
         max_states: int = 100_000,
         include_inputs: bool = False,
         meter: Optional[BudgetMeter] = None,
+        workers=1,
     ) -> Set[State]:
-        """The full reachable state set (a copy; the frontier stays cached)."""
+        """The full reachable state set (a copy; the frontier stays cached).
+
+        ``workers > 1`` prefetches successor sweeps across worker
+        processes (:mod:`repro.parallel.explore`); the result is
+        bit-identical to the serial expansion.
+        """
         frontier = self.frontier(include_inputs)
-        frontier.expand_all(max_states, meter)
+        if workers not in (None, 0, 1):
+            from ..parallel.explore import expand_frontier_parallel
+
+            expand_frontier_parallel(
+                self, include_inputs, max_states, meter, workers
+            )
+        else:
+            frontier.expand_all(max_states, meter)
         return set(frontier.parents)
 
     def parents(self, include_inputs: bool = False) -> Dict[State, Optional[Tuple[State, Action]]]:
@@ -262,6 +323,7 @@ class StateGraph:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "prefetched": self.prefetched,
             "states_expanded": len(self._local),
             "frontier_states": sum(
                 len(f.parents) for f in self._frontiers.values()

@@ -1,0 +1,150 @@
+"""Parallel frontier expansion: workers prefetch, the parent folds.
+
+The state-graph frontier (:class:`repro.core.stategraph._Frontier`) is a
+classic FIFO breadth-first search whose per-state work — the
+``enabled_actions``/``apply`` successor sweep — is a pure function of
+the state.  That makes it shardable without touching the algorithm:
+
+1. the parent takes the next batch of queue-head states;
+2. workers compute each state's ``(action, successor)`` edge list and
+   send it back (the **prefetch**);
+3. the parent seeds the edge lists into the graph's successor memo and
+   then runs the ordinary *serial* expansion over the batch — every
+   ``transitions`` call is now a cache hit, so the fold is pure
+   bookkeeping.
+
+Because step 3 *is* the serial algorithm (same code, same order, same
+budget charges), discovery order, parent maps, ``SearchBudgetExceeded``
+cutoffs and :class:`~repro.core.budget.BudgetExceeded` overdrafts are
+bit-identical to a serial run by construction.  Workers that die, stop
+early (via the :class:`~repro.parallel.pool.SharedCounter` budget
+fan-in) or return garbage for a state the parent never folds can only
+waste time, never change an answer — on a cache miss the parent simply
+computes the sweep itself.
+
+Unpicklable automata degrade gracefully: if the pool cannot ship the
+automaton or its states, the expansion falls back to serial.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.budget import BudgetMeter
+from .pool import SharedCounter, WorkerPool, resolve_workers, split_chunks
+
+# Per-worker process state, installed once by the pool initializer so the
+# automaton is pickled per worker, not per task.
+_WORKER = {"automaton": None, "counter": None, "max_states": None}
+
+
+def _init_worker(automaton, counter, max_states) -> None:
+    _WORKER["automaton"] = automaton
+    _WORKER["counter"] = counter
+    _WORKER["max_states"] = max_states
+
+
+def _expand_chunk(args: Tuple) -> List[Tuple]:
+    """Expand a chunk of states; return ``(state, local_edges, input_edges)``.
+
+    Checks the shared counter between states and stops early once the
+    fleet-wide aggregate passes ``max_states`` — the parent recomputes
+    anything missing, so early stop is safe.
+    """
+    states, include_inputs = args
+    automaton = _WORKER["automaton"]
+    counter: Optional[SharedCounter] = _WORKER["counter"]
+    max_states = _WORKER["max_states"]
+    out: List[Tuple] = []
+    for state in states:
+        if counter is not None and counter.exceeded(max_states=max_states):
+            break
+        local = tuple(
+            (action, succ)
+            for action in automaton.enabled_actions(state)
+            for succ in automaton.apply(state, action)
+        )
+        input_edges = None
+        if include_inputs:
+            input_edges = tuple(
+                (action, succ)
+                for action in automaton.signature.inputs
+                for succ in automaton.apply(state, action)
+            )
+        if counter is not None:
+            counter.add(steps=1, states=len(local) + len(input_edges or ()))
+        out.append((state, local, input_edges))
+    return out
+
+
+def expand_frontier_parallel(
+    graph,
+    include_inputs: bool = False,
+    max_states: int = 100_000,
+    meter: Optional[BudgetMeter] = None,
+    workers=2,
+    batch_size: Optional[int] = None,
+) -> None:
+    """Expand the graph's shared frontier to exhaustion, ``workers`` wide.
+
+    Raises exactly what :meth:`_Frontier.expand_all` raises
+    (:class:`~repro.core.errors.SearchBudgetExceeded` past ``max_states``,
+    :class:`~repro.core.budget.BudgetExceeded` on meter overdraft), with
+    the frontier left resumable in the identical intermediate state.
+    """
+    frontier = graph.frontier(include_inputs)
+    nworkers = resolve_workers(workers)
+    if nworkers == 1:
+        frontier.expand_all(max_states, meter)
+        return
+    if batch_size is None:
+        # Large batches amortize the per-round pool barrier; the fold
+        # stays exact regardless of batch size, so this is tuning only.
+        batch_size = max(64 * nworkers, 256)
+
+    counter = SharedCounter()
+    pool = None
+    try:
+        try:
+            pool = WorkerPool(
+                nworkers,
+                initializer=_init_worker,
+                initargs=(graph.automaton, counter, max_states),
+            )
+        except Exception:
+            # Unpicklable automaton (or no multiprocessing): serial fallback.
+            frontier.expand_all(max_states, meter)
+            return
+        if not frontier.started:
+            frontier.start()
+        while frontier.queue:
+            batch = frontier.pending(batch_size)
+            todo = [
+                s for s in batch if not graph.has_transitions(s, include_inputs)
+            ]
+            if todo:
+                try:
+                    prefetched = pool.map(
+                        _expand_chunk,
+                        [(chunk, include_inputs)
+                         for chunk in split_chunks(todo, nworkers)],
+                        chunksize=1,
+                    )
+                except Exception:
+                    # A broken pool (unpicklable states, killed worker)
+                    # downgrades to serial for the rest of the expansion.
+                    pool.shutdown()
+                    pool = None
+                    frontier.expand_all(max_states, meter)
+                    return
+                for chunk_result in prefetched:
+                    for state, local, input_edges in chunk_result:
+                        graph.seed_transitions(state, local, input_edges)
+            # The authoritative fold: the serial algorithm over a warm
+            # cache.  Budget charges and overdrafts happen here, in the
+            # exact order a serial run makes them.
+            for _ in batch:
+                frontier.expand_one(max_states, meter)
+    finally:
+        if pool is not None:
+            pool.shutdown()

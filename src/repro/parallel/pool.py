@@ -1,0 +1,188 @@
+"""Process-pool plumbing for the parallel fabric (stdlib only).
+
+Design rules, shared by every consumer:
+
+* **The parent is authoritative.**  Workers only *compute*; the parent
+  merges results in a deterministic order and does all budget accounting
+  through the ordinary :class:`~repro.core.budget.BudgetMeter` calls the
+  serial code path makes.  A slow, dead or early-stopped worker can cost
+  wall-clock time, never correctness.
+* **Shards are derived, not shared.**  A worker never receives mutable
+  campaign state — only the immutable coordinates (target, index, seed
+  policy) it needs to re-derive its shard from scratch via
+  :func:`repro.core.runtime.derive_seed`.
+* **Fork where possible.**  The ``fork`` start method inherits the
+  loaded interpreter, so pools are cheap enough for test-sized work;
+  platforms without it fall back to ``spawn`` transparently (everything
+  shipped to workers is picklable).
+
+:class:`SharedCounter` is the budget fan-in channel: workers add the
+steps/states they burn to one cross-process account, so the parent can
+observe aggregate spend while shards are in flight and workers can
+stop early once the aggregate passes a limit — an *optimization* only,
+since the parent re-charges its own meter deterministically during the
+merge.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers) -> int:
+    """Normalize a ``workers=`` argument to a concrete positive count.
+
+    ``None``, ``0`` and ``1`` all mean serial; ``"auto"`` means one
+    worker per available CPU.  Anything else must be a positive integer.
+    """
+    if workers in (None, 0, 1):
+        return 1
+    if workers == "auto":
+        return max(1, os.cpu_count() or 1)
+    count = int(workers)
+    if count < 1:
+        raise ValueError(f"workers must be >= 1, got {workers!r}")
+    return count
+
+
+def pool_context():
+    """The multiprocessing context the fabric uses (fork when available)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def split_chunks(items: Sequence[T], chunks: int) -> List[List[T]]:
+    """Split ``items`` into at most ``chunks`` contiguous, ordered chunks.
+
+    Contiguity is what keeps merges deterministic: concatenating the
+    per-chunk results in chunk order reproduces the serial iteration
+    order exactly.  Sizes differ by at most one; empty chunks are
+    dropped.
+    """
+    if chunks < 1:
+        raise ValueError(f"need at least one chunk, got {chunks}")
+    n = len(items)
+    size, remainder = divmod(n, chunks)
+    out: List[List[T]] = []
+    cursor = 0
+    for i in range(chunks):
+        width = size + (1 if i < remainder else 0)
+        if width == 0:
+            continue
+        out.append(list(items[cursor:cursor + width]))
+        cursor += width
+    return out
+
+
+class SharedCounter:
+    """A cross-process (steps, states) account for budget fan-in.
+
+    Workers :meth:`add` what they burn; the parent (or any worker)
+    reads :meth:`snapshot` and :meth:`exceeded`.  Backed by two
+    lock-protected ``multiprocessing.Value`` cells, inherited by pool
+    workers through the process-creation channel (pass the counter via
+    ``initargs``, never through a task submission).
+    """
+
+    def __init__(self, ctx=None):
+        ctx = ctx if ctx is not None else pool_context()
+        self._lock = ctx.Lock()
+        self._steps = ctx.Value("q", 0, lock=False)
+        self._states = ctx.Value("q", 0, lock=False)
+
+    def add(self, steps: int = 0, states: int = 0) -> None:
+        with self._lock:
+            self._steps.value += steps
+            self._states.value += states
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"steps": self._steps.value, "states": self._states.value}
+
+    def exceeded(
+        self,
+        max_steps: Optional[int] = None,
+        max_states: Optional[int] = None,
+    ) -> bool:
+        """Has the aggregate spend passed either limit?
+
+        Workers poll this to stop early once the *fleet* has spent the
+        budget, even if their own shard is still cheap.  Advisory only:
+        the parent's deterministic meter is what actually raises.
+        """
+        spent = self.snapshot()
+        if max_steps is not None and spent["steps"] >= max_steps:
+            return True
+        if max_states is not None and spent["states"] >= max_states:
+            return True
+        return False
+
+
+class WorkerPool:
+    """A process pool with a serial in-process fallback at ``workers=1``.
+
+    At ``workers=1`` no subprocess is created and :meth:`map` is a plain
+    loop (the initializer runs in-process), so consumers write one code
+    path and serial callers pay zero fabric overhead.  Use as a context
+    manager; exit shuts the pool down and waits for the workers.
+    """
+
+    def __init__(
+        self,
+        workers,
+        initializer: Optional[Callable] = None,
+        initargs: tuple = (),
+    ):
+        self.workers = resolve_workers(workers)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        if self.workers > 1:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=pool_context(),
+                initializer=initializer,
+                initargs=initargs,
+            )
+        elif initializer is not None:
+            initializer(*initargs)
+
+    @property
+    def parallel(self) -> bool:
+        return self._executor is not None
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        chunksize: Optional[int] = None,
+    ) -> List[R]:
+        """Apply ``fn`` to every item, preserving submission order.
+
+        Ordered results are the merge-determinism primitive: consumers
+        feed shards in serial order and fold the returned list left to
+        right.
+        """
+        items = list(items)
+        if self._executor is None:
+            return [fn(item) for item in items]
+        if chunksize is None:
+            chunksize = max(1, len(items) // (self.workers * 4))
+        return list(self._executor.map(fn, items, chunksize=chunksize))
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

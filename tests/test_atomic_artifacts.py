@@ -1,0 +1,116 @@
+"""Atomic artifact writes: a killed writer never leaves a torn file.
+
+Covers :mod:`repro.core.artifacts` directly (happy path, interruption
+mid-write, unserializable payloads) and the consumers that route through
+it: campaign counterexample JSONL artifacts and the golden-trace
+fixture writer.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.chaos.campaign import run_campaign, write_counterexample
+from repro.chaos.targets import FloodSetCrashTarget
+from repro.core import artifacts
+from repro.core.artifacts import atomic_write_json, atomic_write_text
+
+
+def test_atomic_write_text_roundtrip(tmp_path):
+    path = str(tmp_path / "artifact.txt")
+    assert atomic_write_text(path, "hello\n") == path
+    with open(path, encoding="utf-8") as handle:
+        assert handle.read() == "hello\n"
+    # No staging debris left behind.
+    assert os.listdir(tmp_path) == ["artifact.txt"]
+
+
+def test_atomic_write_text_overwrites_whole_file(tmp_path):
+    path = str(tmp_path / "artifact.txt")
+    atomic_write_text(path, "long previous content\n")
+    atomic_write_text(path, "short\n")
+    with open(path, encoding="utf-8") as handle:
+        assert handle.read() == "short\n"  # no stale tail from the old file
+
+
+def test_atomic_write_json_creates_parent_dirs(tmp_path):
+    path = str(tmp_path / "deep" / "nested" / "snapshot.json")
+    atomic_write_json(path, {"a": 1}, sort_keys=True)
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle) == {"a": 1}
+
+
+class _Boom(RuntimeError):
+    pass
+
+
+def _interrupt_write(monkeypatch):
+    """Make the staged ``write`` call die partway through."""
+    real_fdopen = os.fdopen
+
+    def exploding_fdopen(fd, *args, **kwargs):
+        handle = real_fdopen(fd, *args, **kwargs)
+        real_write = handle.write
+
+        def write(text):
+            real_write(text[: len(text) // 2])
+            raise _Boom("disk vanished mid-write")
+
+        handle.write = write
+        return handle
+
+    monkeypatch.setattr(artifacts.os, "fdopen", exploding_fdopen)
+
+
+def test_interrupted_write_leaves_no_file(tmp_path, monkeypatch):
+    path = str(tmp_path / "artifact.json")
+    _interrupt_write(monkeypatch)
+    with pytest.raises(_Boom):
+        atomic_write_text(path, "never lands\n")
+    # Destination never appeared, staging file was cleaned up.
+    assert os.listdir(tmp_path) == []
+
+
+def test_interrupted_write_preserves_previous_artifact(tmp_path, monkeypatch):
+    path = str(tmp_path / "artifact.json")
+    atomic_write_json(path, {"generation": 1})
+    _interrupt_write(monkeypatch)
+    with pytest.raises(_Boom):
+        atomic_write_json(path, {"generation": 2})
+    monkeypatch.undo()
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle) == {"generation": 1}
+    assert os.listdir(tmp_path) == ["artifact.json"]
+
+
+def test_unserializable_payload_never_touches_destination(tmp_path):
+    path = str(tmp_path / "artifact.json")
+    atomic_write_json(path, {"generation": 1})
+    with pytest.raises(TypeError):
+        atomic_write_json(path, {"bad": object()})
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle) == {"generation": 1}
+
+
+def test_counterexample_artifact_is_atomic(tmp_path, monkeypatch):
+    report = run_campaign(targets=[FloodSetCrashTarget()], runs=10, master_seed=0)
+    assert report.counterexamples
+    cx = report.counterexamples[0]
+
+    path = write_counterexample(cx, str(tmp_path))
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    meta = json.loads(lines[0])
+    assert meta["fingerprint"] == cx.fingerprint
+    assert len(lines) == 2 + cx.trace.steps  # meta + trace header + events
+
+    # A crash while re-writing the same artifact keeps the old bytes.
+    before = "\n".join(lines)
+    _interrupt_write(monkeypatch)
+    with pytest.raises(_Boom):
+        write_counterexample(cx, str(tmp_path))
+    monkeypatch.undo()
+    with open(path, encoding="utf-8") as handle:
+        assert handle.read().splitlines() == before.splitlines()
+    assert os.listdir(tmp_path) == [os.path.basename(path)]

@@ -1,0 +1,66 @@
+"""Golden-trace regression suite: canonical runs must not drift.
+
+Every canonical run in :mod:`tests.golden_runs` is recomputed and
+compared field by field against the pinned fixture.  A drift failure
+prints a readable per-run diff (which field moved, expected vs actual)
+plus the regen command — an intentional schema or simulator change is
+re-pinned with::
+
+    PYTHONPATH=src python -m tests.golden_runs --regen
+
+The suite also anchors the parallel fabric: a sharded campaign must
+reproduce the exact pinned counterexample fingerprint.
+"""
+
+import pytest
+
+from repro.chaos.campaign import run_campaign
+from repro.chaos.targets import FloodSetCrashTarget
+
+from .golden_runs import CANONICAL_RUNS, describe, load_fixture
+
+FIXTURE = load_fixture()
+REGEN_HINT = (
+    "if the change is intentional, re-pin with "
+    "`PYTHONPATH=src python -m tests.golden_runs --regen`"
+)
+
+
+def _drift_report(name: str, expected: dict, actual: dict) -> str:
+    lines = [f"golden trace {name!r} drifted:"]
+    for field in sorted(set(expected) | set(actual)):
+        want, got = expected.get(field), actual.get(field)
+        if want != got:
+            lines.append(f"  {field}:")
+            lines.append(f"    pinned:  {want!r}")
+            lines.append(f"    current: {got!r}")
+    lines.append(REGEN_HINT)
+    return "\n".join(lines)
+
+
+def test_fixture_covers_every_canonical_run():
+    assert sorted(FIXTURE) == sorted(CANONICAL_RUNS), (
+        "fixture and CANONICAL_RUNS registry disagree; " + REGEN_HINT
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CANONICAL_RUNS))
+def test_golden_trace(name):
+    actual = describe(CANONICAL_RUNS[name]())
+    expected = FIXTURE[name]
+    assert actual == expected, _drift_report(name, expected, actual)
+
+
+def test_parallel_campaign_reproduces_golden_counterexample():
+    """workers=3 campaign hits the exact pinned counterexample bytes."""
+    report = run_campaign(
+        targets=[FloodSetCrashTarget()], runs=10, master_seed=0, workers=3
+    )
+    assert report.counterexamples, "sharded campaign lost the planted bug"
+    fingerprint = report.counterexamples[0].trace.fingerprint()
+    pinned = FIXTURE["chaos-floodset-counterexample"]["fingerprint"]
+    assert fingerprint == pinned, (
+        "sharded campaign produced a different counterexample than the "
+        f"pinned serial one ({fingerprint} != {pinned}); the parallel "
+        "fabric broke bit-identity"
+    )
