@@ -1,0 +1,134 @@
+"""Packed state engine — microbenchmarks for the dense-id hot paths.
+
+What the packed engine buys and what it costs, measured directly:
+
+* intern throughput: frozen-state -> dense-id mapping rate, first
+  interning (hash the deep structure once) vs re-interning (one dict
+  probe);
+* CSR expansion rate: successor sweeps recorded as packed rows per
+  second, against the dict-of-tuples layout they replaced;
+* bytes/state: the packed adjacency footprint per reachable state;
+* packed-vs-frozen BFS: the same reachability query over ids (bitmap
+  probes) and over frozen states (deep hashing per probe).
+"""
+
+from conftest import record
+
+from repro.core import (
+    IdFlags,
+    PackedGraph,
+    Signature,
+    StateInterner,
+    TableAutomaton,
+    freeze,
+    state_graph,
+)
+
+
+def _grid_states(n):
+    """Frozen nested states with realistic hashing cost (dict+tuple)."""
+    return [
+        freeze({"row": i // 64, "col": i % 64, "trail": (i, i + 1, i + 2)})
+        for i in range(n)
+    ]
+
+
+def _grid_automaton(side):
+    """A side x side grid: right/down moves, one initial corner."""
+    sig = Signature(internals=frozenset({"right", "down"}))
+    transitions = {}
+    for r in range(side):
+        for c in range(side):
+            if c + 1 < side:
+                transitions[((r, c), "right")] = [(r, c + 1)]
+            if r + 1 < side:
+                transitions[((r, c), "down")] = [(r + 1, c)]
+    return TableAutomaton(
+        sig, initial=[(0, 0)], transitions=transitions, name="grid"
+    )
+
+
+def test_packed_intern_throughput(benchmark):
+    states = _grid_states(4_000)
+
+    def intern_all():
+        interner = StateInterner()
+        for state in states:
+            interner.intern(state)
+        for state in states:  # re-intern: the steady-state probe cost
+            interner.intern(state)
+        return interner
+
+    interner = benchmark(intern_all)
+    assert len(interner) == len(states)
+    record(
+        benchmark,
+        states=len(states),
+        interned_per_call=2 * len(states),
+        hit_rate=interner.stats["hit_rate"],
+    )
+
+
+def test_packed_csr_expansion_rate(benchmark):
+    states = _grid_states(2_000)
+
+    def build_rows():
+        graph = PackedGraph()
+        ids = [graph.interner.intern(s) for s in states]
+        for i, sid in enumerate(ids):
+            succs = ids[i + 1:i + 4]
+            graph.add_row(sid, ["step"] * len(succs), succs)
+        return graph
+
+    graph = benchmark(build_rows)
+    assert graph.rows == len(states)
+    record(
+        benchmark,
+        rows=graph.rows,
+        edges=graph.edge_count,
+        bytes_per_state=round(graph.stats["bytes_per_state"], 2),
+        packed_bytes=graph.nbytes(),
+    )
+
+
+def test_packed_vs_frozen_visited_set(benchmark):
+    """The probe that dominates exploration: `succ in seen`."""
+    states = _grid_states(3_000)
+    interner = StateInterner()
+    ids = [interner.intern(s) for s in states]
+
+    def probe_both():
+        frozen_seen = set()
+        for state in states:
+            if state not in frozen_seen:
+                frozen_seen.add(state)
+        packed_seen = IdFlags()
+        for sid in ids:
+            packed_seen.add(sid)
+        return len(frozen_seen), packed_seen.count
+
+    nfrozen, npacked = benchmark(probe_both)
+    assert nfrozen == npacked == len(states)
+    record(benchmark, states=len(states))
+
+
+def test_packed_reachability_sweep(benchmark):
+    """End-to-end: a full frontier expansion over the packed backing."""
+    def sweep():
+        automaton = _grid_automaton(40)
+        graph = state_graph(automaton)
+        frontier = graph.frontier(False)
+        frontier.expand_all(max_states=100_000)
+        return graph
+
+    graph = benchmark(sweep)
+    stats = graph.stats
+    assert stats["states_expanded"] == 1_600
+    record(
+        benchmark,
+        states=stats["states_expanded"],
+        packed_bytes=stats["packed_bytes"],
+        bytes_per_state=round(
+            stats["packed_bytes"] / stats["states_interned"], 2
+        ),
+    )

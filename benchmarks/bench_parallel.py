@@ -155,8 +155,15 @@ def test_parallel_merge_overhead(benchmark):
 
     def fold_only():
         fresh = StateGraph(automaton)
-        for state, edges in warm._local.items():
-            fresh.seed_transitions(state, edges, warm._input.get(state))
+        for sid in range(len(warm.interner)):
+            if not warm._plocal.is_expanded(sid):
+                continue
+            fresh.seed_transitions(
+                warm.interner.state_of(sid),
+                warm._view(warm._plocal, warm._lviews, sid),
+                warm._view(warm._pinput, warm._iviews, sid)
+                if warm._pinput.is_expanded(sid) else None,
+            )
         fresh.frontier(True).expand_all(500_000)
         return len(fresh.frontier(True).parents)
 

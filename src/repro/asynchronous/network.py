@@ -19,6 +19,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import (
     Dict,
+    FrozenSet,
     Hashable,
     Iterable,
     Iterator,
@@ -91,21 +92,36 @@ class FairRun:
 
 
 def _buffer_add(buffer: Buffer, items: Iterable[Tuple[Pid, Message]]) -> Buffer:
-    contents = dict(buffer)
+    contents = dict(buffer._data)
     for dest, msg in items:
         key = (dest, msg)
         contents[key] = contents.get(key, 0) + 1
-    return frozendict(contents)
+    return frozendict._from_data(contents)
 
 def _buffer_remove(buffer: Buffer, dest: Pid, msg: Message) -> Buffer:
-    contents = dict(buffer)
+    contents = dict(buffer._data)
     key = (dest, msg)
     if contents.get(key, 0) <= 0:
         raise KeyError(f"message {key} not in buffer")
     contents[key] -= 1
     if contents[key] == 0:
         del contents[key]
-    return frozendict(contents)
+    return frozendict._from_data(contents)
+
+
+# (dest, message) -> repr memo for the deterministic buffer sort in
+# events()/fair_events().  Message vocabularies are tiny (protocol
+# constants x pids), so this stays small while saving a deep repr per
+# buffered message per expansion.
+_REPR_KEYS: Dict[Hashable, str] = {}
+
+
+def _repr_key(key: Hashable) -> str:
+    r = _REPR_KEYS.get(key)
+    if r is None:
+        r = repr(key)
+        _REPR_KEYS[key] = r
+    return r
 
 
 class AsyncConsensusSystem(DecisionSystem):
@@ -131,6 +147,14 @@ class AsyncConsensusSystem(DecisionSystem):
 
             input_vectors = list(itertools.product(self._values, repeat=n))
         self.input_vectors = [tuple(v) for v in input_vectors]
+        # Per-local-state memos: protocols are deterministic, so both
+        # decision(state) and transition(pid, state, message) are pure
+        # functions of their (frozen, hashable) arguments.
+        self._decisions: Dict[Hashable, Optional[Hashable]] = {}
+        self._transitions: Dict[
+            Tuple[Pid, Hashable, Message],
+            Tuple[Hashable, Tuple[Tuple[Pid, Message], ...]],
+        ] = {}
 
     # -- DecisionSystem interface ------------------------------------------
 
@@ -165,7 +189,7 @@ class AsyncConsensusSystem(DecisionSystem):
 
     def events(self, config: Configuration) -> Iterator[Event]:
         _states, buffer = config
-        for (dest, msg) in sorted(buffer, key=repr):
+        for (dest, msg) in sorted(buffer._data, key=_repr_key):
             yield ("deliver", dest, msg)
         if self.protocol.uses_null_steps:
             for pid in range(self.n):
@@ -177,20 +201,103 @@ class AsyncConsensusSystem(DecisionSystem):
     def apply(self, config: Configuration, event: Event) -> Configuration:
         states, buffer = config
         _tag, dest, msg = event
+        local = states[dest]
+        key = (dest, local, msg)
+        try:
+            new_state, sends = self._transitions[key]
+        except KeyError:
+            new_state, sends = self.protocol.transition(dest, local, msg)
+            self._transitions[key] = (new_state, sends)
+        # Remove the delivered message and fold in the sends in one pass
+        # over a single buffer copy (the hot loop of every expansion).
+        contents = dict(buffer._data)
         if msg != NULL:
-            buffer = _buffer_remove(buffer, dest, msg)
-        new_state, sends = self.protocol.transition(dest, states[dest], msg)
+            bkey = (dest, msg)
+            count = contents.get(bkey, 0)
+            if count <= 0:
+                raise KeyError(f"message {bkey} not in buffer")
+            if count == 1:
+                del contents[bkey]
+            else:
+                contents[bkey] = count - 1
+        for skey in sends:
+            contents[skey] = contents.get(skey, 0) + 1
         new_states = states[:dest] + (new_state,) + states[dest + 1:]
-        return (new_states, _buffer_add(buffer, sends))
+        return (new_states, frozendict._from_data(contents))
+
+    def sweep_transitions(
+        self, config: Configuration
+    ) -> "list[Tuple[Event, Configuration]]":
+        """Every ``(event, successor)`` pair out of ``config``, sharing the
+        per-configuration setup (sorted deliverables, memo lookups) across
+        the row.  Same event order as :meth:`events`; used by the packed
+        transition cache to expand a whole CSR row in one call.
+        """
+        states, buffer = config
+        data = buffer._data
+        memo = self._transitions
+        transition = self.protocol.transition
+        from_data = frozendict._from_data
+        out = []
+        for key in sorted(data, key=_repr_key):
+            dest, msg = key
+            local = states[dest]
+            tkey = (dest, local, msg)
+            try:
+                new_state, sends = memo[tkey]
+            except KeyError:
+                new_state, sends = transition(dest, local, msg)
+                memo[tkey] = (new_state, sends)
+            contents = dict(data)
+            count = contents[key]
+            if count == 1:
+                del contents[key]
+            else:
+                contents[key] = count - 1
+            for skey in sends:
+                contents[skey] = contents.get(skey, 0) + 1
+            out.append((
+                ("deliver", dest, msg),
+                (
+                    states[:dest] + (new_state,) + states[dest + 1:],
+                    from_data(contents),
+                ),
+            ))
+        if self.protocol.uses_null_steps:
+            for pid in range(self.n):
+                event = ("deliver", pid, NULL)
+                out.append((event, self.apply(config, event)))
+        return out
 
     def decisions(self, config: Configuration) -> Mapping[Pid, Hashable]:
         states, _buffer = config
         out: Dict[Pid, Hashable] = {}
+        memo = self._decisions
+        decision = self.protocol.decision
         for pid, state in enumerate(states):
-            value = self.protocol.decision(state)
+            try:
+                value = memo[state]
+            except KeyError:
+                value = decision(state)
+                memo[state] = value
             if value is not None:
                 out[pid] = value
         return out
+
+    def decided_values(self, config: Configuration) -> FrozenSet[Hashable]:
+        states, _buffer = config
+        memo = self._decisions
+        decision = self.protocol.decision
+        out = set()
+        for state in states:
+            try:
+                value = memo[state]
+            except KeyError:
+                value = decision(state)
+                memo[state] = value
+            if value is not None:
+                out.add(value)
+        return frozenset(out)
 
     def fair_events(self, config: Configuration) -> Mapping[Pid, Event]:
         """The oldest-ish pending delivery per process (deterministic pick);
@@ -198,7 +305,7 @@ class AsyncConsensusSystem(DecisionSystem):
         protocol uses them)."""
         _states, buffer = config
         owed: Dict[Pid, Event] = {}
-        for (dest, msg) in sorted(buffer, key=repr):
+        for (dest, msg) in sorted(buffer._data, key=_repr_key):
             if dest not in owed:
                 owed[dest] = ("deliver", dest, msg)
         if self.protocol.uses_null_steps:

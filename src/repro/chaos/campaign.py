@@ -105,6 +105,39 @@ class CampaignReport:
     def counterexamples_for(self, target: str) -> List[Counterexample]:
         return [cx for cx in self.counterexamples if cx.target == target]
 
+    def dedup_stats(self) -> Dict[str, Dict[str, int]]:
+        """Outcome dedup over dense interned ids, per target.
+
+        Fuzzed runs collapse onto few distinct outcome states — the same
+        verdict with the same violations recurs across many seeds.  Each
+        case's ``(verdict, violations, error)`` signature is interned to
+        a dense id (:class:`~repro.core.packed.StateInterner`), so the
+        dedup probes hash each deep signature once and set membership
+        runs over small integers.  High duplicate rates mean extra runs
+        are re-finding known outcomes, not new ones — the signal to
+        rotate seeds or widen the adversary.
+        """
+        from ..core.packed import StateInterner
+
+        interner = StateInterner()
+        distinct: Dict[str, set] = {}
+        totals: Dict[str, int] = {}
+        for result in self.results:
+            sid = interner.intern(
+                (result.target, result.verdict, result.violations,
+                 result.error)
+            )
+            distinct.setdefault(result.target, set()).add(sid)
+            totals[result.target] = totals.get(result.target, 0) + 1
+        return {
+            name: {
+                "runs": totals[name],
+                "distinct_outcomes": len(distinct[name]),
+                "duplicates": totals[name] - len(distinct[name]),
+            }
+            for name in totals
+        }
+
     def failures(
         self, targets: Optional[Iterable[ChaosTarget]] = None
     ) -> List[str]:
@@ -156,6 +189,14 @@ class CampaignReport:
                 else "healthy"
             )
             lines.append(f"  {name} ({expectation}): {tally}")
+        dedup = self.dedup_stats()
+        if dedup:
+            runs = sum(d["runs"] for d in dedup.values())
+            distinct = sum(d["distinct_outcomes"] for d in dedup.values())
+            lines.append(
+                f"  outcome dedup: {runs} runs -> {distinct} distinct "
+                f"outcomes ({runs - distinct} duplicates)"
+            )
         for cx in self.counterexamples:
             lines.append(
                 f"  counterexample {cx.target}: seed={cx.seed} "

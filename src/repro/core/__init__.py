@@ -32,7 +32,24 @@ from .exploration import (
     find_state,
     reachable_states_satisfying,
 )
-from .freeze import clear_intern_table, freeze, frozendict, intern_frozen, is_frozen, thaw
+from .freeze import (
+    clear_intern_table,
+    freeze,
+    frozendict,
+    intern_frozen,
+    intern_table_stats,
+    is_frozen,
+    register_packed_owner,
+    thaw,
+)
+from .packed import (
+    IdFlags,
+    IdToValue,
+    PackedGraph,
+    StateInterner,
+    ValueTable,
+    expand_packed,
+)
 from .stategraph import (
     StateGraph,
     clear_state_graphs,
@@ -130,7 +147,15 @@ __all__ = [
     "frozendict",
     "intern_frozen",
     "clear_intern_table",
+    "intern_table_stats",
+    "register_packed_owner",
     "is_frozen",
+    "StateInterner",
+    "PackedGraph",
+    "IdFlags",
+    "IdToValue",
+    "ValueTable",
+    "expand_packed",
     "View",
     "ViewExtractor",
     "IndistinguishabilityChain",

@@ -20,6 +20,7 @@ deep structures.
 
 from __future__ import annotations
 
+import weakref
 from typing import Any, Dict, Mapping, Sequence
 
 
@@ -36,6 +37,15 @@ class frozendict(Mapping):
         self._data = dict(*args, **kwargs)
         self._hash = None
 
+    @classmethod
+    def _from_data(cls, data: dict) -> "frozendict":
+        """Wrap ``data`` without copying.  Internal fast path only: the
+        caller must hand over ownership (never mutate ``data`` again)."""
+        new = cls.__new__(cls)
+        new._data = data
+        new._hash = None
+        return new
+
     def __getitem__(self, key):
         return self._data[key]
 
@@ -47,7 +57,13 @@ class frozendict(Mapping):
 
     def __hash__(self):
         if self._hash is None:
-            self._hash = hash(frozenset(self._data.items()))
+            # Order-independent combine (equal mappings hash equal no
+            # matter the insertion order) without materializing a
+            # frozenset of the items.  Collisions fall back to __eq__.
+            h = 0x345678
+            for item in self._data.items():
+                h ^= hash(item)
+            self._hash = hash((len(self._data), h))
         return self._hash
 
     def __eq__(self, other):
@@ -79,16 +95,31 @@ class frozendict(Mapping):
                 return self
         new = dict(self._data)
         new[key] = value
-        return frozendict(new)
+        return frozendict._from_data(new)
 
     def update_with(self, **kwargs) -> "frozendict":
         """Return a copy with the given keyword bindings applied."""
         new = dict(self._data)
         new.update(kwargs)
-        return frozendict(new)
+        return frozendict._from_data(new)
 
 
 _INTERN: Dict[Any, Any] = {}
+_INTERN_HITS = 0
+_INTERN_MISSES = 0
+
+# Objects owning per-graph interned state (dense-id tables, packed
+# adjacency — see repro.core.packed).  Ids issued by those interners
+# reference this process's interning epoch; clear_intern_table() starts a
+# new epoch, so every registered owner is asked to drop its packed state
+# too.  Weak references: registration must not extend any graph's life.
+_PACKED_OWNERS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def register_packed_owner(owner: Any) -> None:
+    """Register an object exposing ``reset_packed_state()`` for cascade
+    clearing by :func:`clear_intern_table` (weakly referenced)."""
+    _PACKED_OWNERS.add(owner)
 
 
 def intern_frozen(value: Any) -> Any:
@@ -101,17 +132,49 @@ def intern_frozen(value: Any) -> Any:
     one object and equality checks inside set/dict probes reduce to
     identity.
     """
+    global _INTERN_HITS, _INTERN_MISSES
     if not isinstance(value, (frozendict, tuple, frozenset)):
         return value
     try:
-        return _INTERN.setdefault(value, value)
+        canonical = _INTERN.get(value)
     except TypeError:
         return value
+    if canonical is not None:
+        _INTERN_HITS += 1
+        return canonical
+    _INTERN[value] = value
+    _INTERN_MISSES += 1
+    return value
+
+
+def intern_table_stats() -> Dict[str, Any]:
+    """Size and hit-rate accounting for the global intern table."""
+    probes = _INTERN_HITS + _INTERN_MISSES
+    return {
+        "size": len(_INTERN),
+        "hits": _INTERN_HITS,
+        "misses": _INTERN_MISSES,
+        "hit_rate": (_INTERN_HITS / probes) if probes else 0.0,
+    }
 
 
 def clear_intern_table() -> None:
-    """Empty the intern table (mainly for long-running processes and tests)."""
+    """Empty the intern table (mainly for long-running processes and tests).
+
+    Also resets every registered per-graph interner (state graphs,
+    transition caches): their dense ids index tables built from this
+    process's interning epoch, so the global clear cascades — otherwise a
+    long-lived graph would both leak the old canonical instances and keep
+    serving ids from the dead epoch.
+    """
+    global _INTERN_HITS, _INTERN_MISSES
     _INTERN.clear()
+    _INTERN_HITS = 0
+    _INTERN_MISSES = 0
+    for owner in list(_PACKED_OWNERS):
+        reset = getattr(owner, "reset_packed_state", None)
+        if reset is not None:
+            reset()
 
 
 def freeze(value: Any, intern: bool = True) -> Any:

@@ -50,6 +50,8 @@ from typing import (
 from .automaton import Action, IOAutomaton, State
 from .budget import BudgetMeter
 from .errors import SearchBudgetExceeded
+from .freeze import intern_table_stats, register_packed_owner
+from .packed import IdFlags, PackedGraph, StateInterner
 
 Edge = Tuple[Action, State]
 
@@ -57,19 +59,26 @@ Edge = Tuple[Action, State]
 class _Frontier:
     """A resumable breadth-first exploration from the initial states.
 
-    States are discovered in BFS order and recorded in ``order`` with a
-    ``parents`` map for shortest-path reconstruction.  The queue persists
-    between queries: a later query with a larger budget resumes expansion
-    exactly where the previous one stopped.
+    States are discovered in BFS order over dense interned ids: the
+    visited set is a flat bitmap and the parent map is keyed by id, so
+    the per-successor probe never hashes a frozen state.  ``order``
+    holds ids; :meth:`states` and the :attr:`parents` view convert back
+    to states at the boundary.  The queue persists between queries: a
+    later query with a larger budget resumes expansion exactly where
+    the previous one stopped.
     """
 
-    __slots__ = ("graph", "include_inputs", "order", "parents", "queue", "started")
+    __slots__ = (
+        "graph", "include_inputs", "order", "seen", "parent_of", "queue",
+        "started",
+    )
 
     def __init__(self, graph: "StateGraph", include_inputs: bool):
         self.graph = graph
         self.include_inputs = include_inputs
-        self.order: List[State] = []
-        self.parents: Dict[State, Optional[Tuple[State, Action]]] = {}
+        self.order: List[int] = []
+        self.seen = IdFlags()
+        self.parent_of: Dict[int, Optional[Tuple[int, Action]]] = {}
         self.queue: deque = deque()
         self.started = False
 
@@ -77,15 +86,28 @@ class _Frontier:
     def complete(self) -> bool:
         return self.started and not self.queue
 
+    @property
+    def parents(self) -> Dict[State, Optional[Tuple[State, Action]]]:
+        """The BFS parent map, keyed by states (built on access)."""
+        state_of = self.graph.interner.state_of
+        out: Dict[State, Optional[Tuple[State, Action]]] = {}
+        for sid in self.order:
+            entry = self.parent_of[sid]
+            out[state_of(sid)] = (
+                None if entry is None else (state_of(entry[0]), entry[1])
+            )
+        return out
+
     def pending(self, limit: int) -> List[State]:
         """The next (up to) ``limit`` states awaiting expansion, in order.
 
         A read-only view of the queue head — the batch interface the
         parallel fabric prefetches (:mod:`repro.parallel.explore`).
         """
+        state_of = self.graph.interner.state_of
         if limit >= len(self.queue):
-            return list(self.queue)
-        return [self.queue[i] for i in range(limit)]
+            return [state_of(sid) for sid in self.queue]
+        return [state_of(self.queue[i]) for i in range(limit)]
 
     def start(self) -> None:
         """Seed the queue with the initial states (idempotent entry)."""
@@ -94,11 +116,13 @@ class _Frontier:
 
     def _start(self) -> None:
         self.started = True
+        intern = self.graph.interner.intern
         for s in self.graph.automaton.initial_states():
-            if s not in self.parents:
-                self.parents[s] = None
-                self.order.append(s)
-                self.queue.append(s)
+            sid = intern(s)
+            if self.seen.add(sid):
+                self.parent_of[sid] = None
+                self.order.append(sid)
+                self.queue.append(sid)
 
     def expand_one(
         self, max_states: int, meter: Optional[BudgetMeter] = None
@@ -117,20 +141,29 @@ class _Frontier:
         """
         if meter is not None:
             meter.check_time()
-        state = self.queue[0]
-        for action, succ in self.graph.transitions(state, self.include_inputs):
-            if succ in self.parents:
-                continue
-            if len(self.parents) >= max_states:
-                raise SearchBudgetExceeded(
-                    f"exploration of {self.graph.automaton.name} exceeded "
-                    f"{max_states} states"
-                )
-            if meter is not None:
-                meter.charge_states()
-            self.parents[succ] = (state, action)
-            self.order.append(succ)
-            self.queue.append(succ)
+        sid = self.queue[0]
+        graph = self.graph
+        seen = self.seen
+        parent_of = self.parent_of
+        for packed in graph._expand_id(sid, self.include_inputs):
+            start, end = packed.row_bounds(sid)
+            succ = packed._succ
+            labels = packed._labels
+            for i in range(start, end):
+                child = succ[i]
+                if child in seen:
+                    continue
+                if seen.count >= max_states:
+                    raise SearchBudgetExceeded(
+                        f"exploration of {graph.automaton.name} exceeded "
+                        f"{max_states} states"
+                    )
+                if meter is not None:
+                    meter.charge_states()
+                seen.add(child)
+                parent_of[child] = (sid, labels[i])
+                self.order.append(child)
+                self.queue.append(child)
         self.queue.popleft()
 
     def states(
@@ -146,10 +179,11 @@ class _Frontier:
         """
         if not self.started:
             self._start()
+        state_of = self.graph.interner.state_of
         i = 0
         while True:
             while i < len(self.order):
-                yield self.order[i]
+                yield state_of(self.order[i])
                 i += 1
             if not self.queue:
                 return
@@ -165,19 +199,105 @@ class _Frontier:
 
 
 class StateGraph:
-    """Memoized successor expansion and shared frontiers for one automaton."""
+    """Memoized successor expansion and shared frontiers for one automaton.
+
+    Backed by the packed state engine (:mod:`repro.core.packed`): states
+    are interned to dense ids in a per-graph :class:`StateInterner` and
+    successor sweeps live as CSR rows in two :class:`PackedGraph` stores
+    (locally controlled edges; input-action edges).  Ids stay internal —
+    every public method accepts and returns frozen states, so existing
+    callers are unaffected.
+    """
 
     def __init__(self, automaton: IOAutomaton):
         self.automaton = automaton
-        self._local: Dict[State, Tuple[Edge, ...]] = {}
-        self._input: Dict[State, Tuple[Edge, ...]] = {}
+        self.interner = StateInterner()
+        self._plocal = PackedGraph(self.interner)
+        self._pinput = PackedGraph(self.interner)
+        self._lviews: List[Optional[Tuple[Edge, ...]]] = []
+        self._iviews: List[Optional[Tuple[Edge, ...]]] = []
         self._frontiers: Dict[bool, _Frontier] = {}
         self._cones: Dict[State, FrozenSet[State]] = {}
         self.hits = 0
         self.misses = 0
         self.prefetched = 0
+        register_packed_owner(self)
+
+    def reset_packed_state(self) -> None:
+        """Drop every id-indexed structure (cascade of
+        :func:`~repro.core.freeze.clear_intern_table`): ids from the old
+        interning epoch must not survive the epoch."""
+        self.interner = StateInterner()
+        self._plocal = PackedGraph(self.interner)
+        self._pinput = PackedGraph(self.interner)
+        self._lviews = []
+        self._iviews = []
+        self._frontiers = {}
+        self._cones = {}
 
     # -- successor expansion ---------------------------------------------
+
+    def _sweep_local(self, sid: int) -> None:
+        """Record ``sid``'s locally-controlled successor row (one sweep)."""
+        automaton = self.automaton
+        state = self.interner.state_of(sid)
+        intern = self.interner.intern
+        labels: List[Action] = []
+        succ_ids: List[int] = []
+        for action in automaton.enabled_actions(state):
+            for succ in automaton.apply(state, action):
+                labels.append(action)
+                succ_ids.append(intern(succ))
+        self._plocal.add_row(sid, labels, succ_ids)
+
+    def _sweep_input(self, sid: int) -> None:
+        automaton = self.automaton
+        state = self.interner.state_of(sid)
+        intern = self.interner.intern
+        labels: List[Action] = []
+        succ_ids: List[int] = []
+        for action in automaton.signature.inputs:
+            for succ in automaton.apply(state, action):
+                labels.append(action)
+                succ_ids.append(intern(succ))
+        self._pinput.add_row(sid, labels, succ_ids)
+
+    def _expand_id(self, sid: int, include_inputs: bool) -> Tuple[PackedGraph, ...]:
+        """Ensure ``sid``'s rows exist; return the stores carrying them.
+
+        The id-level twin of :meth:`transitions`, with the same hit/miss
+        accounting (one hit or one miss per call, on the local store).
+        """
+        if self._plocal.is_expanded(sid):
+            self.hits += 1
+        else:
+            self.misses += 1
+            self._sweep_local(sid)
+        if not include_inputs:
+            return (self._plocal,)
+        if not self._pinput.is_expanded(sid):
+            self._sweep_input(sid)
+        return (self._plocal, self._pinput)
+
+    def _view(
+        self, packed: PackedGraph, views: List[Optional[Tuple[Edge, ...]]],
+        sid: int,
+    ) -> Tuple[Edge, ...]:
+        """The ``(action, successor-state)`` tuple of ``sid``'s row,
+        built from the packed row once and memoized."""
+        if sid < len(views):
+            view = views[sid]
+            if view is not None:
+                return view
+        else:
+            views.extend([None] * (sid + 1 - len(views)))
+        start, end = packed.row_bounds(sid)
+        state_of = self.interner.state_of
+        succ = packed._succ
+        labels = packed._labels
+        view = tuple((labels[i], state_of(succ[i])) for i in range(start, end))
+        views[sid] = view
+        return view
 
     def transitions(self, state: State, include_inputs: bool = False) -> Tuple[Edge, ...]:
         """All ``(action, successor)`` edges out of ``state``, memoized.
@@ -186,39 +306,22 @@ class StateGraph:
         input action of the signature is fired as well (the maximally
         hostile environment).
         """
-        edges = self._local.get(state)
-        if edges is None:
-            self.misses += 1
-            automaton = self.automaton
-            edges = tuple(
-                (action, succ)
-                for action in automaton.enabled_actions(state)
-                for succ in automaton.apply(state, action)
-            )
-            self._local[state] = edges
-        else:
-            self.hits += 1
+        sid = self.interner.intern(state)
+        self._expand_id(sid, include_inputs)
+        edges = self._view(self._plocal, self._lviews, sid)
         if not include_inputs:
             return edges
-        in_edges = self._input.get(state)
-        if in_edges is None:
-            automaton = self.automaton
-            in_edges = tuple(
-                (action, succ)
-                for action in automaton.signature.inputs
-                for succ in automaton.apply(state, action)
-            )
-            self._input[state] = in_edges
-        return edges + in_edges
+        return edges + self._view(self._pinput, self._iviews, sid)
 
     def successors(self, state: State, include_inputs: bool = False) -> Tuple[State, ...]:
         return tuple(s for _a, s in self.transitions(state, include_inputs))
 
     def has_transitions(self, state: State, include_inputs: bool = False) -> bool:
         """Is the successor sweep for ``state`` already memoized?"""
-        if state not in self._local:
+        sid = self.interner.id_of(state)
+        if sid is None or not self._plocal.is_expanded(sid):
             return False
-        return not include_inputs or state in self._input
+        return not include_inputs or self._pinput.is_expanded(sid)
 
     def seed_transitions(
         self,
@@ -234,11 +337,21 @@ class StateGraph:
         states are left untouched — the first recorded sweep wins, which
         keeps a racing prefetch harmless.
         """
-        if state not in self._local:
-            self._local[state] = tuple(local_edges)
+        intern = self.interner.intern
+        sid = intern(state)
+        if not self._plocal.is_expanded(sid):
+            self._plocal.add_row(
+                sid,
+                [action for action, _succ in local_edges],
+                [intern(succ) for _action, succ in local_edges],
+            )
             self.prefetched += 1
-        if input_edges is not None and state not in self._input:
-            self._input[state] = tuple(input_edges)
+        if input_edges is not None and not self._pinput.is_expanded(sid):
+            self._pinput.add_row(
+                sid,
+                [action for action, _succ in input_edges],
+                [intern(succ) for _action, succ in input_edges],
+            )
 
     # -- the shared forward frontier --------------------------------------
 
@@ -292,26 +405,35 @@ class StateGraph:
         """All states reachable from ``start`` by locally controlled actions.
 
         Complete cones are memoized per start state, which is what makes
-        repeated "is a v-decision reachable from C?" queries cheap.
+        repeated "is a v-decision reachable from C?" queries cheap.  The
+        BFS itself runs over ids — one bitmap probe per successor.
         """
         cached = self._cones.get(start)
         if cached is not None:
             return cached
-        seen: Set[State] = {start}
-        queue: deque = deque([start])
+        start_id = self.interner.intern(start)
+        seen = IdFlags()
+        seen.add(start_id)
+        queue: deque = deque([start_id])
+        plocal = self._plocal
         while queue:
-            state = queue.popleft()
-            for succ in self.successors(state):
-                if succ in seen:
+            sid = queue.popleft()
+            self._expand_id(sid, False)
+            begin, end = plocal.row_bounds(sid)
+            succ = plocal._succ
+            for i in range(begin, end):
+                child = succ[i]
+                if child in seen:
                     continue
-                if len(seen) >= max_states:
+                if seen.count >= max_states:
                     raise SearchBudgetExceeded(
                         f"cone exploration of {self.automaton.name} from "
                         f"{start!r} exceeded {max_states} states"
                     )
-                seen.add(succ)
-                queue.append(succ)
-        cone = frozenset(seen)
+                seen.add(child)
+                queue.append(child)
+        state_of = self.interner.state_of
+        cone = frozenset(state_of(sid) for sid in seen.ids())
         self._cones[start] = cone
         return cone
 
@@ -319,16 +441,20 @@ class StateGraph:
 
     @property
     def stats(self) -> Dict[str, int]:
-        """Cache accounting: expansion hits/misses and frontier sizes."""
+        """Cache accounting: expansion hits/misses, frontier sizes, and
+        the packed-store / intern-table footprint."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "prefetched": self.prefetched,
-            "states_expanded": len(self._local),
+            "states_expanded": self._plocal.rows,
             "frontier_states": sum(
-                len(f.parents) for f in self._frontiers.values()
+                f.seen.count for f in self._frontiers.values()
             ),
             "cones_cached": len(self._cones),
+            "states_interned": len(self.interner),
+            "packed_bytes": self._plocal.nbytes() + self._pinput.nbytes(),
+            "intern_table": intern_table_stats(),
         }
 
 

@@ -15,6 +15,13 @@ The asynchronous message-passing model (FLP), asynchronous read/write
 shared memory (Loui–Abu-Amara) and wait-free object systems (Herlihy) all
 instantiate it; see :mod:`repro.asynchronous.flp` and
 :mod:`repro.registers.herlihy`.
+
+Internally every analysis runs over the bit-packed state engine
+(:mod:`repro.core.packed`): configurations are interned to dense integer
+ids once, adjacency lives in CSR integer rows, valencies are int
+bitmasks, and visited sets are flat bitmaps — configurations only appear
+at the public API boundary, so hot loops never hash a nested structure
+twice.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (
+    Any,
     Dict,
     FrozenSet,
     Hashable,
@@ -35,6 +43,8 @@ from typing import (
 )
 
 from ..core.errors import SearchBudgetExceeded
+from ..core.freeze import register_packed_owner
+from ..core.packed import IdFlags, IdToValue, PackedGraph, StateInterner, ValueTable
 
 Configuration = Hashable
 Event = Hashable
@@ -112,30 +122,134 @@ class TransitionCache:
     :class:`DecisionSystem` counterpart of
     :class:`repro.core.stategraph.StateGraph`.  Each configuration's full
     ``(event, successor)`` sweep is computed exactly once.
+
+    Storage is packed: an interner assigns each configuration a dense id
+    and successor sweeps live as CSR integer rows
+    (:class:`~repro.core.packed.PackedGraph`).  The id-level surface
+    (:meth:`intern`, :meth:`ensure_expanded`, :meth:`row_bounds`,
+    :meth:`decided_values_of`) is what the analyses' hot loops use; the
+    configuration-level surface (:meth:`transitions`, :meth:`successors`,
+    :meth:`apply`) is preserved for callers and materializes frozen
+    states only at the boundary.
     """
 
     system: DecisionSystem
     hits: int = 0
     misses: int = 0
-    _edges: Dict[Configuration, Tuple[Tuple[Event, Configuration], ...]] = field(
-        default_factory=dict, repr=False
-    )
+
+    # Identity hash so instances can register in the weak owner set.
+    __hash__ = object.__hash__
+
+    def __post_init__(self):
+        self.interner = StateInterner()
+        self.graph = PackedGraph(self.interner)
+        self._views: List[Optional[Tuple[Tuple[Event, Configuration], ...]]] = []
+        self._decided: List[Optional[FrozenSet[Hashable]]] = []
+        register_packed_owner(self)
+
+    def reset_packed_state(self) -> None:
+        """Drop every id and row (cascade target of ``clear_intern_table``)."""
+        self.interner = StateInterner()
+        self.graph = PackedGraph(self.interner)
+        self._views = []
+        self._decided = []
+
+    # -- id-level surface (hot paths) --------------------------------------
+
+    def intern(self, config: Configuration) -> int:
+        """The dense id of ``config`` (its only deep hash in this cache)."""
+        return self.interner.intern(config)
+
+    def config_of(self, sid: int) -> Configuration:
+        return self.interner.state_of(sid)
+
+    def ensure_expanded(self, sid: int) -> None:
+        """Record ``sid``'s successor sweep if absent; count hit/miss."""
+        graph = self.graph
+        if graph.is_expanded(sid):
+            self.hits += 1
+            return
+        self.misses += 1
+        system = self.system
+        config = self.interner.state_of(sid)
+        intern = self.interner.intern
+        events: List[Event] = []
+        succ_ids: List[int] = []
+        sweep = getattr(system, "sweep_transitions", None)
+        if sweep is not None:
+            # Bulk hook: one call computes every (event, successor) pair,
+            # sharing per-configuration setup across the whole row.
+            for event, child in sweep(config):
+                events.append(event)
+                succ_ids.append(intern(child))
+        else:
+            for event in system.events(config):
+                events.append(event)
+                succ_ids.append(intern(system.apply(config, event)))
+        graph.add_row(sid, events, succ_ids)
+
+    def row_bounds(self, sid: int) -> Tuple[int, int]:
+        """(start, end) offsets of ``sid``'s CSR row (expanding if needed)."""
+        self.ensure_expanded(sid)
+        return self.graph.row_bounds(sid)
+
+    def successor_ids(self, sid: int):
+        self.ensure_expanded(sid)
+        return self.graph.successors_ids(sid)
+
+    def arrays(self):
+        """The flat CSR internals ``(succ, labels)`` for tight loops."""
+        return self.graph._succ, self.graph._labels
+
+    def apply_id(self, sid: int, event: Event) -> Optional[int]:
+        """The successor id through ``event``, or None if not applicable."""
+        start, end = self.row_bounds(sid)
+        succ, labels = self.arrays()
+        for i in range(start, end):
+            if labels[i] == event:
+                return succ[i]
+        return None
+
+    def decided_values_of(self, sid: int) -> FrozenSet[Hashable]:
+        """``system.decided_values`` memoized per id."""
+        memo = self._decided
+        if sid >= len(memo):
+            memo.extend([None] * (sid + 1 - len(memo)))
+        vals = memo[sid]
+        if vals is None:
+            vals = self.system.decided_values(self.interner.state_of(sid))
+            memo[sid] = vals
+        return vals
+
+    # -- configuration-level surface ---------------------------------------
 
     def transitions(
         self, config: Configuration
     ) -> Tuple[Tuple[Event, Configuration], ...]:
         """All ``(event, successor)`` pairs out of ``config``, memoized."""
-        edges = self._edges.get(config)
-        if edges is None:
-            self.misses += 1
-            edges = tuple(
-                (event, self.system.apply(config, event))
-                for event in self.system.events(config)
-            )
-            self._edges[config] = edges
+        return self.transitions_of(self.interner.intern(config))
+
+    def transitions_of(
+        self, sid: int
+    ) -> Tuple[Tuple[Event, Configuration], ...]:
+        """The view-tuple form of ``sid``'s row (built once per id)."""
+        views = self._views
+        if sid < len(views):
+            view = views[sid]
+            if view is not None:
+                self.hits += 1
+                return view
         else:
-            self.hits += 1
-        return edges
+            views.extend([None] * (sid + 1 - len(views)))
+        self.ensure_expanded(sid)
+        start, end = self.graph.row_bounds(sid)
+        succ, labels = self.graph._succ, self.graph._labels
+        state_of = self.interner.state_of
+        view = tuple(
+            (labels[i], state_of(succ[i])) for i in range(start, end)
+        )
+        views[sid] = view
+        return view
 
     def successors(self, config: Configuration) -> Tuple[Configuration, ...]:
         return tuple(child for _event, child in self.transitions(config))
@@ -148,12 +262,61 @@ class TransitionCache:
         return self.system.apply(config, event)
 
     @property
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, Any]:
+        packed = self.graph.stats
         return {
             "hits": self.hits,
             "misses": self.misses,
-            "configurations_expanded": len(self._edges),
+            "configurations_expanded": self.graph.rows,
+            "states_interned": packed["states_interned"],
+            "packed_bytes": packed["packed_bytes"],
         }
+
+
+class _ValencyView(Mapping):
+    """Read-through mapping {configuration: valency} over the packed
+    mask table — what ``ValencyAnalyzer._valency_cache`` now is.
+
+    Labels live as int masks indexed by state id; this view materializes
+    frozen configurations and frozensets only when someone actually reads
+    the mapping, so the labelling pass never pays per-configuration dict
+    inserts.
+    """
+
+    def __init__(self, analyzer: "ValencyAnalyzer"):
+        self._analyzer = analyzer
+
+    def _sid_of(self, config: Configuration) -> Optional[int]:
+        return self._analyzer.cache.interner.id_of(config)
+
+    def __contains__(self, config: object) -> bool:
+        sid = self._sid_of(config)
+        return sid is not None and self._analyzer._masks.get(sid) >= 0
+
+    def __getitem__(self, config: Configuration) -> FrozenSet[Hashable]:
+        sid = self._sid_of(config)
+        if sid is None:
+            raise KeyError(config)
+        mask = self._analyzer._masks.get(sid)
+        if mask < 0:
+            raise KeyError(config)
+        return self._analyzer._value_table.set_of(mask)
+
+    def get(self, config: Configuration, default=None):
+        sid = self._sid_of(config)
+        if sid is None:
+            return default
+        mask = self._analyzer._masks.get(sid)
+        if mask < 0:
+            return default
+        return self._analyzer._value_table.set_of(mask)
+
+    def __iter__(self):
+        config_of = self._analyzer.cache.config_of
+        return (config_of(sid) for sid, _mask in self._analyzer._masks.items())
+
+    def __len__(self) -> int:
+        return len(self._analyzer._masks)
 
 
 @dataclass
@@ -169,6 +332,9 @@ class ValencyAnalyzer:
     followed by one backward pass over its strongly connected components
     in reverse topological order, so whole-space analyses are
     O(configurations + transitions) — not O(configurations × queries).
+    Both passes run over dense integer ids: valencies are stored as int
+    bitmasks in a flat array indexed by configuration id, and the SCC
+    union is bitwise-or on machine words.
     """
 
     system: DecisionSystem
@@ -178,9 +344,21 @@ class ValencyAnalyzer:
         default_factory=dict
     )
 
+    __hash__ = object.__hash__
+
     def __post_init__(self):
         if self.cache is None:
             self.cache = TransitionCache(self.system)
+        self._masks = IdToValue()
+        self._value_table = ValueTable(self.system.values)
+        # The config-keyed label mapping is a read-through view over the
+        # mask table (kept as a field for API/debugging compatibility).
+        self._valency_cache = _ValencyView(self)
+        register_packed_owner(self)
+
+    def reset_packed_state(self) -> None:
+        """Drop id-indexed labels (cascade target of ``clear_intern_table``)."""
+        self._masks = IdToValue()
 
     def transitions(
         self, config: Configuration
@@ -188,107 +366,158 @@ class ValencyAnalyzer:
         """Shared memoized successor expansion (see :class:`TransitionCache`)."""
         return self.cache.transitions(config)
 
+    # -- labelling ----------------------------------------------------------
+
     def valency(self, config: Configuration) -> FrozenSet[Hashable]:
         """The valency of ``config`` (memoized over the whole analyzer)."""
-        cached = self._valency_cache.get(config)
-        if cached is not None:
-            return cached
-        self._label_from([config])
-        return self._valency_cache[config]
+        sid = self.cache.intern(config)
+        mask = self._masks.get(sid)
+        if mask < 0:
+            self._label_ids([sid])
+            mask = self._masks.get(sid)
+        return self._value_table.set_of(mask)
+
+    def valency_mask(self, config: Configuration) -> int:
+        """The valency of ``config`` as an int bitmask over
+        ``system.values`` (bit i = i-th distinct value labelled)."""
+        sid = self.cache.intern(config)
+        return self._mask_of_id(sid)
+
+    def _mask_of_id(self, sid: int) -> int:
+        mask = self._masks.get(sid)
+        if mask < 0:
+            self._label_ids([sid])
+            mask = self._masks.get(sid)
+        return mask
 
     def _label_from(self, roots: Sequence[Configuration]) -> None:
-        """Label every configuration in the cones of ``roots``.
+        intern = self.cache.intern
+        self._label_ids([intern(config) for config in roots])
+
+    def _label_ids(self, roots: Sequence[int]) -> None:
+        """Label every configuration in the cones of the ``roots`` ids.
 
         One forward expansion discovers the not-yet-labelled subgraph
-        (already-cached configurations act as boundary: their valencies
-        are final).  Tarjan's algorithm then emits its strongly connected
+        (already-labelled ids act as boundary: their valencies are
+        final).  Tarjan's algorithm then emits its strongly connected
         components sinks-first, so a single reverse-topological sweep —
-        union of own decided values and all successor valencies —
+        union of own decided-value masks and all successor masks —
         computes the exact fixpoint without iteration.
         """
-        labels = self._valency_cache
-        roots = [r for r in roots if r not in labels]
+        cache = self.cache
+        masks = self._masks
+        roots = [sid for sid in roots if masks.get(sid) < 0]
         if not roots:
             return
-        # Forward expansion of the unlabelled cone.
-        nodes: Set[Configuration] = set()
-        stack: List[Configuration] = list(roots)
-        while stack:
-            current = stack.pop()
-            if current in nodes or current in labels:
-                continue
-            nodes.add(current)
-            if len(nodes) + len(labels) > self.max_configurations:
-                raise SearchBudgetExceeded(
-                    f"valency analysis exceeded {self.max_configurations} configurations"
-                )
-            for child in self.cache.successors(current):
-                if child not in nodes and child not in labels:
-                    stack.append(child)
-
-        # Iterative Tarjan SCC over the new subgraph.  Components pop off
-        # in reverse topological order of the condensation, so every
-        # cross-edge target is already labelled when its source's
-        # component is processed.
-        index: Dict[Configuration, int] = {}
-        low: Dict[Configuration, int] = {}
-        on_stack: Set[Configuration] = set()
-        scc_stack: List[Configuration] = []
+        # One fused pass: iterative Tarjan SCC over the unlabelled cone,
+        # expanding rows lazily the first time a node is visited.
+        # Components pop off in reverse topological order of the
+        # condensation, so every cross-edge target is already labelled
+        # when its source's component is processed.  All bookkeeping is
+        # raw and id-indexed — index/lowlink are flat lists, the
+        # recursion stack holds [id, cursor, row_end] frames over the
+        # CSR row offsets, and valencies union as int masks.  A child is
+        # *boundary* (valency final, do not recurse) exactly when its
+        # mask is already set and it is not part of this pass.
+        graph = cache.graph
+        ensure_expanded = cache.ensure_expanded
+        mvals = masks._vals
+        succ = graph._succ
+        gstart = graph._start
+        gend = graph._end
+        total = len(cache.interner)
+        index: List[int] = [-1] * total
+        low: List[int] = [0] * total
+        on_stack = bytearray(total)
+        scc_stack: List[int] = []
         counter = 0
-        decided = self.system.decided_values
-        for root in roots:
-            if root in index:
-                continue
-            # Explicit call stack of (node, successor iterator) frames.
-            work: List[Tuple[Configuration, Iterator[Configuration]]] = []
-            index[root] = low[root] = counter
+        new_count = 0
+        already = len(masks)
+        max_configurations = self.max_configurations
+        value_table = self._value_table
+        decided_values_of = cache.decided_values_of
+
+        def visit(sid: int) -> None:
+            # First touch of ``sid`` in this pass: budget, expand, index.
+            nonlocal counter, new_count, total
+            new_count += 1
+            if new_count + already > max_configurations:
+                raise SearchBudgetExceeded(
+                    f"valency analysis exceeded {max_configurations} configurations"
+                )
+            ensure_expanded(sid)
+            grown = len(cache.interner)
+            if grown > total:
+                index.extend([-1] * (grown - total))
+                low.extend([0] * (grown - total))
+                on_stack.extend(b"\x00" * (grown - total))
+                total = grown
+            index[sid] = low[sid] = counter
             counter += 1
-            scc_stack.append(root)
-            on_stack.add(root)
-            work.append((root, iter(self.cache.successors(root))))
+            scc_stack.append(sid)
+            on_stack[sid] = 1
+
+        for root in roots:
+            if index[root] >= 0 or (root < len(mvals) and mvals[root] >= 0):
+                continue
+            visit(root)
+            work: List[List[int]] = [[root, gstart[root], gend[root]]]
             while work:
-                node, children = work[-1]
+                frame = work[-1]
+                node, cursor, row_end = frame
                 advanced = False
-                for child in children:
-                    if child not in nodes:
-                        continue  # boundary: already labelled in cache
-                    if child not in index:
-                        index[child] = low[child] = counter
-                        counter += 1
-                        scc_stack.append(child)
-                        on_stack.add(child)
-                        work.append((child, iter(self.cache.successors(child))))
+                while cursor < row_end:
+                    child = succ[cursor]
+                    cursor += 1
+                    if index[child] < 0:
+                        if child < len(mvals) and mvals[child] >= 0:
+                            continue  # boundary: labelled before this pass
+                        frame[1] = cursor
+                        visit(child)
+                        work.append([child, gstart[child], gend[child]])
                         advanced = True
                         break
-                    if child in on_stack:
-                        low[node] = min(low[node], index[child])
+                    if on_stack[child] and index[child] < low[node]:
+                        low[node] = index[child]
                 if advanced:
                     continue
                 work.pop()
                 if work:
                     parent = work[-1][0]
-                    low[parent] = min(low[parent], low[node])
+                    if low[node] < low[parent]:
+                        low[parent] = low[node]
                 if low[node] == index[node]:
-                    # Pop one SCC and label it: union of member decisions
-                    # and of every outgoing valency (cache-final by now).
-                    component: List[Configuration] = []
+                    # Pop one SCC and label it: union of member decision
+                    # masks and of every outgoing mask (final by now).
+                    component: List[int] = []
                     while True:
                         member = scc_stack.pop()
-                        on_stack.discard(member)
+                        on_stack[member] = 0
                         component.append(member)
-                        if member is node or member == node:
+                        if member == node:
                             break
-                    valency: FrozenSet[Hashable] = frozenset()
+                    valency = 0
                     for member in component:
-                        valency |= decided(member)
-                    in_component = set(component)
+                        vals = decided_values_of(member)
+                        if vals:
+                            valency |= value_table.mask_of(vals)
+                    if len(component) == 1:
+                        sole = component[0]
+                        for i in range(gstart[sole], gend[sole]):
+                            child = succ[i]
+                            if child != sole:
+                                valency |= mvals[child]
+                    else:
+                        in_component = set(component)
+                        for member in component:
+                            for i in range(gstart[member], gend[member]):
+                                child = succ[i]
+                                if child in in_component:
+                                    continue
+                                valency |= mvals[child]
                     for member in component:
-                        for child in self.cache.successors(member):
-                            if child in in_component:
-                                continue
-                            valency |= labels[child]
-                    for member in component:
-                        labels[member] = valency
+                        masks.set(member, valency)
+                    mvals = masks._vals
 
     def label_reachable(self) -> Dict[Configuration, FrozenSet[Hashable]]:
         """Valency of *every* reachable configuration, in one linear pass."""
@@ -296,16 +525,20 @@ class ValencyAnalyzer:
         return dict(self._valency_cache)
 
     def is_bivalent(self, config: Configuration) -> bool:
-        return len(self.valency(config)) >= 2
+        return self._mask_of_id(self.cache.intern(config)).bit_count() >= 2
 
     def is_univalent(self, config: Configuration) -> bool:
-        return len(self.valency(config)) == 1
+        return self._mask_of_id(self.cache.intern(config)).bit_count() == 1
 
     def classify_initial(self) -> List[Tuple[Configuration, FrozenSet[Hashable]]]:
         """Valency of every initial configuration (one batched labelling)."""
-        configs = list(self.system.initial_configurations())
-        self._label_from(configs)
-        return [(config, self._valency_cache[config]) for config in configs]
+        intern = self.cache.intern
+        ids = [intern(config) for config in self.system.initial_configurations()]
+        self._label_ids(ids)
+        config_of = self.cache.config_of
+        set_of = self._value_table.set_of
+        masks = self._masks
+        return [(config_of(sid), set_of(masks.get(sid))) for sid in ids]
 
     def bivalent_initial_configuration(self) -> Optional[Configuration]:
         """FLP Lemma 2 mechanized: find a bivalent initial configuration.
@@ -324,21 +557,37 @@ class ValencyAnalyzer:
     ) -> Optional[Configuration]:
         """Search the full reachable space for two processes deciding differently."""
         budget = max_configurations or self.max_configurations
-        seen = set()
-        queue: deque = deque(self.system.initial_configurations())
+        cache = self.cache
+        graph = cache.graph
+        ensure_expanded = cache.ensure_expanded
+        decided_values_of = cache.decided_values_of
+        intern = cache.intern
+        seen = bytearray(len(cache.interner))
+        seen_count = 0
+        queue: deque = deque(
+            intern(config) for config in self.system.initial_configurations()
+        )
+        succ = graph._succ
+        gstart = graph._start
+        gend = graph._end
         while queue:
-            config = queue.popleft()
-            if config in seen:
+            sid = queue.popleft()
+            if sid < len(seen) and seen[sid]:
                 continue
-            seen.add(config)
-            if len(seen) > budget:
+            if sid >= len(seen):
+                seen.extend(b"\x00" * (sid + 1 - len(seen)))
+            seen[sid] = 1
+            seen_count += 1
+            if seen_count > budget:
                 raise SearchBudgetExceeded(
                     f"agreement check exceeded {budget} configurations"
                 )
-            if len(self.system.decided_values(config)) >= 2:
-                return config
-            for child in self.cache.successors(config):
-                if child not in seen:
+            if len(decided_values_of(sid)) >= 2:
+                return cache.config_of(sid)
+            ensure_expanded(sid)
+            for i in range(gstart[sid], gend[sid]):
+                child = succ[i]
+                if child >= len(seen) or not seen[child]:
                     queue.append(child)
         return None
 
@@ -407,6 +656,9 @@ class StallingAdversary:
         self.system = analyzer.system
         self.extension_budget = extension_budget
 
+    def _bivalent_id(self, sid: int) -> bool:
+        return self.analyzer._mask_of_id(sid).bit_count() >= 2
+
     def extend_bivalent(
         self, config: Configuration, obligation_process: ProcessId
     ) -> Optional[Tuple[Tuple[Event, ...], Configuration]]:
@@ -416,27 +668,44 @@ class StallingAdversary:
         BFS over schedules; the *final* event applied is always the current
         fairness obligation of the target process at the point of
         application (i.e. its oldest pending event there), so honouring it
-        genuinely discharges the obligation.
+        genuinely discharges the obligation.  The search runs over dense
+        ids; only the returned landing configuration is materialized.
         """
-        queue: deque = deque([(config, ())])
-        seen = {config}
+        analyzer = self.analyzer
+        cache = analyzer.cache
+        graph = cache.graph
+        system = self.system
+        start_id = cache.intern(config)
+        queue: deque = deque([(start_id, ())])
+        seen = IdFlags()
+        seen.add(start_id)
         explored = 0
         while queue:
-            current, schedule = queue.popleft()
+            sid, schedule = queue.popleft()
             explored += 1
             if explored > self.extension_budget:
                 return None
-            owed = self.system.fair_events(current)
+            owed = system.fair_events(cache.config_of(sid))
             if obligation_process in owed:
-                candidate = self.analyzer.cache.apply(
-                    current, owed[obligation_process]
-                )
-                if self.analyzer.is_bivalent(candidate):
-                    return schedule + (owed[obligation_process],), candidate
-            for event, child in self.analyzer.transitions(current):
-                if child not in seen and self.analyzer.is_bivalent(child):
+                obligation = owed[obligation_process]
+                candidate = cache.apply_id(sid, obligation)
+                if candidate is None:
+                    candidate = cache.intern(
+                        system.apply(cache.config_of(sid), obligation)
+                    )
+                if self._bivalent_id(candidate):
+                    return (
+                        schedule + (obligation,),
+                        cache.config_of(candidate),
+                    )
+            cache.ensure_expanded(sid)
+            rstart, rend = graph.row_bounds(sid)
+            succ, labels = graph._succ, graph._labels
+            for i in range(rstart, rend):
+                child = succ[i]
+                if child not in seen and self._bivalent_id(child):
                     seen.add(child)
-                    queue.append((child, schedule + (event,)))
+                    queue.append((child, schedule + (labels[i],)))
         return None
 
     def run(self, start: Configuration, stages: int) -> StallResult:
@@ -485,19 +754,31 @@ class StallingAdversary:
         self, config: Configuration, process: ProcessId, value: Hashable
     ) -> Optional[Tuple[Event, ...]]:
         """Can ``process``, stepping alone, force valency {value}?"""
-        queue: deque = deque([(config, ())])
-        seen = {config}
+        analyzer = self.analyzer
+        cache = analyzer.cache
+        graph = cache.graph
+        system = self.system
+        target_mask = analyzer._value_table.bit_of(value)
+        start_id = cache.intern(config)
+        queue: deque = deque([(start_id, ())])
+        seen = IdFlags()
+        seen.add(start_id)
         explored = 0
         while queue:
-            current, schedule = queue.popleft()
+            sid, schedule = queue.popleft()
             explored += 1
             if explored > self.extension_budget:
                 return None
-            if self.analyzer.valency(current) == frozenset([value]):
+            if analyzer._mask_of_id(sid) == target_mask:
                 return schedule
-            for event, child in self.analyzer.transitions(current):
-                if self.system.owner(event) != process:
+            cache.ensure_expanded(sid)
+            rstart, rend = graph.row_bounds(sid)
+            succ, labels = graph._succ, graph._labels
+            for i in range(rstart, rend):
+                event = labels[i]
+                if system.owner(event) != process:
                     continue
+                child = succ[i]
                 if child not in seen:
                     seen.add(child)
                     queue.append((child, schedule + (event,)))
@@ -517,25 +798,36 @@ def find_herlihy_decider(
     the valency of each successor event.
     """
     system = analyzer.system
-    seen = set()
-    queue: deque = deque(system.initial_configurations())
+    cache = analyzer.cache
+    graph = cache.graph
+    value_table = analyzer._value_table
+    seen = IdFlags()
+    queue: deque = deque(
+        cache.intern(config) for config in system.initial_configurations()
+    )
     while queue:
-        config = queue.popleft()
-        if config in seen:
+        sid = queue.popleft()
+        if not seen.add(sid):
             continue
-        seen.add(config)
         if len(seen) > max_configurations:
             raise SearchBudgetExceeded(
                 f"decider search exceeded {max_configurations} configurations"
             )
-        edges = analyzer.transitions(config)
-        if edges and analyzer.is_bivalent(config):
-            successor_valencies = {
-                event: analyzer.valency(child) for event, child in edges
-            }
-            if all(len(v) == 1 for v in successor_valencies.values()):
-                return config, successor_valencies
-        for _event, child in edges:
+        cache.ensure_expanded(sid)
+        start, end = graph.row_bounds(sid)
+        succ, labels = graph._succ, graph._labels
+        if start != end and analyzer._mask_of_id(sid).bit_count() >= 2:
+            child_masks = [
+                analyzer._mask_of_id(succ[i]) for i in range(start, end)
+            ]
+            if all(mask.bit_count() == 1 for mask in child_masks):
+                successor_valencies = {
+                    labels[start + offset]: value_table.set_of(mask)
+                    for offset, mask in enumerate(child_masks)
+                }
+                return cache.config_of(sid), successor_valencies
+        for i in range(start, end):
+            child = succ[i]
             if child not in seen:
                 queue.append(child)
     return None

@@ -7,9 +7,13 @@ the state.  That makes it shardable without touching the algorithm:
 
 1. the parent takes the next batch of queue-head states;
 2. workers compute each state's ``(action, successor)`` edge list and
-   send it back (the **prefetch**);
-3. the parent seeds the edge lists into the graph's successor memo and
-   then runs the ordinary *serial* expansion over the batch — every
+   send it back (the **prefetch**) — successors encoded as worker-local
+   dense ids plus an id-table *delta* of never-before-shipped states,
+   so recurring states cross the process boundary once, not once per
+   edge;
+3. the parent decodes each delta against a per-worker mirror table,
+   seeds the edge lists into the graph's successor memo and then runs
+   the ordinary *serial* expansion over the batch — every
    ``transitions`` call is now a cache hit, so the fold is pure
    bookkeeping.
 
@@ -28,24 +32,43 @@ automaton or its states, the expansion falls back to serial.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import os
+from typing import Dict, List, Optional, Tuple
 
 from ..core.budget import BudgetMeter
+from ..core.packed import StateInterner
 from .pool import SharedCounter, WorkerPool, resolve_workers, split_chunks
 
 # Per-worker process state, installed once by the pool initializer so the
-# automaton is pickled per worker, not per task.
-_WORKER = {"automaton": None, "counter": None, "max_states": None}
+# automaton is pickled per worker, not per task.  Each worker keeps its
+# own StateInterner for the pool's lifetime: successor states are shipped
+# back as worker-local dense ids plus a one-time id-table delta (the
+# states interned since the worker's last send), so a state that recurs
+# across edges and batches crosses the process boundary exactly once.
+_WORKER = {
+    "automaton": None, "counter": None, "max_states": None,
+    "interner": None, "sent": 0,
+}
 
 
 def _init_worker(automaton, counter, max_states) -> None:
     _WORKER["automaton"] = automaton
     _WORKER["counter"] = counter
     _WORKER["max_states"] = max_states
+    _WORKER["interner"] = StateInterner()
+    _WORKER["sent"] = 0
 
 
-def _expand_chunk(args: Tuple) -> List[Tuple]:
-    """Expand a chunk of states; return ``(state, local_edges, input_edges)``.
+def _expand_chunk(args: Tuple) -> Tuple:
+    """Expand a chunk of states; return the id-encoded sweeps plus delta.
+
+    The result is ``(worker, base, delta, rows)``: ``rows`` holds one
+    ``(state_id, local_edges, input_edges)`` triple per expanded state
+    with successors as worker-local ids, and ``delta`` is the id-table
+    slice ``base <= id < base + len(delta)`` of states this worker has
+    not shipped before.  Worker ids mean nothing to the parent's own
+    interner — the parent keeps a per-worker mirror table and decodes at
+    fold time, staying authoritative over its id space.
 
     Checks the shared counter between states and stops early once the
     fleet-wide aggregate passes ``max_states`` — the parent recomputes
@@ -55,26 +78,55 @@ def _expand_chunk(args: Tuple) -> List[Tuple]:
     automaton = _WORKER["automaton"]
     counter: Optional[SharedCounter] = _WORKER["counter"]
     max_states = _WORKER["max_states"]
-    out: List[Tuple] = []
+    interner: StateInterner = _WORKER["interner"]
+    intern = interner.intern
+    rows: List[Tuple] = []
     for state in states:
         if counter is not None and counter.exceeded(max_states=max_states):
             break
         local = tuple(
-            (action, succ)
+            (action, intern(succ))
             for action in automaton.enabled_actions(state)
             for succ in automaton.apply(state, action)
         )
         input_edges = None
         if include_inputs:
             input_edges = tuple(
-                (action, succ)
+                (action, intern(succ))
                 for action in automaton.signature.inputs
                 for succ in automaton.apply(state, action)
             )
         if counter is not None:
             counter.add(steps=1, states=len(local) + len(input_edges or ()))
-        out.append((state, local, input_edges))
-    return out
+        rows.append((intern(state), local, input_edges))
+    base = _WORKER["sent"]
+    delta = interner.states()[base:]
+    _WORKER["sent"] = base + len(delta)
+    return (os.getpid(), base, delta, rows)
+
+
+def _fold_prefetch(graph, mirrors: Dict[int, List], result: Tuple) -> None:
+    """Decode one worker result against its mirror table and seed it.
+
+    Deltas from one worker arrive in interning order (a worker handles
+    its tasks sequentially), so the mirror either lines up exactly or —
+    if a chunk went missing — the remaining results from that worker are
+    undecodable and dropped: the serial fold recomputes those sweeps, so
+    a gap costs time, never correctness.
+    """
+    worker, base, delta, rows = result
+    mirror = mirrors.setdefault(worker, [])
+    if len(mirror) != base:
+        return
+    mirror.extend(delta)
+    for state_id, local, input_edges in rows:
+        graph.seed_transitions(
+            mirror[state_id],
+            tuple((action, mirror[wid]) for action, wid in local),
+            None if input_edges is None else tuple(
+                (action, mirror[wid]) for action, wid in input_edges
+            ),
+        )
 
 
 def expand_frontier_parallel(
@@ -117,6 +169,7 @@ def expand_frontier_parallel(
             return
         if not frontier.started:
             frontier.start()
+        mirrors: Dict[int, List] = {}
         while frontier.queue:
             batch = frontier.pending(batch_size)
             todo = [
@@ -138,8 +191,7 @@ def expand_frontier_parallel(
                     frontier.expand_all(max_states, meter)
                     return
                 for chunk_result in prefetched:
-                    for state, local, input_edges in chunk_result:
-                        graph.seed_transitions(state, local, input_edges)
+                    _fold_prefetch(graph, mirrors, chunk_result)
             # The authoritative fold: the serial algorithm over a warm
             # cache.  Budget charges and overdrafts happen here, in the
             # exact order a serial run makes them.
