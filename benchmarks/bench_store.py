@@ -1,0 +1,99 @@
+"""Certificate store — cold-vs-warm query latency (§3.2).
+
+What the store buys, measured directly: the same questions the E6
+dichotomy table and the register-search census answer by live search are
+answered again from a warm store, and the counters prove the warm path
+never touched an engine (``service.live == 0``, ``graph``-free, all
+hits).  The cold benchmark keys each round to a fresh store directory,
+so it measures live-search-plus-persist; the warm benchmarks measure
+verify-and-decode alone.
+"""
+
+from conftest import record
+
+from repro.service import (
+    CertificateStore,
+    QueryService,
+    flp_key,
+    register_search_key,
+)
+
+DICHOTOMY_KEYS = (
+    flp_key("first-message-wins", n=2),
+    flp_key("quorum-vote", n=3),
+    flp_key("wait-for-all", n=2),
+)
+
+EXPECTED_MODES = {
+    "first-message-wins": "agreement-violation",
+    "quorum-vote": "agreement-violation",
+    "wait-for-all": "blocks-under-crash",
+}
+
+
+def _modes(answers):
+    return {a.result["protocol"]: a.result["failure_mode"] for a in answers}
+
+
+def test_store_cold_e6_dichotomy(benchmark, tmp_path):
+    """Live search + persist: the price of the first ask."""
+    rounds = iter(range(1_000_000))
+
+    def cold():
+        store = CertificateStore(str(tmp_path / f"cold-{next(rounds)}"))
+        service = QueryService(store)
+        answers = service.resolve_many(list(DICHOTOMY_KEYS))
+        assert service.live == len(DICHOTOMY_KEYS)
+        return answers, store
+
+    answers, store = benchmark(cold)
+    assert _modes(answers) == EXPECTED_MODES
+    record(benchmark, queries=len(DICHOTOMY_KEYS), **store.stats)
+
+
+def test_store_warm_e6_dichotomy(benchmark, tmp_path):
+    """The acceptance property: the dichotomy replayed with zero live
+    search — every answer verified out of the store, hit counters as the
+    receipt."""
+    root = str(tmp_path / "warm")
+    QueryService(CertificateStore(root)).resolve_many(list(DICHOTOMY_KEYS))
+
+    def warm():
+        service = QueryService(CertificateStore(root))
+        answers = service.resolve_many(list(DICHOTOMY_KEYS))
+        assert service.live == 0  # zero live search
+        assert all(a.source == "store" for a in answers)
+        return answers, service
+
+    answers, service = benchmark(warm)
+    assert _modes(answers) == EXPECTED_MODES
+    assert service.store.stats["hits"] == len(DICHOTOMY_KEYS)
+    assert service.store.stats["corrupt"] == 0
+    record(benchmark, queries=len(DICHOTOMY_KEYS), **service.store.stats)
+
+
+def test_store_warm_register_search(benchmark, tmp_path):
+    """The full depth-2 census (1124 model-checked candidates live)
+    answered warm: one verified read."""
+    root = str(tmp_path / "census")
+    key = register_search_key(depth=2)
+    cold = QueryService(CertificateStore(root)).resolve(key)
+    assert cold.source == "live"
+
+    def warm():
+        service = QueryService(CertificateStore(root))
+        answer = service.resolve(key)
+        assert service.live == 0
+        assert answer.source == "store"
+        return answer
+
+    answer = benchmark(warm)
+    assert answer.result == cold.result
+    assert answer.result["candidates"] == 1124
+    assert answer.result["solutions"] == []
+    record(
+        benchmark,
+        candidates=answer.result["candidates"],
+        agreement_failures=answer.result["agreement_failures"],
+        validity_failures=answer.result["validity_failures"],
+    )

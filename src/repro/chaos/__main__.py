@@ -43,6 +43,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write shrunk-counterexample JSONL artifacts into DIR",
     )
     parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="certificate store directory: answer this campaign from the "
+        "store when a verified entry exists, run and cache it otherwise",
+    )
+    parser.add_argument(
         "--workers",
         default=1,
         metavar="N",
@@ -98,14 +105,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         else None
     )
     workers = args.workers if args.workers == "auto" else int(args.workers)
-    report = run_campaign(
-        targets=roster,
-        runs=args.runs,
-        master_seed=args.seed,
-        shrink=not args.no_shrink,
-        budget=budget,
-        workers=workers,
-    )
+    if args.store is not None:
+        from ..service.service import run_campaign_cached
+        from ..service.store import CertificateStore
+
+        store = CertificateStore(args.store)
+        report, source = run_campaign_cached(
+            store,
+            targets=roster,
+            runs=args.runs,
+            master_seed=args.seed,
+            shrink=not args.no_shrink,
+            budget=budget,
+            workers=workers,
+        )
+        print(f"campaign answered from {source}; {store.stats_line()}")
+    else:
+        report = run_campaign(
+            targets=roster,
+            runs=args.runs,
+            master_seed=args.seed,
+            shrink=not args.no_shrink,
+            budget=budget,
+            workers=workers,
+        )
     print(report.summary(roster))
 
     if args.artifacts and report.counterexamples:

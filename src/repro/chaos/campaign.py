@@ -52,6 +52,7 @@ BUDGET_EXCEEDED = "BUDGET_EXCEEDED"
 CRASH = "CRASH"
 
 ARTIFACT_SCHEMA = "repro-chaos-counterexample/v1"
+REPORT_SCHEMA = "repro-chaos-report/v1"
 
 DEFAULT_PER_RUN_BUDGET = Budget(max_steps=20_000)
 
@@ -486,6 +487,132 @@ def run_campaign(
         counterexamples=counterexamples,
         complete=not interrupted,
         resume_at=resume_at,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Store payloads
+# ---------------------------------------------------------------------------
+
+
+def _violation_to_payload(violation: Violation) -> Dict:
+    return {
+        "monitor": violation.monitor,
+        "description": violation.description,
+        "step": violation.step,
+    }
+
+
+def _violation_from_payload(payload: Dict) -> Violation:
+    return Violation(
+        monitor=payload["monitor"],
+        description=payload["description"],
+        step=payload["step"],
+    )
+
+
+def report_to_payload(report: CampaignReport) -> Dict:
+    """A JSON-native form of a whole campaign, for the certificate store.
+
+    Everything needed to reconstruct the report exactly is embedded:
+    case verdicts field by field, counterexamples with their original and
+    shrunk schedules through the tagged value encoding, and each shrunk
+    trace as its own (fingerprint-carrying) JSONL document — so a report
+    pulled back out of the store writes byte-identical counterexample
+    artifacts to the campaign that produced it.
+    """
+    return {
+        "schema": REPORT_SCHEMA,
+        "master_seed": report.master_seed,
+        "runs": report.runs,
+        "complete": report.complete,
+        "resume_at": dict(report.resume_at),
+        "results": [
+            {
+                "target": r.target,
+                "index": r.index,
+                "seed": r.seed,
+                "verdict": r.verdict,
+                "violations": [
+                    _violation_to_payload(v) for v in r.violations
+                ],
+                "error": r.error,
+            }
+            for r in report.results
+        ],
+        "counterexamples": [
+            {
+                "target": cx.target,
+                "index": cx.index,
+                "seed": cx.seed,
+                "atoms": _encode_value(tuple(cx.atoms)),
+                "shrunk": _encode_value(tuple(cx.shrunk)),
+                "violation": _violation_to_payload(cx.violation),
+                "fingerprint": cx.fingerprint,
+                "shrink_checks": cx.shrink_checks,
+                "replay_verified": cx.replay_verified,
+                "trace": cx.trace.to_jsonl(),
+            }
+            for cx in report.counterexamples
+        ],
+    }
+
+
+def report_from_payload(payload: Dict) -> CampaignReport:
+    """Invert :func:`report_to_payload`.
+
+    Each embedded trace reloads through :meth:`Trace.from_jsonl`, which
+    re-verifies its fingerprint — a tampered trace raises rather than
+    producing a counterexample that never happened.
+    """
+    if payload.get("schema") != REPORT_SCHEMA:
+        raise ReplayError(
+            f"unknown campaign report schema {payload.get('schema')!r} "
+            f"(expected {REPORT_SCHEMA!r})"
+        )
+    results = [
+        CaseResult(
+            target=r["target"],
+            index=r["index"],
+            seed=r["seed"],
+            verdict=r["verdict"],
+            violations=tuple(
+                _violation_from_payload(v) for v in r["violations"]
+            ),
+            error=r["error"],
+        )
+        for r in payload["results"]
+    ]
+    counterexamples = []
+    for c in payload["counterexamples"]:
+        trace = Trace.from_jsonl(c["trace"])
+        if trace.fingerprint() != c["fingerprint"]:
+            raise ReplayError(
+                f"counterexample for {c['target']!r} carries fingerprint "
+                f"{c['fingerprint']}, its trace reloads as "
+                f"{trace.fingerprint()}"
+            )
+        counterexamples.append(
+            Counterexample(
+                target=c["target"],
+                index=c["index"],
+                seed=c["seed"],
+                atoms=tuple(_decode_value(c["atoms"])),
+                shrunk=tuple(_decode_value(c["shrunk"])),
+                violation=_violation_from_payload(c["violation"]),
+                trace=trace,
+                fingerprint=c["fingerprint"],
+                shrink_checks=c["shrink_checks"],
+                replay_verified=c["replay_verified"],
+            )
+        )
+    return CampaignReport(
+        master_seed=payload["master_seed"],
+        runs=payload["runs"],
+        results=results,
+        counterexamples=counterexamples,
+        complete=payload["complete"],
+        resume_at=dict(payload["resume_at"]),
     )
 
 

@@ -75,6 +75,7 @@ from .runtime import (
     SEND,
     STEP,
     FaultAdversary,
+    FingerprintMismatch,
     ReplayError,
     SchedulingAdversary,
     SimulationRuntime,
@@ -116,6 +117,7 @@ __all__ = [
     "Trace",
     "TraceEvent",
     "ReplayError",
+    "FingerprintMismatch",
     "replay",
     "derive_seed",
     "spawn_rng",

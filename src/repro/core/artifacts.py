@@ -46,6 +46,34 @@ def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> str:
     return path
 
 
+def atomic_write_bytes(path: str, data: bytes) -> str:
+    """Write ``data`` to ``path`` atomically; return ``path``.
+
+    The binary sibling of :func:`atomic_write_text`, used for packed
+    state-graph blobs in the certificate store: same staging-file
+    protocol, same guarantee that readers see either the previous
+    complete blob or the new complete blob, never a prefix.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, staging = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(staging, path)
+    except BaseException:
+        try:
+            os.unlink(staging)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 def atomic_write_json(path: str, payload, **dump_kwargs) -> str:
     """Serialize ``payload`` and write it atomically; return ``path``.
 

@@ -92,6 +92,24 @@ class StateInterner:
         self.hits = 0
         self.misses = 0
 
+    def bulk_load(self, states: Iterable[Any]) -> None:
+        """Restore an id -> state table saved from another process.
+
+        Only valid on an empty interner: ids are positional, so the
+        restored table must *be* the id space, not extend one.  Counts
+        neither hits nor misses — a restore is cache plumbing, not live
+        interning, and the counters stay meaningful as "work this
+        process did".
+        """
+        if self._states:
+            raise ValueError(
+                f"bulk_load needs an empty interner, found {len(self._states)} "
+                "states already interned"
+            )
+        for state in states:
+            self._ids[state] = len(self._states)
+            self._states.append(state)
+
     @property
     def stats(self) -> Dict[str, Any]:
         probes = self.hits + self.misses
@@ -195,6 +213,82 @@ class PackedGraph:
         return tuple(
             (labels[i], succ[i]) for i in range(start, end)
         )
+
+    # -- persistence ---------------------------------------------------------
+
+    def export_rows(self) -> Dict[str, Any]:
+        """The raw CSR storage, for cross-run persistence.
+
+        Returns live references (not copies): ``succ``/``start``/``end``
+        are the flat ``array('q')`` columns, ``labels`` the aligned edge
+        label list, ``rows`` the expanded-row count.  Callers serialize
+        via ``array.tobytes()`` (see :mod:`repro.service.graphs`) and
+        must not mutate.
+        """
+        return {
+            "succ": self._succ,
+            "start": self._start,
+            "end": self._end,
+            "labels": self._labels,
+            "rows": self.rows,
+        }
+
+    def import_rows(
+        self,
+        succ: "array",
+        start: "array",
+        end: "array",
+        labels: List[Any],
+        rows: int,
+    ) -> None:
+        """Adopt CSR storage saved by :meth:`export_rows`.
+
+        Only valid on an empty graph (the restored offsets index the
+        restored arrays; merging into live rows would corrupt both), and
+        the columns must be mutually consistent — the label list aligned
+        with the successor array, offsets within bounds.  Ids in ``succ``
+        refer to the attached interner's id space, so the interner must
+        be restored first (``StateInterner.bulk_load``).
+        """
+        if self.rows or len(self._succ) or len(self._start):
+            raise ValueError("import_rows needs an empty PackedGraph")
+        if len(labels) != len(succ):
+            raise ValueError(
+                f"misaligned rows: {len(labels)} labels vs {len(succ)} "
+                "successor ids"
+            )
+        if len(start) != len(end):
+            raise ValueError(
+                f"misaligned offsets: {len(start)} starts vs {len(end)} ends"
+            )
+        nstates = len(self.interner)
+        nedges = len(succ)
+        counted = 0
+        for sid in range(len(start)):
+            lo, hi = start[sid], end[sid]
+            if lo == UNEXPANDED and hi == UNEXPANDED:
+                continue
+            if not (0 <= lo <= hi <= nedges):
+                raise ValueError(
+                    f"row {sid} offsets ({lo}, {hi}) out of bounds "
+                    f"for {nedges} edges"
+                )
+            counted += 1
+        if counted != rows:
+            raise ValueError(
+                f"row count {rows} does not match {counted} expanded rows"
+            )
+        for sid in succ:
+            if not (0 <= sid < nstates):
+                raise ValueError(
+                    f"successor id {sid} outside the interned id space "
+                    f"of {nstates} states"
+                )
+        self._succ = array("q", succ)
+        self._start = array("q", start)
+        self._end = array("q", end)
+        self._labels = list(labels)
+        self.rows = rows
 
     # -- accounting ----------------------------------------------------------
 

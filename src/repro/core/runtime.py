@@ -86,6 +86,34 @@ class ReplayError(ReproError):
     """A trace could not be replayed, or the replay diverged."""
 
 
+class FingerprintMismatch(ReplayError):
+    """A recorded fingerprint does not match the recomputed one.
+
+    Structured: ``expected`` is the fingerprint the artifact recorded,
+    ``actual`` the one recomputed from its content, and ``context`` names
+    the artifact being verified (a reloaded trace, a store entry, a
+    packed-graph blob).  Raised by :meth:`Trace.from_jsonl` and reused by
+    the certificate store (:mod:`repro.service.store`) — anywhere
+    "re-verify on read" fails, the error carries both digests so the
+    diagnosis never requires re-running the verifier by hand.
+    """
+
+    def __init__(
+        self,
+        expected: Optional[str],
+        actual: Optional[str],
+        context: str = "artifact",
+    ):
+        self.expected = expected
+        self.actual = actual
+        self.context = context
+        super().__init__(
+            f"fingerprint mismatch in {context}: recorded {expected!r}, "
+            f"recomputed {actual!r} — the content was corrupted, "
+            "hand-edited, or encoded unfaithfully"
+        )
+
+
 class ReplayDivergence(ReplayError):
     """A replay produced a different run than the original trace.
 
@@ -340,10 +368,13 @@ class Trace:
         )
         recorded = header.get("fingerprint")
         if verify and recorded != trace.fingerprint():
-            raise ReplayError(
-                f"reloaded trace fingerprint {trace.fingerprint()} does not "
-                f"match recorded fingerprint {recorded} — the serialization "
-                "was corrupted or the payload encoding is not faithful"
+            raise FingerprintMismatch(
+                recorded,
+                trace.fingerprint(),
+                context=(
+                    f"reloaded trace (substrate {trace.substrate!r}, "
+                    f"protocol {trace.protocol!r})"
+                ),
             )
         return trace
 

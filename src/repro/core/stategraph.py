@@ -353,6 +353,48 @@ class StateGraph:
                 [intern(succ) for _action, succ in input_edges],
             )
 
+    # -- cross-run persistence ---------------------------------------------
+
+    def export_packed(self) -> Dict[str, object]:
+        """The interner table and both CSR stores, for persistence.
+
+        The payload (live references, do not mutate) is everything a
+        future process needs to resume this graph warm: the dense
+        id -> state table plus the locally-controlled and input-action
+        row stores.  Frontiers and cones are *not* exported — they
+        rebuild from the rows as pure cache hits, which keeps the blob
+        format independent of BFS bookkeeping internals.
+        """
+        return {
+            "states": self.interner.states(),
+            "local": self._plocal.export_rows(),
+            "input": self._pinput.export_rows(),
+        }
+
+    def import_packed(
+        self,
+        states,
+        local: Dict[str, object],
+        input_rows: Dict[str, object],
+    ) -> None:
+        """Adopt a payload saved by :meth:`export_packed`.
+
+        Only valid on a fresh graph (no interned states, no expanded
+        rows): the imported offsets index the imported id space.  After
+        the import every expansion the rows cover is a cache *hit* — a
+        subsequent ``reachable()`` runs with ``misses == 0``, which is
+        how the certificate store proves a warm rerun did zero live
+        successor sweeps.
+        """
+        if len(self.interner) or self._plocal.rows or self._pinput.rows:
+            raise ValueError(
+                "import_packed needs a fresh StateGraph "
+                f"({len(self.interner)} states already interned)"
+            )
+        self.interner.bulk_load(states)
+        self._plocal.import_rows(**local)
+        self._pinput.import_rows(**input_rows)
+
     # -- the shared forward frontier --------------------------------------
 
     def frontier(self, include_inputs: bool = False) -> _Frontier:

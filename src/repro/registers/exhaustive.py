@@ -26,7 +26,6 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from ..core.budget import Budget, BudgetExceeded
-from ..core.errors import ModelError
 from ..impossibility.certificate import ImpossibilityCertificate
 from ..parallel.pool import WorkerPool, resolve_workers, split_chunks
 from ..shared_memory.variables import Access, read, write
@@ -446,29 +445,30 @@ def search_register_consensus(
     )
 
 
-def register_consensus_certificate(depth: int = 2) -> ImpossibilityCertificate:
-    """Certify: no program in the class solves wait-free 2-consensus."""
-    outcome = search_register_consensus(depth)
-    if outcome.solutions:
-        raise ModelError(
-            f"found {len(outcome.solutions)} register consensus programs — "
-            "the impossibility claim fails for this class"
-        )
-    return ImpossibilityCertificate(
-        claim=(
-            "no symmetric 2-process wait-free consensus protocol exists "
-            "over one binary single-writer register per process with at "
-            f"most {depth} accesses"
-        ),
-        scope=(
-            f"decision-tree programs, depth <= {depth}, exhaustive over "
-            f"{outcome.candidates} candidates"
-        ),
-        technique="bivalence / exhaustive model checking",
-        candidates_checked=outcome.candidates,
-        details={
-            "agreement_failures": outcome.agreement_failures,
-            "validity_failures": outcome.validity_failures,
-            "wait_freedom_failures": outcome.wait_freedom_failures,
-        },
+def register_consensus_certificate(
+    depth: int = 2, store=None, workers=1
+) -> ImpossibilityCertificate:
+    """Certify: no program in the class solves wait-free 2-consensus.
+
+    ``store=`` (a :class:`~repro.service.store.CertificateStore`) skips
+    the exhaustive sweep entirely when a verified census for this depth
+    is already stored, and persists a fresh (complete) census otherwise.
+    The certificate is built from the payload on both paths, so a store
+    hit and a live search certify identically.
+    """
+    from ..service.service import (
+        certificate_from_register_payload,
+        register_outcome_payload,
+        register_search_key,
     )
+
+    key = payload = None
+    if store is not None:
+        key = register_search_key(depth)
+        payload = store.get(key)
+    if payload is None:
+        outcome = search_register_consensus(depth, workers=workers)
+        payload = register_outcome_payload(outcome)
+        if store is not None:
+            store.put(key, payload)
+    return certificate_from_register_payload(payload)

@@ -1,0 +1,79 @@
+"""Impossibility-as-a-service: certificate store + query layer (§3.2).
+
+The survey's closing argument is that impossibility results should be
+*reusable artifacts*, not one-off computations.  This package makes the
+repository's mechanized results exactly that: every engine answer is a
+pure function of its canonicalized request, so it can be stored under a
+content address (:mod:`repro.service.keys`), verified on the way back
+out (:mod:`repro.service.store`), and served to later processes without
+re-running the search (:mod:`repro.service.service`) — including whole
+warm state graphs (:mod:`repro.service.graphs`).
+
+    store = CertificateStore("certs/")
+    service = QueryService(store)
+    service.resolve(flp_key("quorum-vote", n=3))   # live, then cached
+    service.resolve(flp_key("quorum-vote", n=3))   # store hit, no search
+
+``python -m repro.service`` is the CLI face of the same queries.
+"""
+
+from .graphs import (
+    graph_blob_key,
+    pack_state_graph,
+    persist_state_graph,
+    unpack_state_graph,
+    warm_state_graph,
+)
+from .keys import (
+    KEY_SCHEMA,
+    QueryKey,
+    canonical_json,
+    decode_canonical,
+    encode_canonical,
+    payload_fingerprint,
+)
+from .service import (
+    QUERY_KINDS,
+    Answer,
+    PendingQuery,
+    QueryService,
+    campaign_key,
+    certificate_from_flp_payload,
+    certificate_from_register_payload,
+    flp_key,
+    flp_report_payload,
+    register_outcome_payload,
+    register_search_key,
+    run_campaign_cached,
+    valency_key,
+)
+from .store import ENTRY_SCHEMA, CertificateStore
+
+__all__ = [
+    "Answer",
+    "CertificateStore",
+    "ENTRY_SCHEMA",
+    "KEY_SCHEMA",
+    "PendingQuery",
+    "QUERY_KINDS",
+    "QueryKey",
+    "QueryService",
+    "campaign_key",
+    "canonical_json",
+    "certificate_from_flp_payload",
+    "certificate_from_register_payload",
+    "decode_canonical",
+    "encode_canonical",
+    "flp_key",
+    "flp_report_payload",
+    "graph_blob_key",
+    "pack_state_graph",
+    "payload_fingerprint",
+    "persist_state_graph",
+    "register_outcome_payload",
+    "register_search_key",
+    "run_campaign_cached",
+    "unpack_state_graph",
+    "valency_key",
+    "warm_state_graph",
+]

@@ -1,0 +1,252 @@
+"""The content-addressed, disk-persistent certificate store.
+
+Every entry is keyed by a canonical request fingerprint
+(:class:`~repro.service.keys.QueryKey`) and stored as a self-describing
+JSON blob that embeds both its own key description and the sha256 of its
+result payload.  The contract on read is *verify or miss*:
+
+* a file that does not parse, carries the wrong schema, describes a
+  different key than its filename claims, or whose result digest does
+  not match the recomputed one is treated as a **miss** (and counted in
+  ``corrupt``) — a damaged store can cost recomputation, never a wrong
+  answer;
+* writes go through the atomic writers in :mod:`repro.core.artifacts`
+  (stage + fsync + ``os.replace``), so concurrent writers of the same
+  key converge on one complete entry and a killed writer leaves either
+  the old complete entry or none.
+
+Two object classes share the directory:
+
+* ``objects/<fp[:2]>/<fp>.json`` — query results (JSON payloads);
+* ``graphs/<fp[:2]>/<fp>.bin`` — packed state-graph blobs (binary,
+  written with :func:`~repro.core.artifacts.atomic_write_bytes`), with
+  their integrity header handled by :mod:`repro.service.graphs`.
+
+Layout and discipline follow the content-addressing idea of iroh-blobs:
+the name *is* the hash, so a reader never needs to trust the writer —
+only the digest check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..core.artifacts import atomic_write_bytes, atomic_write_text
+from ..core.runtime import FingerprintMismatch
+from .keys import QueryKey, canonical_json, payload_fingerprint
+
+ENTRY_SCHEMA = "repro-store-entry/v1"
+BLOB_MAGIC = b"repro-store-blob/v1\n"
+
+
+class CertificateStore:
+    """Disk-persistent map from request fingerprints to verified results.
+
+    ``get``/``put`` move JSON payloads; ``get_blob``/``put_blob`` move
+    binary blobs (packed graphs).  All verification failures degrade to
+    misses; counters (``hits``, ``misses``, ``corrupt``, ``puts``) make
+    hit rates and store health observable — "the warm run was all hits"
+    is an assertable proposition, which is what the store-smoke CI job
+    and the acceptance tests check.
+    """
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.puts = 0
+
+    # -- paths -------------------------------------------------------------
+
+    def _object_path(self, fingerprint: str) -> str:
+        return os.path.join(
+            self.root, "objects", fingerprint[:2], fingerprint + ".json"
+        )
+
+    def _blob_path(self, fingerprint: str) -> str:
+        return os.path.join(
+            self.root, "graphs", fingerprint[:2], fingerprint + ".bin"
+        )
+
+    # -- JSON entries --------------------------------------------------------
+
+    def get(self, key: QueryKey) -> Optional[Any]:
+        """The verified result for ``key``, or None (miss).
+
+        Verification re-derives every identity in the entry: the schema,
+        the key description against the requested key's fingerprint, and
+        the result payload against its embedded sha256.  Any failure is
+        a miss — recorded in ``corrupt`` when a file was present but
+        unusable — so a truncated, hand-edited or stale entry falls back
+        to live search instead of serving a wrong answer.
+        """
+        fingerprint = key.fingerprint()
+        path = self._object_path(fingerprint)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        try:
+            result = self._verify_entry(entry, key)
+        except (FingerprintMismatch, KeyError, TypeError, ValueError):
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def _verify_entry(self, entry: Any, key: QueryKey) -> Any:
+        if not isinstance(entry, dict) or entry.get("schema") != ENTRY_SCHEMA:
+            raise ValueError(f"unknown store entry schema in {entry!r}")
+        described = QueryKey.from_description(entry["key"])
+        if described.fingerprint() != key.fingerprint():
+            raise FingerprintMismatch(
+                key.fingerprint(),
+                described.fingerprint(),
+                context=f"store entry key for kind {key.kind!r}",
+            )
+        recorded = entry.get("result_fingerprint")
+        result = entry["result"]
+        actual = payload_fingerprint(result)
+        if recorded != actual:
+            raise FingerprintMismatch(
+                recorded,
+                actual,
+                context=f"store entry result for kind {key.kind!r}",
+            )
+        return result
+
+    def put(self, key: QueryKey, result: Any) -> str:
+        """Persist ``result`` (JSON-native) under ``key``; return the path.
+
+        The entry is serialized before any file is touched and promoted
+        atomically, so racing writers of the same key each install a
+        complete entry and the survivor is whichever replace landed last
+        — with deterministic engines both bodies are byte-identical
+        anyway.
+        """
+        entry = {
+            "schema": ENTRY_SCHEMA,
+            "key": key.describe(),
+            "key_fingerprint": key.fingerprint(),
+            "result": result,
+            "result_fingerprint": payload_fingerprint(result),
+        }
+        path = self._object_path(key.fingerprint())
+        atomic_write_text(path, canonical_json(entry) + "\n")
+        self.puts += 1
+        return path
+
+    # -- binary blobs --------------------------------------------------------
+
+    def get_blob(self, key: QueryKey) -> Optional[bytes]:
+        """The verified blob body for ``key``, or None (miss).
+
+        Blob files are ``BLOB_MAGIC`` + one JSON header line (key
+        fingerprint, body sha256, body length) + raw body bytes; every
+        field is re-verified before the body is returned.
+        """
+        path = self._blob_path(key.fingerprint())
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError:
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        try:
+            body = self._verify_blob(raw, key)
+        except (FingerprintMismatch, KeyError, TypeError, ValueError):
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return body
+
+    def _verify_blob(self, raw: bytes, key: QueryKey) -> bytes:
+        if not raw.startswith(BLOB_MAGIC):
+            raise ValueError("bad blob magic")
+        newline = raw.index(b"\n", len(BLOB_MAGIC))
+        header = json.loads(raw[len(BLOB_MAGIC):newline].decode("utf-8"))
+        body = raw[newline + 1:]
+        if header.get("key_fingerprint") != key.fingerprint():
+            raise FingerprintMismatch(
+                key.fingerprint(),
+                header.get("key_fingerprint"),
+                context=f"store blob key for kind {key.kind!r}",
+            )
+        if header.get("length") != len(body):
+            raise ValueError(
+                f"blob length {len(body)} != recorded {header.get('length')}"
+            )
+        digest = hashlib.sha256(body).hexdigest()
+        if header.get("body_sha256") != digest:
+            raise FingerprintMismatch(
+                header.get("body_sha256"),
+                digest,
+                context=f"store blob body for kind {key.kind!r}",
+            )
+        return body
+
+    def put_blob(self, key: QueryKey, body: bytes) -> str:
+        """Persist a binary blob under ``key``; return the path."""
+        header = {
+            "key_fingerprint": key.fingerprint(),
+            "kind": key.kind,
+            "body_sha256": hashlib.sha256(body).hexdigest(),
+            "length": len(body),
+        }
+        raw = BLOB_MAGIC + canonical_json(header).encode("utf-8") + b"\n" + body
+        path = self._blob_path(key.fingerprint())
+        atomic_write_bytes(path, raw)
+        self.puts += 1
+        return path
+
+    # -- accounting ----------------------------------------------------------
+
+    def entries(self) -> Iterator[Tuple[str, str]]:
+        """Yield ``(class, fingerprint)`` for every stored object."""
+        for kind, subdir, suffix in (
+            ("object", "objects", ".json"),
+            ("graph", "graphs", ".bin"),
+        ):
+            base = os.path.join(self.root, subdir)
+            if not os.path.isdir(base):
+                continue
+            for bucket in sorted(os.listdir(base)):
+                bucket_dir = os.path.join(base, bucket)
+                if not os.path.isdir(bucket_dir):
+                    continue
+                for name in sorted(os.listdir(bucket_dir)):
+                    if name.endswith(suffix):
+                        yield kind, name[: -len(suffix)]
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "puts": self.puts,
+        }
+
+    def stats_line(self) -> str:
+        """One human-readable accounting line for CLIs and CI logs."""
+        s = self.stats
+        return (
+            f"store {self.root}: hits={s['hits']} misses={s['misses']} "
+            f"corrupt={s['corrupt']} puts={s['puts']}"
+        )

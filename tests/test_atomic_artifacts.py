@@ -14,7 +14,11 @@ import pytest
 from repro.chaos.campaign import run_campaign, write_counterexample
 from repro.chaos.targets import FloodSetCrashTarget
 from repro.core import artifacts
-from repro.core.artifacts import atomic_write_json, atomic_write_text
+from repro.core.artifacts import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
 
 
 def test_atomic_write_text_roundtrip(tmp_path):
@@ -39,6 +43,15 @@ def test_atomic_write_json_creates_parent_dirs(tmp_path):
     atomic_write_json(path, {"a": 1}, sort_keys=True)
     with open(path, encoding="utf-8") as handle:
         assert json.load(handle) == {"a": 1}
+
+
+def test_atomic_write_bytes_roundtrip(tmp_path):
+    path = str(tmp_path / "blob.bin")
+    payload = bytes(range(256)) * 4
+    assert atomic_write_bytes(path, payload) == path
+    with open(path, "rb") as handle:
+        assert handle.read() == payload
+    assert os.listdir(tmp_path) == ["blob.bin"]
 
 
 class _Boom(RuntimeError):
@@ -70,6 +83,18 @@ def test_interrupted_write_leaves_no_file(tmp_path, monkeypatch):
         atomic_write_text(path, "never lands\n")
     # Destination never appeared, staging file was cleaned up.
     assert os.listdir(tmp_path) == []
+
+
+def test_interrupted_bytes_write_preserves_previous_blob(tmp_path, monkeypatch):
+    path = str(tmp_path / "graph.bin")
+    atomic_write_bytes(path, b"generation-1 blob")
+    _interrupt_write(monkeypatch)
+    with pytest.raises(_Boom):
+        atomic_write_bytes(path, b"generation-2 blob that never lands")
+    monkeypatch.undo()
+    with open(path, "rb") as handle:
+        assert handle.read() == b"generation-1 blob"
+    assert os.listdir(tmp_path) == ["graph.bin"]
 
 
 def test_interrupted_write_preserves_previous_artifact(tmp_path, monkeypatch):

@@ -281,6 +281,24 @@ class TestTraceJsonl:
         with pytest.raises(ReplayError):
             Trace.from_jsonl("\n".join(lines) + "\n")
 
+    def test_corruption_error_names_both_fingerprints(self):
+        from repro.core.runtime import FingerprintMismatch
+
+        original = _toy_trace(("a", "b"))
+        text = original.to_jsonl()
+        lines = text.splitlines()
+        lines[1] = lines[1].replace('"a"', '"z"')
+        with pytest.raises(FingerprintMismatch) as excinfo:
+            Trace.from_jsonl("\n".join(lines) + "\n")
+        err = excinfo.value
+        # Structured fields: the recorded digest, the recomputed one, and
+        # a context naming what was being verified.
+        assert err.expected == original.fingerprint()
+        assert err.actual != err.expected
+        assert len(err.actual) == 64
+        assert "reloaded trace" in err.context
+        assert err.expected in str(err) and err.actual in str(err)
+
     def test_verify_false_skips_the_check(self):
         text = _toy_trace(("a", "b")).to_jsonl()
         lines = text.splitlines()
