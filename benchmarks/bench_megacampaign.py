@@ -1,0 +1,94 @@
+"""Streaming mega-campaigns — throughput and memory of the fold path.
+
+Guards the constant-memory refactor on both axes that motivated it:
+cases/sec of the streaming fold (with and without a corpus feeding the
+coverage map) and peak traced memory, which must stay bounded by
+behaviours rather than cases.  The recorded extra_info lands in the
+BENCH trajectory so regressions in either axis show up as data, not
+anecdotes.
+"""
+
+import tracemalloc
+
+from conftest import record
+
+from repro.chaos import ScheduleCorpus, run_campaign
+from repro.chaos.targets import FloodSetCrashTarget, LCRRingTarget
+
+SEED = 0
+CASES = 600  # split across two fast targets: enough to time, quick in CI
+
+
+def _roster():
+    return [FloodSetCrashTarget(), LCRRingTarget()]
+
+
+def test_streaming_fold_throughput(benchmark):
+    """Pure streaming sweep: no result list, no shrinking, no corpus."""
+
+    def run():
+        return run_campaign(
+            targets=_roster(), runs=CASES // 2, master_seed=SEED,
+            shrink=False, keep_results=False,
+        )
+
+    report = benchmark(run)
+    assert report.results is None and report.cases == CASES
+    record(
+        benchmark,
+        cases=report.cases,
+        cases_per_s=report.throughput["cases_per_s"],
+        distinct_traces=sum(report.coverage.values()),
+    )
+
+
+def test_streaming_with_corpus_throughput(benchmark, tmp_path):
+    """The mega-campaign loop: coverage map + corpus writes + mutations."""
+
+    rounds = iter(range(10_000))
+
+    def run():
+        # A fresh corpus per round: reusing one directory would seed the
+        # coverage map with the previous round's discoveries and measure
+        # an ever-shrinking workload.
+        root = str(tmp_path / f"corpus-{next(rounds)}")
+        return run_campaign(
+            targets=_roster(), runs=CASES // 2, master_seed=SEED,
+            shrink=False, keep_results=False,
+            corpus=root, mutations=1,
+        ), root
+
+    report, root = benchmark(run)
+    record(
+        benchmark,
+        cases=report.cases,
+        cases_per_s=report.throughput["cases_per_s"],
+        corpus_entries=len(ScheduleCorpus(root)),
+    )
+    assert report.corpus_added > 0
+
+
+def test_streaming_peak_memory(benchmark):
+    """Peak traced bytes of a streaming sweep — the constant-memory claim."""
+
+    def run():
+        tracemalloc.start()
+        report = run_campaign(
+            targets=_roster(), runs=CASES // 2, master_seed=SEED,
+            shrink=False, keep_results=False,
+        )
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return report, peak
+
+    report, peak = benchmark(run)
+    record(
+        benchmark,
+        cases=report.cases,
+        peak_traced_bytes=peak,
+        bytes_per_case=round(peak / report.cases, 1),
+    )
+    # Generous ceiling: the fold's working set is tallies + coverage +
+    # exemplars, tens of KB; a result list for 600 cases alone would
+    # push past this.
+    assert peak < 2_000_000

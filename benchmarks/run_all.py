@@ -54,6 +54,7 @@ QUICK_FILES = (
     "bench_ablations.py",
     "bench_runtime.py",
     "bench_chaos.py",
+    "bench_megacampaign.py",
     "bench_parallel.py",
     "bench_store.py",
 )

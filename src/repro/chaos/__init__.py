@@ -17,6 +17,7 @@ from .campaign import (
     CRASH,
     PASS,
     VIOLATION,
+    CampaignFold,
     CampaignReport,
     CaseResult,
     Counterexample,
@@ -25,8 +26,15 @@ from .campaign import (
     write_artifacts,
     write_counterexample,
 )
+from .corpus import (
+    CorpusEntry,
+    CoverageMap,
+    ScheduleCorpus,
+    replay_corpus,
+)
 from .monitors import (
     AgreementMonitor,
+    BoundedStalenessMonitor,
     FifoDeliveryMonitor,
     MutualExclusionMonitor,
     TerminationMonitor,
@@ -44,6 +52,7 @@ from .targets import (
     EagerMajorityTarget,
     FloodSetCrashTarget,
     LCRRingTarget,
+    MobileFloodSetTarget,
     RacyLockTarget,
     default_targets,
     target_registry,
@@ -53,19 +62,25 @@ __all__ = [
     "AgreementMonitor",
     "AlternatingBitTarget",
     "BUDGET_EXCEEDED",
+    "BoundedStalenessMonitor",
     "CRASH",
+    "CampaignFold",
     "CampaignReport",
     "CaseResult",
     "ChaosTarget",
+    "CorpusEntry",
     "Counterexample",
+    "CoverageMap",
     "EIGByzantineTarget",
     "EagerMajorityTarget",
     "FifoDeliveryMonitor",
     "FloodSetCrashTarget",
     "LCRRingTarget",
+    "MobileFloodSetTarget",
     "MutualExclusionMonitor",
     "PASS",
     "RacyLockTarget",
+    "ScheduleCorpus",
     "TerminationMonitor",
     "TraceMonitor",
     "UniqueLeaderMonitor",
@@ -74,6 +89,7 @@ __all__ = [
     "Violation",
     "check_all",
     "default_targets",
+    "replay_corpus",
     "reproduce",
     "run_campaign",
     "shrink_schedule",

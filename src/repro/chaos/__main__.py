@@ -1,20 +1,57 @@
 """Command-line entry point: ``python -m repro.chaos``.
 
 Runs a seeded chaos campaign (or reproduces a saved counterexample
-artifact) and exits nonzero when the campaign fails — a planted-bug
-target whose bug was never found, or a healthy target that produced a
-violation or crash.
+artifact, or replays a schedule corpus) and exits nonzero when the
+campaign fails — a planted-bug target whose bug was never found, or a
+healthy target that produced a violation or crash.
+
+Mega-campaign mode: ``--cases 1000000 --corpus DIR`` streams a
+million-case campaign in constant memory, persisting every
+novel-coverage schedule; ``--replay-corpus DIR`` later re-runs the whole
+corpus as a regression gate.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional
 
 from ..core.budget import Budget
 from .campaign import reproduce, run_campaign, write_artifacts
+from .corpus import ScheduleCorpus, replay_corpus
 from .targets import target_registry
+
+
+def _replay(directory: str, roster) -> int:
+    """Replay every corpus schedule; the corpus-as-regression-suite gate."""
+    corpus = ScheduleCorpus(directory)
+    outcome = replay_corpus(corpus, roster)
+    print(
+        f"corpus replay: {outcome['entries']} entries from {directory}"
+    )
+    for name, stats in sorted(outcome["per_target"].items()):
+        print(
+            f"  {name}: {stats['entries']} entries, "
+            f"{stats['reproduced']} reproduced byte-identically, "
+            f"{stats['violations']} still violating"
+        )
+    problems = []
+    for target_name, recorded, got in outcome["fingerprint_mismatches"]:
+        problems.append(
+            f"{target_name}: schedule replayed to fingerprint {got[:16]}, "
+            f"corpus recorded {recorded[:16]}"
+        )
+    refound = set(outcome["violations_refound"])
+    for target in roster:
+        if target.expect_violation and target.name not in refound:
+            problems.append(
+                f"{target.name}: no corpus schedule re-finds the planted bug"
+            )
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -27,6 +64,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--runs", type=int, default=40, help="fuzzed runs per target"
     )
     parser.add_argument(
+        "--cases",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total case budget across the roster (overrides --runs, "
+        "implies --stream): runs/target = ceil(N / #targets)",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0, help="campaign master seed"
     )
     parser.add_argument(
@@ -35,6 +80,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         metavar="NAME",
         help="restrict to these target names (default: full roster)",
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="constant-memory mode: fold cases instead of keeping the "
+        "full result list (reports and artifacts stay byte-identical)",
+    )
+    parser.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="persist every novel-coverage schedule into this "
+        "store-backed corpus directory (and skip behaviours already in it)",
+    )
+    parser.add_argument(
+        "--mutations",
+        type=int,
+        default=0,
+        metavar="K",
+        help="after the base sweep, re-expand each corpus schedule K "
+        "times through seeded mutation operators (requires --corpus)",
+    )
+    parser.add_argument(
+        "--replay-corpus",
+        default=None,
+        metavar="DIR",
+        help="replay every schedule in this corpus as a regression gate, "
+        "then exit (nonzero on fingerprint drift or a lost planted bug)",
+    )
+    parser.add_argument(
+        "--log",
+        default=None,
+        metavar="PATH",
+        help="stream one JSON line per case to PATH (atomic incremental "
+        "JSONL artifact)",
     )
     parser.add_argument(
         "--artifacts",
@@ -99,6 +179,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         roster = list(registry.values())
 
+    if args.replay_corpus is not None:
+        return _replay(args.replay_corpus, roster)
+
+    if args.mutations and not args.corpus:
+        parser.error("--mutations requires --corpus")
+    if args.store is not None and (args.corpus or args.stream or args.cases):
+        # The store caches whole reports by (targets, runs, seed, shrink)
+        # alone; corpus/streaming side effects are not part of that key.
+        parser.error(
+            "--store cannot be combined with --corpus/--stream/--cases"
+        )
+
+    runs = args.runs
+    streaming = args.stream
+    if args.cases is not None:
+        runs = max(1, math.ceil(args.cases / len(roster)))
+        streaming = True
+
     budget = (
         Budget(max_seconds=args.max_seconds)
         if args.max_seconds is not None
@@ -113,7 +211,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         report, source = run_campaign_cached(
             store,
             targets=roster,
-            runs=args.runs,
+            runs=runs,
             master_seed=args.seed,
             shrink=not args.no_shrink,
             budget=budget,
@@ -121,14 +219,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(f"campaign answered from {source}; {store.stats_line()}")
     else:
+        corpus = ScheduleCorpus(args.corpus) if args.corpus else None
         report = run_campaign(
             targets=roster,
-            runs=args.runs,
+            runs=runs,
             master_seed=args.seed,
             shrink=not args.no_shrink,
             budget=budget,
             workers=workers,
+            keep_results=not streaming,
+            corpus=corpus,
+            mutations=args.mutations,
+            case_log=args.log,
         )
+        if corpus is not None:
+            print(
+                f"corpus {corpus.root}: +{report.corpus_added} novel "
+                f"schedules ({len(corpus)} total)"
+            )
+        if streaming and report.throughput:
+            print(
+                f"streamed {report.cases} cases at "
+                f"{report.throughput['cases_per_s']} cases/s "
+                f"({report.throughput['seconds']}s)"
+            )
     print(report.summary(roster))
 
     if args.artifacts and report.counterexamples:

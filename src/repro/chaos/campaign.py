@@ -1,26 +1,49 @@
 """The chaos campaign runner: fuzz, classify, shrink, replay, report.
 
-A campaign runs seeded batches of adversary schedules against each
-:class:`~repro.chaos.targets.ChaosTarget`:
+A campaign is a *fold over a stream of case outcomes* — one pipeline at
+any scale and any worker count:
 
-* every case's seed is ``derive_seed(master_seed, target.name, index)``,
-  so any single case replays from the ``(master_seed, target, index)``
-  coordinates alone;
-* every run executes under a per-run :class:`~repro.core.budget.Budget`
-  and is classified PASS / VIOLATION / BUDGET_EXCEEDED / CRASH — a crash
-  in one case never takes down the campaign;
-* violating schedules are delta-debugged
-  (:func:`~repro.chaos.shrink.shrink_schedule`) to 1-minimal
-  counterexamples, re-executed, and re-verified byte-identical through
-  :func:`repro.core.runtime.replay`;
-* an optional campaign-wide budget turns the whole sweep into a
-  resumable anytime computation: overdraft returns a partial report with
-  ``complete=False`` and per-target ``resume_at`` indices, accepted back
-  via ``resume=`` to continue exactly where it stopped.
+* a **planner** generates case coordinates lazily in serial order
+  (target by target, index ascending), charging the campaign budget as
+  it goes; every case's seed is ``derive_seed(master_seed, target.name,
+  index)``, so any single case replays from ``(master_seed, target,
+  index)`` alone;
+* cases execute through :meth:`~repro.parallel.pool.WorkerPool.
+  map_stream` — a bounded in-flight window that yields ``(case,
+  outcome)`` pairs in submission order, so at most a few chunks of
+  cases exist at once whether ``workers`` is 1 or 16;
+* the parent folds each outcome into a :class:`CampaignFold`: verdict
+  tallies, behavioural coverage (trace fingerprints), novel-coverage
+  schedules into an optional :class:`~repro.chaos.corpus.ScheduleCorpus`,
+  and shrunk counterexample *exemplars* deduplicated by shrunk-trace
+  fingerprint — never the full result list unless asked
+  (``keep_results=True``, the default for test-sized campaigns).
+
+Memory is therefore bounded by *behaviours found*, not cases run:
+``python -m repro.chaos --cases 1000000 --corpus DIR`` holds tallies, a
+fingerprint set and a handful of exemplars.  Determinism is by
+construction: the fold consumes outcomes in the exact serial order at
+every worker count, so reports, summaries and artifacts are
+byte-identical from ``workers=1`` to ``workers=N`` and from batch to
+streaming mode.
+
+Violating schedules are delta-debugged
+(:func:`~repro.chaos.shrink.shrink_schedule`) to 1-minimal
+counterexamples, re-executed, and re-verified byte-identical through
+:func:`repro.core.runtime.replay`.  An optional campaign-wide budget
+turns the sweep into a resumable anytime computation: overdraft returns
+a partial report with ``complete=False`` and per-target ``resume_at``
+indices, accepted back via ``resume=`` to continue exactly where it
+stopped.  After the base sweep, an optional **mutation stage**
+re-expands every corpus schedule through seeded mutation operators
+(:func:`~repro.chaos.generators.mutate_schedule`), chasing behaviours
+near the ones already found.
 
 Counterexamples serialize to single-file JSONL artifacts (metadata line
-plus the shrunk run's trace) and :func:`reproduce` re-derives and
-re-verifies one from its file alone.
+plus the shrunk run's trace, streamed through
+:class:`~repro.core.artifacts.AtomicLineWriter`) and :func:`reproduce`
+re-derives and re-verifies one from its file alone; ``case_log=`` adds
+an incremental per-case JSONL artifact written the same atomic way.
 """
 
 from __future__ import annotations
@@ -29,11 +52,10 @@ import json
 import os
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
-from ..core.artifacts import atomic_write_text
+from ..core.artifacts import AtomicLineWriter
 from ..core.budget import Budget, BudgetExceeded
-from ..parallel.pool import WorkerPool, resolve_workers
 from ..core.runtime import (
     ReplayError,
     Trace,
@@ -42,6 +64,9 @@ from ..core.runtime import (
     derive_seed,
     replay,
 )
+from ..parallel.pool import WorkerPool, resolve_workers
+from .corpus import CorpusEntry, CoverageMap, ScheduleCorpus
+from .generators import mutate_schedule
 from .monitors import Violation
 from .shrink import shrink_schedule
 from .targets import ChaosTarget, default_targets, target_registry
@@ -52,14 +77,25 @@ BUDGET_EXCEEDED = "BUDGET_EXCEEDED"
 CRASH = "CRASH"
 
 ARTIFACT_SCHEMA = "repro-chaos-counterexample/v1"
-REPORT_SCHEMA = "repro-chaos-report/v1"
+REPORT_SCHEMA = "repro-chaos-report/v2"
+CASE_LOG_SCHEMA = "repro-chaos-case-log/v1"
 
 DEFAULT_PER_RUN_BUDGET = Budget(max_steps=20_000)
+
+#: Cases per worker submission in streaming mode — with the default
+#: window of ``2 * workers`` chunks, at most ``32 * workers`` cases are
+#: in flight regardless of campaign size.
+STREAM_CHUNK = 16
 
 
 @dataclass(frozen=True)
 class CaseResult:
-    """The structured verdict of one fuzzed run."""
+    """The structured verdict of one fuzzed run.
+
+    ``fingerprint`` is the executed trace's fingerprint — the
+    behavioural-coverage signal — empty when no trace was produced
+    (CRASH, BUDGET_EXCEEDED).
+    """
 
     target: str
     index: int
@@ -67,11 +103,18 @@ class CaseResult:
     verdict: str
     violations: Tuple[Violation, ...] = ()
     error: str = ""
+    fingerprint: str = ""
 
 
 @dataclass
 class Counterexample:
-    """A shrunk, replay-verified failure with its reproduction coordinates."""
+    """A shrunk, replay-verified failure with its reproduction coordinates.
+
+    One counterexample is an *exemplar*: ``occurrences`` counts how many
+    violating cases collapsed onto it (same shrunk-trace fingerprint),
+    so a planted bug found 40 times reports as one exemplar x40, not 40
+    near-identical entries.
+    """
 
     target: str
     index: int
@@ -83,22 +126,37 @@ class Counterexample:
     fingerprint: str = ""
     shrink_checks: int = 0
     replay_verified: bool = False
+    occurrences: int = 1
 
 
 @dataclass
 class CampaignReport:
-    """Everything one campaign produced; feed back as ``resume=`` to extend."""
+    """Everything one campaign produced; feed back as ``resume=`` to extend.
+
+    ``results`` is the full per-case list in batch mode and ``None`` in
+    streaming mode (``keep_results=False``); everything else — tallies,
+    coverage, exemplars, summary — is identical either way, because the
+    fold maintains it incrementally in both.  ``throughput`` is
+    wall-clock derived and excluded from comparisons and store payloads.
+    """
 
     master_seed: int
     runs: int
-    results: List[CaseResult] = field(default_factory=list)
+    results: Optional[List[CaseResult]] = field(default_factory=list)
     counterexamples: List[Counterexample] = field(default_factory=list)
     complete: bool = True
     resume_at: Dict[str, int] = field(default_factory=dict)
+    tallies: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    coverage: Dict[str, int] = field(default_factory=dict)
+    cases: int = 0
+    corpus_added: int = 0
+    throughput: Dict[str, float] = field(default_factory=dict, compare=False)
 
     def verdict_counts(self) -> Dict[str, Dict[str, int]]:
+        if self.tallies:
+            return {name: dict(per) for name, per in self.tallies.items()}
         counts: Dict[str, Dict[str, int]] = {}
-        for result in self.results:
+        for result in self.results or ():
             per_target = counts.setdefault(result.target, {})
             per_target[result.verdict] = per_target.get(result.verdict, 0) + 1
         return counts
@@ -107,37 +165,25 @@ class CampaignReport:
         return [cx for cx in self.counterexamples if cx.target == target]
 
     def dedup_stats(self) -> Dict[str, Dict[str, int]]:
-        """Outcome dedup over dense interned ids, per target.
+        """Violation dedup by shrunk-counterexample fingerprint, per target.
 
-        Fuzzed runs collapse onto few distinct outcome states — the same
-        verdict with the same violations recurs across many seeds.  Each
-        case's ``(verdict, violations, error)`` signature is interned to
-        a dense id (:class:`~repro.core.packed.StateInterner`), so the
-        dedup probes hash each deep signature once and set membership
-        runs over small integers.  High duplicate rates mean extra runs
-        are re-finding known outcomes, not new ones — the signal to
-        rotate seeds or widen the adversary.
+        Many violating cases are the *same bug* wearing different random
+        schedules: after delta-debugging they collapse onto a handful of
+        1-minimal traces.  Deduplication therefore keys on the shrunk
+        trace's fingerprint — the bug's canonical form — not on the raw
+        outcome signature, which over-counts cosmetic variation in the
+        unshrunk runs.  ``violations`` is the number of violating cases
+        folded onto each target's exemplars, ``exemplars`` how many
+        distinct shrunk fingerprints survived.
         """
-        from ..core.packed import StateInterner
-
-        interner = StateInterner()
-        distinct: Dict[str, set] = {}
-        totals: Dict[str, int] = {}
-        for result in self.results:
-            sid = interner.intern(
-                (result.target, result.verdict, result.violations,
-                 result.error)
+        stats: Dict[str, Dict[str, int]] = {}
+        for cx in self.counterexamples:
+            per = stats.setdefault(
+                cx.target, {"violations": 0, "exemplars": 0}
             )
-            distinct.setdefault(result.target, set()).add(sid)
-            totals[result.target] = totals.get(result.target, 0) + 1
-        return {
-            name: {
-                "runs": totals[name],
-                "distinct_outcomes": len(distinct[name]),
-                "duplicates": totals[name] - len(distinct[name]),
-            }
-            for name in totals
-        }
+            per["violations"] += cx.occurrences
+            per["exemplars"] += 1
+        return stats
 
     def failures(
         self, targets: Optional[Iterable[ChaosTarget]] = None
@@ -190,20 +236,26 @@ class CampaignReport:
                 else "healthy"
             )
             lines.append(f"  {name} ({expectation}): {tally}")
+        if self.coverage:
+            lines.append(
+                f"  coverage: {sum(self.coverage.values())} distinct traces "
+                f"over {self.cases} cases"
+            )
         dedup = self.dedup_stats()
         if dedup:
-            runs = sum(d["runs"] for d in dedup.values())
-            distinct = sum(d["distinct_outcomes"] for d in dedup.values())
+            violations = sum(d["violations"] for d in dedup.values())
+            exemplars = sum(d["exemplars"] for d in dedup.values())
             lines.append(
-                f"  outcome dedup: {runs} runs -> {distinct} distinct "
-                f"outcomes ({runs - distinct} duplicates)"
+                f"  violation dedup: {violations} violating runs -> "
+                f"{exemplars} shrunk exemplars"
             )
         for cx in self.counterexamples:
             lines.append(
                 f"  counterexample {cx.target}: seed={cx.seed} "
                 f"|schedule| {len(cx.atoms)} -> {len(cx.shrunk)} "
                 f"[{cx.violation.monitor}] fingerprint={cx.fingerprint[:16]} "
-                f"replay={'ok' if cx.replay_verified else 'DIVERGED'}"
+                f"replay={'ok' if cx.replay_verified else 'DIVERGED'} "
+                f"x{cx.occurrences}"
             )
         if not self.complete:
             lines.append(
@@ -215,6 +267,59 @@ class CampaignReport:
                 )
             )
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Case execution (worker side)
+# ---------------------------------------------------------------------------
+
+#: One planned case: everything a worker needs to execute it from
+#: scratch.  ``atoms`` is None for base cases (the worker re-derives the
+#: schedule from the seed) and explicit for mutation-stage cases.
+PlanItem = Tuple[ChaosTarget, int, int, Optional[Tuple], Optional[Budget]]
+
+
+def _case_atoms(item: PlanItem) -> Tuple:
+    """The schedule a plan item runs — re-derived or carried."""
+    target, _index, seed, atoms, _budget = item
+    if atoms is not None:
+        return atoms
+    return tuple(target.generate(random.Random(seed)))
+
+
+def _execute_case(item: PlanItem) -> CaseResult:
+    """Run one planned case; classification only, no shrinking.
+
+    Pure function of the plan item — safe to run in any process, in any
+    order.  Shrinking stays in the parent fold so counterexample
+    artifacts are byte-identical at every worker count.
+    """
+    target, index, seed, _atoms, per_run_budget = item
+    atoms = _case_atoms(item)
+    meter = (
+        per_run_budget.meter(f"{target.name}#{index}")
+        if per_run_budget is not None
+        else None
+    )
+    try:
+        trace = target.run(atoms, seed, meter=meter)
+    except BudgetExceeded as exc:
+        return CaseResult(
+            target.name, index, seed, BUDGET_EXCEEDED, error=str(exc)
+        )
+    except Exception as exc:
+        # Fault isolation: one broken run is a verdict, not a campaign abort.
+        return CaseResult(target.name, index, seed, CRASH, error=repr(exc))
+    violations = tuple(target.violations(trace, atoms))
+    verdict = VIOLATION if violations else PASS
+    return CaseResult(
+        target.name,
+        index,
+        seed,
+        verdict,
+        violations=violations,
+        fingerprint=trace.fingerprint(),
+    )
 
 
 def _shrink_case(
@@ -265,152 +370,236 @@ def _shrink_case(
     )
 
 
-def _run_case(
-    target: ChaosTarget,
-    index: int,
-    master_seed: int,
-    per_run_budget: Optional[Budget],
-    shrink: bool,
-    shrink_checks: int,
-) -> Tuple[CaseResult, Optional[Counterexample]]:
-    seed = derive_seed(master_seed, target.name, index)
-    atoms = tuple(target.generate(random.Random(seed)))
-    meter = (
-        per_run_budget.meter(f"{target.name}#{index}")
-        if per_run_budget is not None
-        else None
-    )
-    try:
-        trace = target.run(atoms, seed, meter=meter)
-    except BudgetExceeded as exc:
-        return (
-            CaseResult(target.name, index, seed, BUDGET_EXCEEDED, error=str(exc)),
-            None,
-        )
-    except Exception as exc:
-        # Fault isolation: one broken run is a verdict, not a campaign abort.
-        return CaseResult(target.name, index, seed, CRASH, error=repr(exc)), None
-    violations = tuple(target.violations(trace, atoms))
-    if not violations:
-        return CaseResult(target.name, index, seed, PASS), None
-    result = CaseResult(
-        target.name, index, seed, VIOLATION, violations=violations
-    )
-    counterexample = None
-    if shrink:
-        counterexample = _shrink_case(
-            target, atoms, seed, index, per_run_budget, shrink_checks
-        )
-    return result, counterexample
+# ---------------------------------------------------------------------------
+# The fold (parent side)
+# ---------------------------------------------------------------------------
 
 
-def _run_case_shard(payload: Tuple) -> CaseResult:
-    """The worker-side body of one sharded case (no shrinking).
+class CampaignFold:
+    """The constant-memory accumulator a streaming campaign folds into.
 
-    A shard is pure coordinates: the worker re-derives its seed via
-    ``derive_seed(master_seed, target.name, index)`` exactly as a serial
-    run would.  Shrinking stays in the parent so counterexample
-    artifacts are byte-identical to serial runs.
+    Consumes ``(plan item, CaseResult)`` pairs in serial order and
+    maintains:
+
+    * per-target verdict **tallies** (what the report and summary read);
+    * a behavioural **coverage** map of trace fingerprints, sized by
+      distinct behaviours, not cases;
+    * optional **corpus** persistence of every novel-coverage schedule;
+    * shrunk counterexample **exemplars**, deduplicated two ways: a raw
+      outcome-signature cache short-circuits re-shrinking cases whose
+      ``(verdict, violations, error)`` was already minimized, and the
+      shrunk-trace fingerprint merges distinct raw outcomes that
+      minimize to the same bug (``occurrences`` counts both);
+    * optionally the full **results** list (batch mode) and an
+      incremental per-case JSONL **log**.
+
+    Everything here is a pure function of the fold order, which the
+    planner fixes to the serial iteration order at any worker count.
     """
-    target, index, master_seed, per_run_budget = payload
-    result, _none = _run_case(
-        target, index, master_seed, per_run_budget, shrink=False,
-        shrink_checks=0,
-    )
-    return result
+
+    def __init__(
+        self,
+        shrink: bool,
+        shrink_checks: int,
+        per_run_budget: Optional[Budget],
+        keep_results: bool = True,
+        corpus: Optional[ScheduleCorpus] = None,
+        case_log: Optional[AtomicLineWriter] = None,
+        resume: Optional[CampaignReport] = None,
+    ):
+        self.shrink = shrink
+        self.shrink_checks = shrink_checks
+        self.per_run_budget = per_run_budget
+        self.corpus = corpus
+        self.case_log = case_log
+        self.results: Optional[List[CaseResult]] = None
+        if keep_results:
+            self.results = (
+                list(resume.results)
+                if resume is not None and resume.results is not None
+                else []
+            )
+        self.tallies: Dict[str, Dict[str, int]] = {}
+        self.counterexamples: List[Counterexample] = []
+        self.coverage = CoverageMap()
+        self.cases = 0
+        self.corpus_added = 0
+        self._exemplars: Dict[Tuple[str, str], Counterexample] = {}
+        self._sig_cache: Dict[Tuple, Counterexample] = {}
+        self._meter = Budget().meter("chaos-campaign-throughput")
+        if resume is not None:
+            self.tallies = {
+                name: dict(per) for name, per in resume.tallies.items()
+            }
+            self.counterexamples = list(resume.counterexamples)
+            self.cases = resume.cases
+            for cx in self.counterexamples:
+                self._exemplars[(cx.target, cx.fingerprint)] = cx
+        if corpus is not None:
+            # A campaign resumed against an existing corpus chases only
+            # behaviours the corpus has not seen.
+            corpus.seed_coverage(self.coverage)
+
+    def fold(self, item: PlanItem, result: CaseResult) -> None:
+        target = item[0]
+        self.cases += 1
+        self._meter.charge_steps()
+        per_target = self.tallies.setdefault(result.target, {})
+        per_target[result.verdict] = per_target.get(result.verdict, 0) + 1
+        if self.results is not None:
+            self.results.append(result)
+        if self.case_log is not None:
+            self.case_log.write_json_line(_case_log_line(result))
+        novel = bool(result.fingerprint) and self.coverage.observe(
+            result.target, result.fingerprint
+        )
+        if novel and self.corpus is not None:
+            if self.corpus.add(
+                CorpusEntry(
+                    target=result.target,
+                    trace_fingerprint=result.fingerprint,
+                    atoms=_case_atoms(item),
+                    seed=result.seed,
+                    verdict=result.verdict,
+                )
+            ):
+                self.corpus_added += 1
+        if result.verdict == VIOLATION and self.shrink:
+            self._fold_violation(target, item, result)
+
+    def _fold_violation(
+        self, target: ChaosTarget, item: PlanItem, result: CaseResult
+    ) -> None:
+        signature = (
+            result.target, result.verdict, result.violations, result.error,
+        )
+        known = self._sig_cache.get(signature)
+        if known is not None:
+            known.occurrences += 1
+            return
+        cx = _shrink_case(
+            target,
+            _case_atoms(item),
+            result.seed,
+            result.index,
+            self.per_run_budget,
+            self.shrink_checks,
+        )
+        exemplar = self._exemplars.get((cx.target, cx.fingerprint))
+        if exemplar is not None:
+            # A different raw outcome that minimizes to a known bug.
+            exemplar.occurrences += 1
+            self._sig_cache[signature] = exemplar
+            return
+        self._exemplars[(cx.target, cx.fingerprint)] = cx
+        self._sig_cache[signature] = cx
+        self.counterexamples.append(cx)
+
+    def throughput(self) -> Dict[str, float]:
+        spent = self._meter.throughput()
+        return {
+            "cases_per_s": spent["steps_per_s"],
+            "seconds": spent["seconds"],
+        }
 
 
-def _run_campaign_sharded(
+def _case_log_line(result: CaseResult) -> Dict:
+    return {
+        "target": result.target,
+        "index": result.index,
+        "seed": result.seed,
+        "verdict": result.verdict,
+        "fingerprint": result.fingerprint,
+        "error": result.error,
+        "violations": [_violation_to_payload(v) for v in result.violations],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Planning (parent side)
+# ---------------------------------------------------------------------------
+
+
+def _plan_cases(
     roster: List[ChaosTarget],
     runs: int,
     master_seed: int,
+    start_at: Dict[str, int],
     per_run_budget: Optional[Budget],
-    shrink: bool,
-    shrink_checks: int,
-    budget: Optional[Budget],
-    resume: Optional[CampaignReport],
-    workers: int,
-) -> CampaignReport:
-    """The ``workers > 1`` campaign path: shard cases, merge, then shrink.
+    campaign_meter,
+    state: Dict,
+) -> Iterator[PlanItem]:
+    """Yield base cases lazily in serial order, charging the budget.
 
-    Determinism argument, case by case:
-
-    * the executed case set is decided up front by charging the campaign
-      meter in the serial iteration order (target by target, index
-      ascending), so ``complete``/``resume_at`` match a serial run for
-      step-capped budgets (wall-clock budgets are inherently timing
-      dependent, serial or not);
-    * workers return :class:`CaseResult` values which are merged by a
-      stable sort on the serial iteration order — ``pool.map`` already
-      preserves it, the sort documents (and enforces) order
-      independence;
-    * shrinking runs in the parent, in merge order, re-deriving each
-      violating schedule from ``random.Random(seed)`` — the same atoms
-      the worker fuzzed, so counterexamples, fingerprints and artifacts
-      are byte-identical to ``workers=1``.
+    ``state`` receives ``resume_at`` per finished target and
+    ``interrupted`` on overdraft — exactly the bookkeeping the batch
+    runner did eagerly, now performed as the stream is pulled.
     """
-    results = list(resume.results) if resume is not None else []
-    counterexamples = list(resume.counterexamples) if resume is not None else []
-    campaign_meter = budget.meter("chaos-campaign") if budget is not None else None
-    resume_at: Dict[str, int] = {}
-    interrupted = False
-
-    # Phase 1 (parent): pick the executed cases in serial charge order.
-    plan: List[Tuple[int, ChaosTarget, int]] = []
-    for position, target in enumerate(roster):
-        index = resume.resume_at.get(target.name, 0) if resume is not None else 0
+    for target in roster:
+        index = start_at.get(target.name, 0)
         while index < runs:
             if campaign_meter is not None:
                 try:
                     campaign_meter.charge_steps()
                 except BudgetExceeded:
-                    interrupted = True
-                    break
-            plan.append((position, target, index))
+                    state["interrupted"] = True
+                    state["resume_at"][target.name] = index
+                    return
+            yield (
+                target,
+                index,
+                derive_seed(master_seed, target.name, index),
+                None,
+                per_run_budget,
+            )
             index += 1
-        resume_at[target.name] = index
-        if interrupted:
-            break
-    if interrupted:
-        for target in roster:
-            resume_at.setdefault(
-                target.name,
-                resume.resume_at.get(target.name, 0) if resume is not None else 0,
+        state["resume_at"][target.name] = index
+
+
+def _plan_mutations(
+    roster: List[ChaosTarget],
+    corpus: ScheduleCorpus,
+    runs: int,
+    mutations: int,
+    master_seed: int,
+    per_run_budget: Optional[Budget],
+    campaign_meter,
+) -> Iterator[PlanItem]:
+    """Yield mutation cases: each corpus schedule, mutated ``mutations``
+    times through :func:`~repro.chaos.generators.mutate_schedule`.
+
+    Runs strictly after the base sweep, so the corpus content — and
+    hence this plan — is a deterministic function of the base fold at
+    any worker count.  Mutation indices continue past ``runs`` per
+    target, keeping ``derive_seed`` coordinates disjoint from base
+    cases.  The campaign budget also bounds this stage; overdraft ends
+    it early (the corpus keeps what the base sweep added).
+    """
+    registry = {target.name: target for target in roster}
+    cursors = {name: runs for name in registry}
+    for entry in corpus.entries():
+        target = registry.get(entry.target)
+        if target is None:
+            continue
+        for _ in range(mutations):
+            index = cursors[entry.target]
+            cursors[entry.target] = index + 1
+            if campaign_meter is not None:
+                try:
+                    campaign_meter.charge_steps()
+                except BudgetExceeded:
+                    return
+            seed = derive_seed(master_seed, entry.target, index)
+            atoms = tuple(
+                mutate_schedule(random.Random(seed), entry.atoms,
+                                target.generate)
             )
+            yield (target, index, seed, atoms, per_run_budget)
 
-    # Phase 2 (workers): run every planned case, order preserved.
-    with WorkerPool(workers) as pool:
-        merged = pool.map(
-            _run_case_shard,
-            [
-                (target, index, master_seed, per_run_budget)
-                for (_position, target, index) in plan
-            ],
-        )
-    order = sorted(range(len(plan)), key=lambda i: (plan[i][0], plan[i][2]))
 
-    # Phase 3 (parent): fold results and shrink violations in serial order.
-    for i in order:
-        _position, target, index = plan[i]
-        result = merged[i]
-        results.append(result)
-        if result.verdict == VIOLATION and shrink:
-            atoms = tuple(target.generate(random.Random(result.seed)))
-            counterexamples.append(
-                _shrink_case(
-                    target, atoms, result.seed, index, per_run_budget,
-                    shrink_checks,
-                )
-            )
-
-    return CampaignReport(
-        master_seed=master_seed,
-        runs=runs,
-        results=results,
-        counterexamples=counterexamples,
-        complete=not interrupted,
-        resume_at=resume_at,
-    )
+# ---------------------------------------------------------------------------
+# The campaign
+# ---------------------------------------------------------------------------
 
 
 def run_campaign(
@@ -423,70 +612,114 @@ def run_campaign(
     budget: Optional[Budget] = None,
     resume: Optional[CampaignReport] = None,
     workers=1,
+    keep_results: bool = True,
+    corpus: Optional[Union[str, ScheduleCorpus]] = None,
+    mutations: int = 0,
+    case_log: Optional[str] = None,
 ) -> CampaignReport:
     """Fuzz every target ``runs`` times; shrink and verify what breaks.
 
+    One streaming pipeline serves every configuration: the planner
+    generates cases in serial order, ``map_stream`` executes them with a
+    bounded in-flight window, and the parent folds outcomes in that same
+    order — so reports, summaries and artifacts are byte-identical at
+    any ``workers`` count and whether or not results are kept.
+
+    ``keep_results=False`` is streaming mode: the report's ``results``
+    is None and memory is bounded by behaviours found, not by ``runs``.
+    ``corpus`` (a directory path or :class:`ScheduleCorpus`) persists
+    every novel-coverage schedule; ``mutations=k`` then re-expands each
+    corpus schedule k times through seeded mutation operators after the
+    base sweep.  ``case_log`` streams one JSON line per case to the
+    given path through an atomic incremental writer.
+
     ``budget`` (one step charged per case) bounds the whole campaign; on
     overdraft the report comes back with ``complete=False`` and
-    ``resume_at`` marking the first unexecuted case per target — pass the
-    report back as ``resume`` to continue.  ``per_run_budget`` bounds
-    each individual run; overdrafts there are BUDGET_EXCEEDED verdicts,
-    not campaign aborts.
-
-    ``workers=N`` shards case execution across N worker processes
-    (:mod:`repro.parallel`); every field of the report — classifications,
-    counterexamples, fingerprints, resume indices — is bit-identical to
-    a ``workers=1`` run (wall-clock budgets excepted: they are timing
-    dependent in any mode).  Targets must be picklable, which every
-    roster target is.
+    ``resume_at`` marking the first unexecuted case per target — pass
+    the report back as ``resume`` to continue.  ``per_run_budget``
+    bounds each individual run; overdrafts there are BUDGET_EXCEEDED
+    verdicts, not campaign aborts.
     """
     roster = list(targets) if targets is not None else default_targets()
     nworkers = resolve_workers(workers)
-    if nworkers > 1:
-        return _run_campaign_sharded(
-            roster, runs, master_seed, per_run_budget, shrink, shrink_checks,
-            budget, resume, nworkers,
+    corpus_obj: Optional[ScheduleCorpus]
+    corpus_obj = ScheduleCorpus(corpus) if isinstance(corpus, str) else corpus
+    campaign_meter = (
+        budget.meter("chaos-campaign") if budget is not None else None
+    )
+    start_at = {
+        target.name: (
+            resume.resume_at.get(target.name, 0) if resume is not None else 0
         )
-    results = list(resume.results) if resume is not None else []
-    counterexamples = list(resume.counterexamples) if resume is not None else []
-    campaign_meter = budget.meter("chaos-campaign") if budget is not None else None
-    resume_at: Dict[str, int] = {}
-    interrupted = False
-
-    for target in roster:
-        index = resume.resume_at.get(target.name, 0) if resume is not None else 0
-        while index < runs:
-            if campaign_meter is not None:
-                try:
-                    campaign_meter.charge_steps()
-                except BudgetExceeded:
-                    interrupted = True
-                    break
-            result, counterexample = _run_case(
-                target, index, master_seed, per_run_budget, shrink, shrink_checks
+        for target in roster
+    }
+    state: Dict = {"interrupted": False, "resume_at": {}}
+    log_writer = AtomicLineWriter(case_log) if case_log is not None else None
+    try:
+        if log_writer is not None:
+            log_writer.write_json_line(
+                {
+                    "schema": CASE_LOG_SCHEMA,
+                    "master_seed": master_seed,
+                    "runs": runs,
+                }
             )
-            results.append(result)
-            if counterexample is not None:
-                counterexamples.append(counterexample)
-            index += 1
-        resume_at[target.name] = index
-        if interrupted:
-            break
-
-    if interrupted:
-        for target in roster:
-            resume_at.setdefault(
-                target.name,
-                resume.resume_at.get(target.name, 0) if resume is not None else 0,
+        fold = CampaignFold(
+            shrink=shrink,
+            shrink_checks=shrink_checks,
+            per_run_budget=per_run_budget,
+            keep_results=keep_results,
+            corpus=corpus_obj,
+            case_log=log_writer,
+            resume=resume,
+        )
+        chunk = STREAM_CHUNK if nworkers > 1 else 1
+        with WorkerPool(nworkers) as pool:
+            plan = _plan_cases(
+                roster, runs, master_seed, start_at, per_run_budget,
+                campaign_meter, state,
             )
-
+            for item, result in pool.map_stream(
+                _execute_case, plan, chunk=chunk
+            ):
+                fold.fold(item, result)
+            if (
+                corpus_obj is not None
+                and mutations > 0
+                and not state["interrupted"]
+            ):
+                mutation_plan = _plan_mutations(
+                    roster, corpus_obj, runs, mutations, master_seed,
+                    per_run_budget, campaign_meter,
+                )
+                for item, result in pool.map_stream(
+                    _execute_case, mutation_plan, chunk=chunk
+                ):
+                    fold.fold(item, result)
+        if state["interrupted"]:
+            for target in roster:
+                state["resume_at"].setdefault(
+                    target.name, start_at[target.name]
+                )
+        if log_writer is not None:
+            log_writer.commit()
+            log_writer = None
+    except BaseException:
+        if log_writer is not None:
+            log_writer.discard()
+        raise
     return CampaignReport(
         master_seed=master_seed,
         runs=runs,
-        results=results,
-        counterexamples=counterexamples,
-        complete=not interrupted,
-        resume_at=resume_at,
+        results=fold.results,
+        counterexamples=fold.counterexamples,
+        complete=not state["interrupted"],
+        resume_at=dict(state["resume_at"]),
+        tallies=fold.tallies,
+        coverage=fold.coverage.counts(),
+        cases=fold.cases,
+        corpus_added=fold.corpus_added,
+        throughput=fold.throughput(),
     )
 
 
@@ -515,11 +748,14 @@ def report_to_payload(report: CampaignReport) -> Dict:
     """A JSON-native form of a whole campaign, for the certificate store.
 
     Everything needed to reconstruct the report exactly is embedded:
-    case verdicts field by field, counterexamples with their original and
-    shrunk schedules through the tagged value encoding, and each shrunk
-    trace as its own (fingerprint-carrying) JSONL document — so a report
-    pulled back out of the store writes byte-identical counterexample
-    artifacts to the campaign that produced it.
+    case verdicts field by field (or ``None`` in streaming mode), the
+    incremental tallies and coverage, and counterexamples with their
+    original and shrunk schedules through the tagged value encoding,
+    each shrunk trace as its own (fingerprint-carrying) JSONL document —
+    so a report pulled back out of the store writes byte-identical
+    counterexample artifacts to the campaign that produced it.
+    ``throughput`` is deliberately absent: it is wall-clock noise, and
+    store entries must be byte-stable across runs.
     """
     return {
         "schema": REPORT_SCHEMA,
@@ -527,7 +763,13 @@ def report_to_payload(report: CampaignReport) -> Dict:
         "runs": report.runs,
         "complete": report.complete,
         "resume_at": dict(report.resume_at),
-        "results": [
+        "tallies": {
+            name: dict(per) for name, per in sorted(report.tallies.items())
+        },
+        "coverage": dict(sorted(report.coverage.items())),
+        "cases": report.cases,
+        "corpus_added": report.corpus_added,
+        "results": None if report.results is None else [
             {
                 "target": r.target,
                 "index": r.index,
@@ -537,6 +779,7 @@ def report_to_payload(report: CampaignReport) -> Dict:
                     _violation_to_payload(v) for v in r.violations
                 ],
                 "error": r.error,
+                "fingerprint": r.fingerprint,
             }
             for r in report.results
         ],
@@ -551,6 +794,7 @@ def report_to_payload(report: CampaignReport) -> Dict:
                 "fingerprint": cx.fingerprint,
                 "shrink_checks": cx.shrink_checks,
                 "replay_verified": cx.replay_verified,
+                "occurrences": cx.occurrences,
                 "trace": cx.trace.to_jsonl(),
             }
             for cx in report.counterexamples
@@ -570,7 +814,7 @@ def report_from_payload(payload: Dict) -> CampaignReport:
             f"unknown campaign report schema {payload.get('schema')!r} "
             f"(expected {REPORT_SCHEMA!r})"
         )
-    results = [
+    results = None if payload["results"] is None else [
         CaseResult(
             target=r["target"],
             index=r["index"],
@@ -580,6 +824,7 @@ def report_from_payload(payload: Dict) -> CampaignReport:
                 _violation_from_payload(v) for v in r["violations"]
             ),
             error=r["error"],
+            fingerprint=r.get("fingerprint", ""),
         )
         for r in payload["results"]
     ]
@@ -604,6 +849,7 @@ def report_from_payload(payload: Dict) -> CampaignReport:
                 fingerprint=c["fingerprint"],
                 shrink_checks=c["shrink_checks"],
                 replay_verified=c["replay_verified"],
+                occurrences=c.get("occurrences", 1),
             )
         )
     return CampaignReport(
@@ -613,6 +859,12 @@ def report_from_payload(payload: Dict) -> CampaignReport:
         counterexamples=counterexamples,
         complete=payload["complete"],
         resume_at=dict(payload["resume_at"]),
+        tallies={
+            name: dict(per) for name, per in payload.get("tallies", {}).items()
+        },
+        coverage=dict(payload.get("coverage", {})),
+        cases=payload.get("cases", 0),
+        corpus_added=payload.get("corpus_added", 0),
     )
 
 
@@ -627,6 +879,9 @@ def write_counterexample(cx: Counterexample, directory: str) -> str:
     Line 1 is campaign metadata (target, seed, original and shrunk
     schedules, the violated property, the trace fingerprint); the rest is
     the shrunk run's trace via :meth:`~repro.core.runtime.Trace.to_jsonl`.
+    Written through :class:`~repro.core.artifacts.AtomicLineWriter`, so a
+    campaign killed mid-write never leaves a truncated artifact that
+    later "reproduces" as a corrupt counterexample.
     """
     os.makedirs(directory, exist_ok=True)
     meta = {
@@ -644,11 +899,9 @@ def write_counterexample(cx: Counterexample, directory: str) -> str:
         "replay_verified": cx.replay_verified,
     }
     path = os.path.join(directory, f"{cx.target}-{cx.seed}.jsonl")
-    # Atomic: a campaign killed mid-write must never leave a truncated
-    # artifact that later "reproduces" as a corrupt counterexample.
-    atomic_write_text(
-        path, json.dumps(meta, sort_keys=True) + "\n" + cx.trace.to_jsonl()
-    )
+    with AtomicLineWriter(path) as writer:
+        writer.write_line(json.dumps(meta, sort_keys=True))
+        writer.write(cx.trace.to_jsonl())
     return path
 
 

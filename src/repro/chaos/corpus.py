@@ -1,0 +1,227 @@
+"""Schedule corpus + coverage map: the feedback loop of mega-campaigns.
+
+Coverage-guided fuzzing needs two pieces of persistent state: a
+*coverage map* saying which behaviours have been seen, and a *corpus* of
+the inputs that first exhibited each one.  Both reuse machinery the
+repository already trusts:
+
+* **Coverage signal** is the trace fingerprint
+  (:meth:`repro.core.runtime.Trace.fingerprint` — sha256 of the
+  canonical trace JSONL).  Two schedules that drive a target through
+  byte-identical traces are behaviourally equivalent for every monitor
+  we own, so the fingerprint set *is* the campaign's behavioural
+  coverage, with no instrumentation of the substrates.
+
+* **Corpus persistence** is the content-addressed
+  :class:`~repro.service.store.CertificateStore`: each novel-coverage
+  schedule becomes a store entry keyed by ``(target, trace_fingerprint)``
+  via the canonical :class:`~repro.service.keys.QueryKey` fingerprints,
+  written atomically and re-verified on load (a corrupt corpus entry is
+  skipped, never replayed wrong).  Content addressing makes corpus
+  merges trivial — two campaigns writing the same directory converge on
+  one entry per behaviour — and makes the corpus a *regression suite*:
+  :func:`replay_corpus` re-runs every entry and checks the traces (and
+  the planted violations) reproduce exactly, which is what the CI
+  mega-campaign gate asserts.
+
+Entries deliberately store the *schedule*, not the trace: schedules are
+tiny (a handful of atoms) where traces are not, so a million-case
+campaign's corpus stays kilobytes, and replay re-derives everything else
+from the determinism invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..service.keys import QueryKey, decode_canonical, encode_canonical
+from ..service.store import CertificateStore
+from .targets import ChaosTarget, Schedule, target_registry
+
+CORPUS_KIND = "chaos-corpus"
+CORPUS_SCHEMA = "repro-chaos-corpus-entry/v1"
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One novel-coverage schedule: the input, its seed, what it showed."""
+
+    target: str
+    trace_fingerprint: str
+    atoms: Schedule
+    seed: int
+    verdict: str
+
+    def key(self) -> QueryKey:
+        return QueryKey.make(
+            CORPUS_KIND,
+            target=self.target,
+            trace_fingerprint=self.trace_fingerprint,
+        )
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "schema": CORPUS_SCHEMA,
+            "target": self.target,
+            "trace_fingerprint": self.trace_fingerprint,
+            "atoms": encode_canonical(tuple(self.atoms)),
+            "seed": self.seed,
+            "verdict": self.verdict,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "CorpusEntry":
+        if payload.get("schema") != CORPUS_SCHEMA:
+            raise ValueError(
+                f"unknown corpus entry schema {payload.get('schema')!r}"
+            )
+        return cls(
+            target=payload["target"],
+            trace_fingerprint=payload["trace_fingerprint"],
+            atoms=tuple(decode_canonical(payload["atoms"])),
+            seed=int(payload["seed"]),
+            verdict=payload["verdict"],
+        )
+
+
+class CoverageMap:
+    """Which trace fingerprints each target has already exhibited.
+
+    Constant-size relative to behaviours, not cases: a million cases
+    that all retread known traces add nothing here.  ``observe`` is the
+    novelty test — True exactly when the fingerprint is new for that
+    target — and doubles as the record, so the fold calls it once per
+    case and branches on the answer.
+    """
+
+    def __init__(self):
+        self._seen: Dict[str, Set[str]] = {}
+
+    def observe(self, target: str, trace_fingerprint: str) -> bool:
+        seen = self._seen.setdefault(target, set())
+        if trace_fingerprint in seen:
+            return False
+        seen.add(trace_fingerprint)
+        return True
+
+    def counts(self) -> Dict[str, int]:
+        """target -> distinct behaviours seen (sorted by target name)."""
+        return {name: len(fps) for name, fps in sorted(self._seen.items())}
+
+    def total(self) -> int:
+        return sum(len(fps) for fps in self._seen.values())
+
+
+class ScheduleCorpus:
+    """A directory of novel-coverage schedules, store-backed and mergeable.
+
+    Thin veneer over a :class:`CertificateStore` rooted at ``root``:
+    :meth:`add` persists an entry iff its ``(target, trace_fingerprint)``
+    key is not already present, :meth:`entries` loads and re-verifies
+    everything on disk in canonical ``(target, fingerprint)`` order, and
+    :meth:`seed_coverage` pre-loads a :class:`CoverageMap` so a campaign
+    resumed against an existing corpus only chases *new* behaviours.
+    """
+
+    def __init__(self, root: str):
+        self.store = CertificateStore(root)
+        self.root = self.store.root
+
+    def add(self, entry: CorpusEntry) -> bool:
+        """Persist ``entry`` if novel on disk; True iff a write happened."""
+        key = entry.key()
+        if self.store.contains(key):
+            return False
+        self.store.put(key, entry.payload())
+        return True
+
+    def entries(self) -> List[CorpusEntry]:
+        """Every verified entry, sorted by (target, trace fingerprint).
+
+        Unverifiable files and foreign-kind store entries are skipped
+        (the store counts them); the sort makes replay order — and hence
+        replay reports — independent of directory listing order.
+        """
+        loaded: List[CorpusEntry] = []
+        for kind, fingerprint in self.store.entries():
+            if kind != "object":
+                continue
+            found = self.store.load_object(fingerprint)
+            if found is None:
+                continue
+            key, payload = found
+            if key.kind != CORPUS_KIND:
+                continue
+            try:
+                loaded.append(CorpusEntry.from_payload(dict(payload)))
+            except (KeyError, TypeError, ValueError):
+                continue
+        loaded.sort(key=lambda e: (e.target, e.trace_fingerprint))
+        return loaded
+
+    def fingerprints(self) -> Dict[str, Set[str]]:
+        """target -> trace fingerprints on disk."""
+        out: Dict[str, Set[str]] = {}
+        for entry in self.entries():
+            out.setdefault(entry.target, set()).add(entry.trace_fingerprint)
+        return out
+
+    def seed_coverage(self, coverage: CoverageMap) -> int:
+        """Mark everything on disk as already-seen; return entry count."""
+        count = 0
+        for entry in self.entries():
+            coverage.observe(entry.target, entry.trace_fingerprint)
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+
+def replay_corpus(
+    corpus: ScheduleCorpus,
+    targets: Optional[Iterable[ChaosTarget]] = None,
+) -> Dict[str, Any]:
+    """Re-run every corpus entry; report reproducibility and refound bugs.
+
+    The corpus-as-regression-suite check: each schedule must drive its
+    target through the *same* trace it was saved for (the determinism
+    invariant across machines and runs), and each violating entry must
+    violate again.  The report carries, per target, how many entries
+    replayed, how many reproduced their fingerprint, and which targets
+    re-exhibited a violation — the CI gate asserts every planted-bug
+    target appears in ``violations_refound``.
+    """
+    registry = target_registry(targets)
+    per_target: Dict[str, Dict[str, int]] = {}
+    refound: Set[str] = set()
+    mismatches: List[Tuple[str, str, str]] = []
+    unknown: List[str] = []
+    for entry in corpus.entries():
+        target = registry.get(entry.target)
+        if target is None:
+            unknown.append(entry.target)
+            continue
+        stats = per_target.setdefault(
+            entry.target, {"entries": 0, "reproduced": 0, "violations": 0}
+        )
+        stats["entries"] += 1
+        trace = target.run(entry.atoms, entry.seed)
+        fingerprint = trace.fingerprint()
+        if fingerprint == entry.trace_fingerprint:
+            stats["reproduced"] += 1
+        else:
+            mismatches.append(
+                (entry.target, entry.trace_fingerprint, fingerprint)
+            )
+        if target.violations(trace, entry.atoms):
+            stats["violations"] += 1
+            refound.add(entry.target)
+    return {
+        "entries": sum(s["entries"] for s in per_target.values()),
+        "per_target": per_target,
+        "violations_refound": sorted(refound),
+        "fingerprint_mismatches": mismatches,
+        "unknown_targets": sorted(set(unknown)),
+    }

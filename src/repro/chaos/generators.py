@@ -29,7 +29,11 @@ from __future__ import annotations
 import random
 from typing import Hashable, Iterator, Sequence, Tuple
 
-from ..consensus.synchronous import ByzantineAdversary, CrashAdversary
+from ..consensus.synchronous import (
+    ByzantineAdversary,
+    CrashAdversary,
+    ScriptedOmission,
+)
 
 Atom = Tuple
 Schedule = Tuple[Atom, ...]
@@ -101,6 +105,108 @@ def grow_receivers(atom: Atom, n: int) -> Iterator[Atom]:
     for p in range(n):
         if p != pid and p not in present:
             yield ("crash", pid, rnd, tuple(sorted(present | {p})))
+
+
+# ---------------------------------------------------------------------------
+# Mobile / transient crash schedules (Gafni–Losa rounds)
+# ---------------------------------------------------------------------------
+
+
+def random_mobile_crash_atoms(
+    rng: random.Random, n: int, rounds: int, max_per_round: int = 1
+) -> Schedule:
+    """A mobile-fault schedule: the crashed set is re-sampled every round.
+
+    Gafni–Losa (*Time is not a Healer*) reinterpret the t+1 bound for
+    transient faults: a process silenced this round is healthy again the
+    next, so the *same* total fault budget spread mobile-ly defeats
+    protocols that survive it statically.  Each atom ``("mute", round,
+    pid)`` silences one process's outgoing messages for one round only.
+
+    The sampler is biased toward the lethal shape: with probability 0.5
+    one victim is muted in *every* round (the relentless chain that keeps
+    a value hidden for the whole run); otherwise each round independently
+    mutes up to ``max_per_round`` random processes — mostly-healed
+    schedules that exercise the possible side of the boundary.
+    """
+    atoms = set()
+    if rng.random() < 0.5:
+        victim = rng.randrange(n)
+        for rnd in range(1, rounds + 1):
+            atoms.add(("mute", rnd, victim))
+    else:
+        for rnd in range(1, rounds + 1):
+            for _ in range(rng.randint(0, max_per_round)):
+                atoms.add(("mute", rnd, rng.randrange(n)))
+    return tuple(sorted(atoms))
+
+
+def mobile_omission_adversary(atoms: Schedule, n: int) -> ScriptedOmission:
+    """Compile mute atoms into a :class:`ScriptedOmission` adversary.
+
+    A muted process drops every outgoing message of that round and runs
+    honestly otherwise — a crash that round, healed the next.
+    """
+    return ScriptedOmission(
+        {
+            (rnd, pid, dest)
+            for (_tag, rnd, pid) in atoms
+            for dest in range(n)
+            if dest != pid
+        }
+    )
+
+
+def muted_rounds(atoms: Schedule) -> dict:
+    """pid -> set of rounds in which that pid is muted."""
+    silenced: dict = {}
+    for (_tag, rnd, pid) in atoms:
+        silenced.setdefault(pid, set()).add(rnd)
+    return silenced
+
+
+# ---------------------------------------------------------------------------
+# Corpus mutation (coverage-guided re-expansion)
+# ---------------------------------------------------------------------------
+
+
+def mutate_schedule(
+    rng: random.Random, atoms: Schedule, generate
+) -> Schedule:
+    """One seeded mutation of a corpus schedule.
+
+    The coverage-guided loop's re-expansion step: a schedule that reached
+    a novel trace fingerprint is perturbed — atoms deleted, duplicated,
+    swapped, truncated, or spliced with a fresh draw from the target's
+    own generator (``generate(rng)``) — in the hope of reaching a
+    neighbouring behaviour.  Every operator preserves the target's atom
+    vocabulary, so mutants compile into adversaries exactly like fresh
+    schedules, and the whole mutation is a deterministic function of
+    ``(rng state, atoms)``.
+    """
+    atoms = tuple(atoms)
+    if not atoms:
+        return tuple(generate(rng))
+    op = rng.choice(("delete", "duplicate", "swap", "truncate", "splice"))
+    if op == "delete":
+        i = rng.randrange(len(atoms))
+        return atoms[:i] + atoms[i + 1:]
+    if op == "duplicate":
+        i = rng.randrange(len(atoms))
+        return atoms[:i] + (atoms[i],) + atoms[i:]
+    if op == "swap":
+        if len(atoms) < 2:
+            return tuple(generate(rng))
+        i, j = rng.sample(range(len(atoms)), 2)
+        swapped = list(atoms)
+        swapped[i], swapped[j] = swapped[j], swapped[i]
+        return tuple(swapped)
+    if op == "truncate":
+        return atoms[: rng.randint(1, len(atoms))]
+    # splice: keep a prefix, continue with a fresh generator draw
+    fresh = tuple(generate(rng))
+    cut = rng.randint(0, len(atoms))
+    return atoms[:cut] + fresh[min(cut, len(fresh)):]
 
 
 # ---------------------------------------------------------------------------

@@ -170,6 +170,67 @@ class MutualExclusionMonitor(TraceMonitor):
         return None
 
 
+class BoundedStalenessMonitor(TraceMonitor):
+    """Under bounded staleness, agreement must hold — the possible side.
+
+    The Gafni–Losa boundary condition for mobile (transient) faults: a
+    process whose messages were dropped in *every* round never got its
+    information out, so its view is unboundedly stale and disagreement
+    is the impossibility result at work.  But when every process had at
+    least one clean round (staleness bounded), information flooded and
+    the run sits on the *possible* side of the boundary — honest
+    processes disagreeing there is not the planted impossibility, it is
+    an engine bug.  This monitor fires exactly in that second case, so a
+    mobile-fault corpus exercises both sides of the boundary with a
+    built-in no-false-positives check on the possible one.
+    """
+
+    name = "bounded-staleness"
+
+    def __init__(
+        self,
+        muted_rounds: Mapping[Hashable, Iterable[int]],
+        rounds: int,
+        honest: Iterable[Hashable],
+    ):
+        self.muted_rounds = {
+            pid: frozenset(rnds) for pid, rnds in muted_rounds.items()
+        }
+        self.rounds = rounds
+        self.honest = frozenset(honest)
+
+    def fully_muted(self) -> List[Hashable]:
+        """Processes silenced in every round (unbounded staleness)."""
+        every = frozenset(range(1, self.rounds + 1))
+        return sorted(
+            (pid for pid, rnds in self.muted_rounds.items() if rnds >= every),
+            key=repr,
+        )
+
+    def check(self, trace: Trace) -> Optional[Violation]:
+        stale = self.fully_muted()
+        if stale:
+            # Unbounded staleness: the impossible side; any disagreement
+            # belongs to the agreement monitor, not this one.
+            return None
+        decided = {
+            actor: value
+            for actor, value in _decisions(trace).items()
+            if actor in self.honest
+        }
+        if len(set(decided.values())) > 1:
+            detail = ", ".join(
+                f"{actor}->{value}"
+                for actor, value in sorted(decided.items(), key=repr)
+            )
+            return Violation(
+                self.name,
+                "every process had a clean round (staleness bounded) yet "
+                f"decisions disagree: {detail}",
+            )
+        return None
+
+
 class FifoDeliveryMonitor(TraceMonitor):
     """Exactly-once, in-order delivery of the sent message sequence.
 

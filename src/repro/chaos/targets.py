@@ -39,6 +39,7 @@ from ..shared_memory.variables import read, write
 from . import generators
 from .monitors import (
     AgreementMonitor,
+    BoundedStalenessMonitor,
     FifoDeliveryMonitor,
     MutualExclusionMonitor,
     TerminationMonitor,
@@ -136,6 +137,65 @@ class FloodSetCrashTarget(ChaosTarget):
 
     def simplify_atom(self, atom) -> Iterator[Atom]:
         return generators.grow_receivers(atom, self.N)
+
+
+# ---------------------------------------------------------------------------
+# Synchronous rounds: FloodSet under mobile (transient) omissions
+# ---------------------------------------------------------------------------
+
+
+class MobileFloodSetTarget(ChaosTarget):
+    """FloodSet at the full t+1 rounds, fuzzed with *mobile* omissions.
+
+    Gafni–Losa's "Time Is Not a Healer": t+1 rounds tolerate t crashes
+    because a crash is permanent — a process that got its value out once
+    stays heard.  Under mobile faults the adversary re-picks its victim
+    every round, so muting the same process in *every* round keeps its
+    input invisible forever: here, relentlessly silencing the unique-0
+    holder makes everyone else decide 1 while it decides 0.  No static
+    crash schedule can do this at t+1 rounds, so the planted bug is the
+    fault *model*, not the protocol.  The 1-minimal counterexample is
+    one mute atom per round (three atoms), and the bounded-staleness
+    monitor checks the flip side: schedules that leave every process one
+    clean round must still agree.
+    """
+
+    name = "floodset-mobile-omission"
+    substrate = "synchronous"
+    expect_violation = True
+
+    N = 4
+    T = 2
+    ROUNDS = 3  # the full t+1 the static-crash bound promises is enough
+    INPUTS = (0, 1, 1, 1)
+
+    def generate(self, rng: random.Random) -> Schedule:
+        return generators.random_mobile_crash_atoms(
+            rng, n=self.N, rounds=self.ROUNDS, max_per_round=1
+        )
+
+    def run(self, atoms, seed, meter=None) -> Trace:
+        return run_synchronous(
+            FloodSet(),
+            self.INPUTS,
+            generators.mobile_omission_adversary(atoms, self.N),
+            t=self.T,
+            meter=meter,
+        ).trace
+
+    def monitors(self, atoms) -> List[TraceMonitor]:
+        # Mobile faults silence messages, never processes: everyone is
+        # honest, receives every round and must decide.
+        honest = range(self.N)
+        inputs = dict(enumerate(self.INPUTS))
+        return [
+            AgreementMonitor(honest),
+            ValidityMonitor(inputs, honest, trusted=honest),
+            TerminationMonitor(honest),
+            BoundedStalenessMonitor(
+                generators.muted_rounds(atoms), self.ROUNDS, honest
+            ),
+        ]
 
 
 # ---------------------------------------------------------------------------
@@ -445,10 +505,11 @@ class LCRRingTarget(ChaosTarget):
 
 
 def default_targets() -> List[ChaosTarget]:
-    """The standard campaign roster: five planted bugs plus one control,
+    """The standard campaign roster: six planted bugs plus one control,
     covering five distinct substrates."""
     return [
         FloodSetCrashTarget(),
+        MobileFloodSetTarget(),
         EIGByzantineTarget(),
         AlternatingBitTarget(),
         RacyLockTarget(),

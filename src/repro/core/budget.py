@@ -92,14 +92,10 @@ class BudgetMeter:
         self.context = context
         self.steps = 0
         self.states = 0
-        self._started = (
-            time.monotonic() if budget.max_seconds is not None else None
-        )
+        self._started = time.monotonic()
 
     @property
     def elapsed(self) -> float:
-        if self._started is None:
-            return 0.0
         return time.monotonic() - self._started
 
     def check_time(self) -> None:
@@ -129,6 +125,24 @@ class BudgetMeter:
             "steps": self.steps,
             "states": self.states,
             "seconds": round(self.elapsed, 3),
+        }
+
+    def throughput(self) -> Dict[str, float]:
+        """Spend *rates* since the meter opened (steps/s, states/s).
+
+        The accounting behind "cases per second" in mega-campaign reports
+        and the BENCH trajectory: a campaign charges one step per case,
+        so the campaign meter's step rate *is* campaign throughput.  The
+        clock always runs (not only under a wall-clock cap), so any meter
+        doubles as a throughput probe.
+        """
+        dt = self.elapsed
+        if dt <= 0:
+            return {"steps_per_s": 0.0, "states_per_s": 0.0, "seconds": 0.0}
+        return {
+            "steps_per_s": round(self.steps / dt, 3),
+            "states_per_s": round(self.states / dt, 3),
+            "seconds": round(dt, 3),
         }
 
     def absorb(self, spent: Dict[str, float]) -> None:

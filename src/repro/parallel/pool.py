@@ -26,10 +26,21 @@ merge.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -126,6 +137,11 @@ class SharedCounter:
         return False
 
 
+def _run_chunk(fn: Callable[[T], R], batch: List[T]) -> List[R]:
+    """Worker-side body of one :meth:`WorkerPool.map_stream` chunk."""
+    return [fn(item) for item in batch]
+
+
 class WorkerPool:
     """A process pool with a serial in-process fallback at ``workers=1``.
 
@@ -175,6 +191,62 @@ class WorkerPool:
         if chunksize is None:
             chunksize = max(1, len(items) // (self.workers * 4))
         return list(self._executor.map(fn, items, chunksize=chunksize))
+
+    def map_stream(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        window: Optional[int] = None,
+        chunk: int = 1,
+    ) -> Iterator[Tuple[T, R]]:
+        """Apply ``fn`` to a (possibly unbounded) stream, yielding
+        ``(item, result)`` pairs in submission order.
+
+        The constant-memory sibling of :meth:`map`: instead of
+        materializing every input and every result, at most ``window``
+        chunks of ``chunk`` items are in flight at once — the input
+        iterator is pulled lazily as results drain, so a million-case
+        campaign holds a few hundred cases in memory, never the campaign.
+        Order is preserved by construction (a FIFO of futures), which is
+        what lets the parent fold worker outcomes exactly as a serial
+        loop would — the streaming form of the parent-is-authoritative
+        merge.
+
+        At ``workers=1`` this degenerates to a plain generator loop with
+        zero fabric overhead, so serial and parallel callers share one
+        code path.
+        """
+        items = iter(items)
+        if self._executor is None:
+            for item in items:
+                yield item, fn(item)
+            return
+        window = window if window is not None else 2 * self.workers
+        if window < 1 or chunk < 1:
+            raise ValueError(
+                f"window and chunk must be >= 1, got {window}, {chunk}"
+            )
+        pending: deque = deque()
+
+        def submit_next() -> bool:
+            batch = list(itertools.islice(items, chunk))
+            if not batch:
+                return False
+            pending.append(
+                (batch, self._executor.submit(_run_chunk, fn, batch))
+            )
+            return True
+
+        for _ in range(window):
+            if not submit_next():
+                break
+        while pending:
+            batch, future = pending.popleft()
+            results = future.result()
+            # Refill before yielding so workers stay busy while the
+            # parent folds this chunk.
+            submit_next()
+            yield from zip(batch, results)
 
     def shutdown(self) -> None:
         if self._executor is not None:

@@ -147,6 +147,51 @@ class CertificateStore:
         self.puts += 1
         return path
 
+    def contains(self, key: QueryKey) -> bool:
+        """Is an entry file present for ``key``?  (No verification, no
+        counter traffic — presence only; ``get`` still decides trust.)"""
+        return os.path.exists(self._object_path(key.fingerprint()))
+
+    def load_object(self, fingerprint: str) -> Optional[Tuple[QueryKey, Any]]:
+        """Load the entry *named* ``fingerprint``, reconstructing its key.
+
+        The enumeration-side read: :meth:`get` answers "what is the
+        result for this request?", this answers "what request and result
+        does this stored file hold?" — which is how a schedule corpus
+        walks :meth:`entries` and replays everything it finds.  The same
+        verify-or-miss discipline applies, with the extra check that the
+        embedded key's fingerprint matches the filename (a renamed file
+        is corrupt, not a different entry).
+        """
+        path = self._object_path(fingerprint)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        try:
+            if not isinstance(entry, dict) or entry.get("schema") != ENTRY_SCHEMA:
+                raise ValueError(f"unknown store entry schema in {entry!r}")
+            key = QueryKey.from_description(entry["key"])
+            if key.fingerprint() != fingerprint:
+                raise FingerprintMismatch(
+                    fingerprint,
+                    key.fingerprint(),
+                    context="store entry filename",
+                )
+            result = self._verify_entry(entry, key)
+        except (FingerprintMismatch, KeyError, TypeError, ValueError):
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return key, result
+
     # -- binary blobs --------------------------------------------------------
 
     def get_blob(self, key: QueryKey) -> Optional[bytes]:
