@@ -1,0 +1,108 @@
+"""Circumvention layer — detectors, Omega consensus and leases stay cheap.
+
+Guards the three runtimes the circumvention receipts depend on: a full
+heartbeat-detector horizon under a partition schedule, both sides of the
+FLP circumvention (an Omega-led decision and a relentless stall cut off
+by its own budget), and a seeded campaign over the lease roster with
+shrinking on.  The recorded extra_info preserves what each run proved so
+a report run doubles as a regression check on the receipts themselves.
+"""
+
+from conftest import record
+
+from repro.chaos import (
+    BUDGET_EXCEEDED,
+    VIOLATION,
+    AdversarialSuspicionTarget,
+    BuggyLeaseTarget,
+    QuorumLeaseTarget,
+    run_campaign,
+)
+from repro.circumvention import (
+    run_heartbeat_detector,
+    run_quorum_lease,
+    run_rotating_consensus,
+)
+from repro.core.budget import Budget, BudgetExceeded
+
+DETECTOR_ATOMS = tuple(("split", t, 0b1100) for t in range(3, 9)) + (
+    ("down", 6, 3),
+)
+LEASE_ATOMS = tuple(("split", t, 0b1100) for t in range(6, 12))
+RELENTLESS = tuple(("relentless", p) for p in range(3))
+
+
+def test_heartbeat_detector_horizon(benchmark):
+    """One full detector horizon: split, crash, heal, stabilize."""
+
+    def run():
+        return run_heartbeat_detector(DETECTOR_ATOMS, 0)
+
+    detector = benchmark(run)
+    record(benchmark, leader_changes=detector.leader_changes,
+           last_change=detector.last_change,
+           events=detector.trace.steps)
+    assert detector.complete
+    live = sorted(set(detector.leaders) - {3})
+    assert {detector.leaders[p] for p in live} == {min(live)}
+
+
+def test_flp_circumvention_both_sides(benchmark):
+    """An Omega decision plus a budget-cut relentless stall, back to back."""
+
+    def run():
+        decided = run_rotating_consensus((("suspect", 0, 1),), 0)
+        try:
+            run_rotating_consensus(
+                RELENTLESS, 0, meter=Budget(max_steps=120).meter("stall")
+            )
+        except BudgetExceeded as exc:
+            return decided, exc
+        raise AssertionError("relentless coalition failed to stall")
+
+    decided, stall = benchmark(run)
+    record(benchmark, decided=decided.decided, rounds=decided.rounds,
+           stall_spent=stall.spent, stall_limit=stall.limit)
+    assert decided.decided is not None
+    assert stall.spent > stall.limit
+
+
+def test_quorum_lease_horizon(benchmark):
+    """One lease horizon under a sustained split: degrade, heal, commit."""
+
+    def run():
+        return run_quorum_lease(LEASE_ATOMS, 0)
+
+    lease = benchmark(run)
+    record(benchmark, leases=len(lease.leases), commits=lease.commits,
+           events=lease.trace.steps)
+    assert lease.complete and lease.commits > 0
+
+
+def test_lease_campaign_with_shrinking(benchmark):
+    """Fuzz + shrink + replay-verify the lease roster and the stall target."""
+
+    def run():
+        return run_campaign(
+            targets=[
+                QuorumLeaseTarget(),
+                BuggyLeaseTarget(),
+                AdversarialSuspicionTarget(),
+            ],
+            runs=10, master_seed=0,
+        )
+
+    report = benchmark(run)
+    counts = report.verdict_counts()
+    smallest = min(
+        (len(cx.shrunk) for cx in report.counterexamples), default=0
+    )
+    record(benchmark,
+           lease_violations=counts["lease-no-quorum-bug"].get(VIOLATION, 0),
+           stalls=counts["rotating-consensus-adversarial"].get(
+               BUDGET_EXCEEDED, 0),
+           smallest_shrunk_schedule=smallest)
+    assert counts["lease-no-quorum-bug"].get(VIOLATION, 0) > 0
+    assert counts["rotating-consensus-adversarial"].get(
+        BUDGET_EXCEEDED, 0) > 0
+    assert all(cx.replay_verified for cx in report.counterexamples)

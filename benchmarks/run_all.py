@@ -48,12 +48,14 @@ from repro.core.artifacts import atomic_write_json  # noqa: E402
 # The smoke subset exercises the pillars of the engine: valency analysis
 # (E6), the ablation harness, the unified simulation runtime
 # (ring-election and synchronous-consensus trace/replay round trips),
-# and the certificate store's cold-vs-warm query path.
+# the circumvention layer's detector/consensus/lease runtimes, and the
+# certificate store's cold-vs-warm query path.
 QUICK_FILES = (
     "bench_e6_flp.py",
     "bench_ablations.py",
     "bench_runtime.py",
     "bench_chaos.py",
+    "bench_circumvention.py",
     "bench_megacampaign.py",
     "bench_parallel.py",
     "bench_store.py",

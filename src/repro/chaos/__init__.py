@@ -26,6 +26,15 @@ from .campaign import (
     write_artifacts,
     write_counterexample,
 )
+from .circumvention_targets import (
+    AdversarialSuspicionTarget,
+    BuggyLeaseTarget,
+    HeartbeatDetectorTarget,
+    OmegaConsensusTarget,
+    QuorumLeaseTarget,
+    UnstableDetectorTarget,
+    circumvention_targets,
+)
 from .corpus import (
     CorpusEntry,
     CoverageMap,
@@ -35,7 +44,10 @@ from .corpus import (
 from .monitors import (
     AgreementMonitor,
     BoundedStalenessMonitor,
+    DegradedModeMonitor,
     FifoDeliveryMonitor,
+    LeaderStabilityMonitor,
+    LeaseSafetyMonitor,
     MutualExclusionMonitor,
     TerminationMonitor,
     TraceMonitor,
@@ -59,10 +71,12 @@ from .targets import (
 )
 
 __all__ = [
+    "AdversarialSuspicionTarget",
     "AgreementMonitor",
     "AlternatingBitTarget",
     "BUDGET_EXCEEDED",
     "BoundedStalenessMonitor",
+    "BuggyLeaseTarget",
     "CRASH",
     "CampaignFold",
     "CampaignReport",
@@ -71,23 +85,31 @@ __all__ = [
     "CorpusEntry",
     "Counterexample",
     "CoverageMap",
+    "DegradedModeMonitor",
     "EIGByzantineTarget",
     "EagerMajorityTarget",
     "FifoDeliveryMonitor",
     "FloodSetCrashTarget",
+    "HeartbeatDetectorTarget",
     "LCRRingTarget",
+    "LeaderStabilityMonitor",
+    "LeaseSafetyMonitor",
     "MobileFloodSetTarget",
     "MutualExclusionMonitor",
+    "OmegaConsensusTarget",
     "PASS",
+    "QuorumLeaseTarget",
     "RacyLockTarget",
     "ScheduleCorpus",
     "TerminationMonitor",
     "TraceMonitor",
     "UniqueLeaderMonitor",
+    "UnstableDetectorTarget",
     "VIOLATION",
     "ValidityMonitor",
     "Violation",
     "check_all",
+    "circumvention_targets",
     "default_targets",
     "replay_corpus",
     "reproduce",

@@ -199,7 +199,20 @@ class CampaignReport:
         problems = []
         for name, target in registry.items():
             per_target = counts.get(name, {})
-            if target.expect_violation:
+            if getattr(target, "expect_stall", False):
+                if not per_target.get(BUDGET_EXCEEDED):
+                    problems.append(
+                        f"{name}: adversarial-stall target never exhausted "
+                        f"its budget (verdicts: {per_target or 'none'})"
+                    )
+                for bad in (VIOLATION, CRASH):
+                    if per_target.get(bad):
+                        problems.append(
+                            f"{name}: stall target produced "
+                            f"{per_target[bad]} {bad} verdict(s) — it must "
+                            "sacrifice liveness, never safety"
+                        )
+            elif target.expect_violation:
                 if not per_target.get(VIOLATION):
                     problems.append(
                         f"{name}: planted bug never tripped a monitor "
@@ -230,11 +243,14 @@ class CampaignReport:
                 for verdict in (PASS, VIOLATION, BUDGET_EXCEEDED, CRASH)
                 if per_target.get(verdict)
             ) or "no runs"
-            expectation = (
-                "expects violation"
-                if name in registry and registry[name].expect_violation
-                else "healthy"
-            )
+            if name in registry and getattr(
+                registry[name], "expect_stall", False
+            ):
+                expectation = "expects stall"
+            elif name in registry and registry[name].expect_violation:
+                expectation = "expects violation"
+            else:
+                expectation = "healthy"
             lines.append(f"  {name} ({expectation}): {tally}")
         if self.coverage:
             lines.append(

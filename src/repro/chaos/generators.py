@@ -29,6 +29,11 @@ from __future__ import annotations
 import random
 from typing import Hashable, Iterator, Sequence, Tuple
 
+from ..circumvention.consensus import RELENTLESS_ATOM, SUSPECT_ATOM
+from ..circumvention.partitions import (
+    PartitionAdversary,
+    simplify_partition_atom,
+)
 from ..consensus.synchronous import (
     ByzantineAdversary,
     CrashAdversary,
@@ -163,6 +168,97 @@ def muted_rounds(atoms: Schedule) -> dict:
     for (_tag, rnd, pid) in atoms:
         silenced.setdefault(pid, set()).add(rnd)
     return silenced
+
+
+# ---------------------------------------------------------------------------
+# Partition schedules (circumvention layer: detectors, leases)
+# ---------------------------------------------------------------------------
+
+
+def random_partition_atoms(
+    rng: random.Random,
+    n: int,
+    horizon: int,
+    max_down: int = 1,
+    p_sustained: float = 0.6,
+) -> Schedule:
+    """A seeded partition schedule over the first ``horizon`` steps.
+
+    Biased toward the shapes that matter for quorum protocols: usually
+    one *sustained* split (the same side-mask over a contiguous window,
+    half the time starting at step 0, when elections happen), plus a
+    scatter of single-step splits and asymmetric cuts, plus at most
+    ``max_down`` permanent crashes.  Every atom acts before ``horizon``,
+    so a caller that simulates past it is guaranteed a quiet suffix —
+    the stabilization window eventual-accuracy monitors key on.
+    """
+    atoms = set()
+    if rng.random() < p_sustained:
+        mask = rng.randint(1, (1 << n) - 2)  # nonempty proper subset
+        start = 0 if rng.random() < 0.5 else rng.randrange(horizon)
+        length = rng.randint(1, horizon - start)
+        for t in range(start, start + length):
+            atoms.add(("split", t, mask))
+    for _ in range(rng.randint(0, 4)):
+        t = rng.randrange(horizon)
+        if rng.random() < 0.5:
+            a, b = rng.sample(range(n), 2)
+            atoms.add(("cut", t, a, b))
+        else:
+            atoms.add(("split", t, rng.randint(1, (1 << n) - 2)))
+    if max_down > 0 and rng.random() < 0.25:
+        atoms.add(("down", rng.randrange(horizon), rng.randrange(n)))
+    return tuple(sorted(atoms))
+
+
+def partition_adversary(atoms: Schedule, n: int) -> PartitionAdversary:
+    """Compile partition atoms into a :class:`PartitionAdversary`."""
+    return PartitionAdversary(atoms, n)
+
+
+# re-exported for ChaosTarget.simplify_atom hooks
+simplify_partition_atom = simplify_partition_atom
+
+
+# ---------------------------------------------------------------------------
+# Suspicion schedules (rotating-coordinator consensus)
+# ---------------------------------------------------------------------------
+
+
+def random_suspicion_atoms(
+    rng: random.Random, n: int, accurate_after: int
+) -> Schedule:
+    """An *eventually accurate* suspicion schedule.
+
+    Scripted ``("suspect", round, pid)`` atoms confined to rounds below
+    ``accurate_after`` — after that every detector output is correct, so
+    rotating-coordinator consensus must decide.  This is the possible
+    side of the FLP circumvention: wrong early, right eventually.
+    """
+    atoms = set()
+    for rnd in range(accurate_after):
+        for pid in range(n):
+            if rng.random() < 0.4:
+                atoms.add((SUSPECT_ATOM, rnd, pid))
+    return tuple(sorted(atoms))
+
+
+def random_relentless_atoms(
+    rng: random.Random, n: int, p_full: float = 0.7
+) -> Schedule:
+    """An adversarial suspicion schedule: a relentless coalition.
+
+    With probability ``p_full`` *every* process suspects every
+    coordinator forever — the schedule under which no round ever
+    collects a quorum and the run must stall (budget-exceeded, never
+    unsafe).  Otherwise a strict sub-coalition, which rotation defeats:
+    the first round whose coordinator sits outside the coalition decides.
+    """
+    if rng.random() < p_full:
+        coalition = range(n)
+    else:
+        coalition = rng.sample(range(n), rng.randint(1, n - 1))
+    return tuple(sorted((RELENTLESS_ATOM, pid) for pid in coalition))
 
 
 # ---------------------------------------------------------------------------

@@ -20,7 +20,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
 
-from ..core.runtime import DECIDE, DECLARE, Trace
+from ..circumvention.partitions import PartitionAdversary
+from ..core.runtime import DECIDE, DECLARE, OUTPUT, Trace
 
 
 @dataclass(frozen=True)
@@ -261,6 +262,150 @@ class FifoDeliveryMonitor(TraceMonitor):
                 f"acknowledged but only {len(delivered)} were delivered "
                 "(loss)",
             )
+        return None
+
+
+class LeaseSafetyMonitor(TraceMonitor):
+    """No two leases from different holders ever overlap in time.
+
+    The quorum-lease safety condition: every ``("lease", holder, start,
+    expiry)`` declaration names a half-open validity interval
+    ``[start, expiry)``; two intervals from *different* holders must be
+    disjoint under every partition schedule, because intersecting
+    quorums carry a live promise that bars the second grant.  Renewals
+    by the same holder legitimately overlap and are ignored.  The
+    planted no-quorum-grant bug trips this on a single partition atom.
+    """
+
+    name = "lease-safety"
+
+    def check(self, trace: Trace) -> Optional[Violation]:
+        grants: List[tuple] = []
+        for event in trace.events_of(DECLARE):
+            payload = event.payload
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 4
+                and payload[0] == "lease"
+            ):
+                grants.append((event.step,) + payload[1:])
+        for i, (_, h1, s1, e1) in enumerate(grants):
+            for step, h2, s2, e2 in grants[i + 1:]:
+                if h1 != h2 and s1 < e2 and s2 < e1:
+                    return Violation(
+                        self.name,
+                        f"concurrent leases: holder {h1} owns [{s1},{e1}) "
+                        f"while holder {h2} owns [{s2},{e2})",
+                        step=step,
+                    )
+        return None
+
+
+class LeaderStabilityMonitor(TraceMonitor):
+    """The Omega contract: eventually one stable live leader everywhere.
+
+    Once the partition schedule goes quiet, an eventually-accurate
+    detector must stop changing its mind: no ``("leader", pid)``
+    declaration may land in the final ``window`` steps of the horizon,
+    and when the run ends every live process must agree on one live
+    leader.  The planted never-stabilizing detector (a timeout below the
+    heartbeat interval with adaptation disabled) flaps forever and fires
+    this on the empty schedule.
+    """
+
+    name = "leader-stability"
+
+    def __init__(self, live: Iterable[Hashable], horizon: int, window: int = 8):
+        self.live = frozenset(live)
+        self.horizon = horizon
+        self.window = window
+
+    def check(self, trace: Trace) -> Optional[Violation]:
+        cutoff = self.horizon - self.window
+        final: Dict[Hashable, Hashable] = {}
+        for event in trace.events_of(DECLARE):
+            payload = event.payload
+            if not (
+                isinstance(payload, tuple)
+                and len(payload) == 2
+                and payload[0] == "leader"
+            ):
+                continue
+            if event.actor not in self.live:
+                continue
+            final[event.actor] = payload[1]
+            if event.time is not None and event.time >= cutoff:
+                return Violation(
+                    self.name,
+                    f"leader still changing inside the stability window: "
+                    f"process {event.actor} switched to {payload[1]} at "
+                    f"t={event.time} (cutoff {cutoff})",
+                    step=event.step,
+                )
+        missing = self.live - set(final)
+        if missing:
+            return Violation(
+                self.name,
+                f"processes never elected a leader: {sorted(missing, key=repr)}",
+            )
+        leaders = set(final.values())
+        if len(leaders) > 1:
+            detail = ", ".join(
+                f"{actor}->{leader}"
+                for actor, leader in sorted(final.items(), key=repr)
+            )
+            return Violation(
+                self.name, f"live processes disagree on the leader: {detail}"
+            )
+        if leaders and not leaders <= self.live:
+            (leader,) = leaders
+            return Violation(
+                self.name, f"everyone elected crashed process {leader}"
+            )
+        return None
+
+
+class DegradedModeMonitor(TraceMonitor):
+    """Degraded modes degrade: no quorum-less write, no over-stale read.
+
+    The CAP receipt for the lease protocol, checked against the *same*
+    :class:`~repro.circumvention.partitions.PartitionAdversary` the
+    simulator ran under: a ``("write-ack", value)`` output is only legal
+    while its actor can reach a strict majority of the cluster (else the
+    node was obligated to be read-only), and a ``("read", version,
+    staleness)`` output must stay within the declared staleness bound
+    (else the node was obligated to reject the read as stale).
+    """
+
+    name = "degraded-mode"
+
+    def __init__(self, partition: PartitionAdversary, staleness_bound: int):
+        self.partition = partition
+        self.staleness_bound = staleness_bound
+
+    def check(self, trace: Trace) -> Optional[Violation]:
+        for event in trace.events_of(OUTPUT):
+            payload = event.payload
+            if not (isinstance(payload, tuple) and payload):
+                continue
+            if payload[0] == "write-ack" and event.time is not None:
+                if not self.partition.majority_connected(
+                    event.time, event.actor
+                ):
+                    return Violation(
+                        self.name,
+                        f"node {event.actor} acked write v{payload[1]} at "
+                        f"t={event.time} without a majority quorum",
+                        step=event.step,
+                    )
+            elif payload[0] == "read" and len(payload) == 3:
+                if payload[2] > self.staleness_bound:
+                    return Violation(
+                        self.name,
+                        f"node {event.actor} served a read {payload[2]} "
+                        f"steps stale (bound {self.staleness_bound})",
+                        step=event.step,
+                    )
         return None
 
 

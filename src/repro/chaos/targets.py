@@ -62,6 +62,10 @@ class ChaosTarget(ABC):
     #: True for planted-bug targets (the campaign must find a violation);
     #: False for healthy controls (any violation or crash is a failure).
     expect_violation: bool = True
+    #: True for adversarial-stall targets: some runs must exit via a
+    #: structured budget overdraft (BUDGET_EXCEEDED) and none may
+    #: violate — the liveness-sacrificed-never-safety contract.
+    expect_stall: bool = False
 
     @abstractmethod
     def generate(self, rng: random.Random) -> Schedule:
@@ -505,8 +509,10 @@ class LCRRingTarget(ChaosTarget):
 
 
 def default_targets() -> List[ChaosTarget]:
-    """The standard campaign roster: six planted bugs plus one control,
-    covering five distinct substrates."""
+    """The standard campaign roster: planted bugs, healthy controls and
+    one adversarial-stall target, covering eight distinct substrates."""
+    from .circumvention_targets import circumvention_targets
+
     return [
         FloodSetCrashTarget(),
         MobileFloodSetTarget(),
@@ -515,6 +521,7 @@ def default_targets() -> List[ChaosTarget]:
         RacyLockTarget(),
         EagerMajorityTarget(),
         LCRRingTarget(),
+        *circumvention_targets(),
     ]
 
 

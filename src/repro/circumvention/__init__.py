@@ -1,0 +1,44 @@
+"""Circumvention layer: how real systems negotiate around impossibility.
+
+The survey frames each impossibility proof as an invariant real systems
+must *negotiate around*, not a dead end.  This package mechanizes the
+canonical negotiations on the repository's simulation substrates:
+
+* :mod:`repro.circumvention.partitions` — the
+  :class:`~repro.circumvention.partitions.PartitionAdversary`: seeded
+  split / heal / asymmetric-link / crash schedules, the fault model
+  CAP-style scenarios run under;
+* :mod:`repro.circumvention.detectors` — a heartbeat-driven failure
+  detector runtime (timeout/backoff-adaptive eventually-perfect
+  suspicion lists and an Omega leader oracle), the Chandra–Toueg escape
+  hatch from FLP;
+* :mod:`repro.circumvention.consensus` — rotating-coordinator consensus
+  that terminates under an eventually-accurate suspicion schedule and
+  provably *stalls* (budget-exceeded, never unsafe) under an adversarial
+  one — the FLP circumvention receipt, both sides;
+* :mod:`repro.circumvention.leases` — a quorum lease protocol with
+  explicit degraded modes: a leader without a quorum drops to
+  read-only, minority partitions reject writes with structured errors,
+  and reads stay within a declared staleness bound.
+
+Every run is a deterministic function of ``(atoms, seed)`` through the
+unified runtime (:mod:`repro.core.runtime`), replayable byte-identically,
+and budget-threaded (:mod:`repro.core.budget`) with resumable partial
+state.  The chaos roster (:mod:`repro.chaos.circumvention_targets`)
+fuzzes both the honest protocols and planted-bug variants.
+"""
+
+from .consensus import ConsensusRun, run_rotating_consensus
+from .detectors import DetectorRun, run_heartbeat_detector
+from .leases import LeaseRun, run_quorum_lease
+from .partitions import PartitionAdversary
+
+__all__ = [
+    "ConsensusRun",
+    "DetectorRun",
+    "LeaseRun",
+    "PartitionAdversary",
+    "run_heartbeat_detector",
+    "run_quorum_lease",
+    "run_rotating_consensus",
+]

@@ -1,0 +1,273 @@
+"""Heartbeat failure detectors: eventually-perfect suspicion and Omega.
+
+Chandra–Toueg's answer to FLP: consensus is unsolvable in a pure
+asynchronous system, but add an *unreliable failure detector* — local
+suspicion lists that may be wrong for a while, as long as they are
+eventually accurate — and rotating-coordinator consensus terminates.
+This module is the runtime half of that circumvention: a discrete-time
+heartbeat simulator over a :class:`~repro.circumvention.partitions.
+PartitionAdversary`, producing for each process
+
+* a **suspicion list** (the eventually-perfect / eventually-weak
+  detector output): peer ``q`` is suspected once nothing has been heard
+  from it for longer than the current per-link timeout;
+* an **Omega leader**: the minimum pid the process does not suspect —
+  the leader oracle rotating-coordinator consensus and leader leases
+  consume.
+
+Two properties the hypothesis suite checks on every seed:
+
+* **completeness** — a crashed process stops heartbeating, so every
+  live process eventually suspects it permanently;
+* **eventual accuracy** — with ``adaptive=True`` a false suspicion
+  doubles the offended link's timeout on recovery, so once the
+  partition schedule goes quiet, suspicions of live peers die out and
+  every live process settles on the same live leader.
+
+The planted-bug configuration (``adaptive=False`` with a timeout below
+the heartbeat interval) never stabilizes: every heartbeat arrival
+re-trusts a peer the gap just re-suspected, the leader flaps forever,
+and :class:`~repro.chaos.monitors.LeaderStabilityMonitor` fires on the
+*empty* schedule — the detector itself is the counterexample.
+
+Runs are deterministic functions of ``(atoms, seed)`` (the seed drives
+per-heartbeat delivery jitter), replayable byte-identically, and
+budget-threaded: ``budget=`` overdrafts return a resumable partial
+:class:`DetectorRun` in the PR-3 convention, ``meter=`` (the campaign's
+account) propagates :class:`~repro.core.budget.BudgetExceeded`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.budget import Budget, BudgetExceeded, BudgetMeter
+from ..core.runtime import DECLARE, SEND, Trace, TraceEvent
+from .partitions import PartitionAdversary, Schedule
+
+SUBSTRATE = "failure-detector"
+
+#: Declaration payload tags (each rides in a DECLARE event's payload).
+SUSPECT = "suspect"
+TRUST = "trust"
+LEADER = "leader"
+
+
+@dataclass
+class DetectorRun:
+    """One heartbeat-detector run (possibly partial).
+
+    ``complete`` is False when a ``budget=`` overdraft interrupted the
+    simulation; ``resume`` then carries the live simulator state — pass
+    it back via ``resume=`` to continue, and the finished run's trace is
+    byte-identical to an uninterrupted one.
+    """
+
+    trace: Trace
+    complete: bool
+    suspects: Dict[int, Tuple[int, ...]]
+    leaders: Dict[int, int]
+    leader_changes: int
+    last_change: int
+    resume: Optional["_DetectorSim"] = field(default=None, repr=False)
+    interrupted: Optional[BudgetExceeded] = None
+
+
+class _DetectorSim:
+    """The mutable simulator: all state needed to take one more step."""
+
+    def __init__(
+        self,
+        atoms: Schedule,
+        seed: Optional[int],
+        n: int,
+        horizon: int,
+        heartbeat_every: int,
+        initial_timeout: int,
+        adaptive: bool,
+        jitter: int,
+    ):
+        self.partition = PartitionAdversary(atoms, n)
+        self.seed = seed
+        self.n = n
+        self.horizon = horizon
+        self.heartbeat_every = heartbeat_every
+        self.initial_timeout = initial_timeout
+        self.adaptive = adaptive
+        self.jitter = jitter
+        self.rng = random.Random(seed)
+        self.t = 0
+        self.last_heard = [[0] * n for _ in range(n)]
+        self.timeout = [[initial_timeout] * n for _ in range(n)]
+        self.suspects: List[set] = [set() for _ in range(n)]
+        self.leader: List[Optional[int]] = [None] * n
+        self.leader_changes = 0
+        self.last_change = 0
+        #: in-flight heartbeats: (arrival step, src, dst), kept sorted
+        self.inflight: List[Tuple[int, int, int]] = []
+        self.events: List[TraceEvent] = []
+        self._step_no = 0
+
+    def _emit(self, actor, kind, payload):
+        self.events.append(
+            TraceEvent(self._step_no, actor, kind, payload, None, self.t)
+        )
+        self._step_no += 1
+
+    def _note_change(self):
+        self.last_change = self.t
+
+    def step(self) -> None:
+        t = self.t
+        part = self.partition
+        # 1. deliveries due this step, in (arrival, src, dst) order
+        due = [m for m in self.inflight if m[0] == t]
+        if due:
+            self.inflight = [m for m in self.inflight if m[0] != t]
+        for _, src, dst in sorted(due):
+            if part.crashed(t, dst):
+                continue
+            self.last_heard[dst][src] = t
+            if src in self.suspects[dst]:
+                self.suspects[dst].discard(src)
+                if self.adaptive:
+                    self.timeout[dst][src] *= 2
+                self._emit(dst, DECLARE, (TRUST, src))
+                self._note_change()
+        # 2. heartbeat broadcast
+        if t % self.heartbeat_every == 0:
+            for p in range(self.n):
+                if part.crashed(t, p):
+                    continue
+                self._emit(p, SEND, ("hb", t))
+                for q in range(self.n):
+                    if q == p or part.blocked(t, p, q):
+                        continue
+                    delay = 1 + (
+                        self.rng.randrange(self.jitter + 1)
+                        if self.jitter > 0
+                        else 0
+                    )
+                    self.inflight.append((t + delay, p, q))
+        # 3. timeout-driven suspicion, then leader recomputation
+        for p in range(self.n):
+            if part.crashed(t, p):
+                continue
+            for q in range(self.n):
+                if q == p or q in self.suspects[p]:
+                    continue
+                if t - self.last_heard[p][q] > self.timeout[p][q]:
+                    self.suspects[p].add(q)
+                    self._emit(p, DECLARE, (SUSPECT, q))
+                    self._note_change()
+            trusted = [
+                q for q in range(self.n) if q not in self.suspects[p]
+            ]
+            new_leader = min(trusted) if trusted else p
+            if new_leader != self.leader[p]:
+                self.leader[p] = new_leader
+                self._emit(p, DECLARE, (LEADER, new_leader))
+                if t > 0:
+                    self.leader_changes += 1
+                self._note_change()
+        self.t = t + 1
+
+    def outcome(self) -> Dict:
+        live = [
+            p for p in range(self.n) if not self.partition.crashed(self.t, p)
+        ]
+        return {
+            "leaders": tuple((p, self.leader[p]) for p in live),
+            "suspects": tuple(
+                (p, tuple(sorted(self.suspects[p]))) for p in live
+            ),
+            "leader_changes": self.leader_changes,
+            "last_change": self.last_change,
+            "crashed": tuple(sorted(self.partition.ever_crashed())),
+            "complete": self.t >= self.horizon,
+        }
+
+
+def run_heartbeat_detector(
+    atoms: Schedule,
+    seed: Optional[int] = None,
+    *,
+    n: int = 4,
+    horizon: int = 40,
+    heartbeat_every: int = 3,
+    initial_timeout: int = 4,
+    adaptive: bool = True,
+    jitter: int = 1,
+    meter: Optional[BudgetMeter] = None,
+    budget: Optional[Budget] = None,
+    resume: Optional[DetectorRun] = None,
+) -> DetectorRun:
+    """Run (or resume) one heartbeat-detector simulation.
+
+    ``meter`` is an externally owned account (a chaos campaign's per-run
+    meter): its overdraft *raises*.  ``budget`` opens this run's own
+    account: its overdraft returns a partial, resumable run instead.
+    """
+    if resume is not None:
+        if resume.resume is None:
+            raise ValueError("run is not resumable (it completed)")
+        sim = resume.resume
+    else:
+        sim = _DetectorSim(
+            tuple(atoms), seed, n, horizon, heartbeat_every,
+            initial_timeout, adaptive, jitter,
+        )
+    own = budget.meter("heartbeat-detector") if budget is not None else None
+    interrupted: Optional[BudgetExceeded] = None
+    while sim.t < sim.horizon:
+        if meter is not None:
+            meter.charge_steps(sim.n)
+        if own is not None:
+            try:
+                own.charge_steps(sim.n)
+            except BudgetExceeded as exc:
+                interrupted = exc
+                break
+        sim.step()
+    complete = sim.t >= sim.horizon
+
+    def replayer() -> Trace:
+        return run_heartbeat_detector(
+            sim.partition.atoms,
+            sim.seed,
+            n=sim.n,
+            horizon=sim.horizon,
+            heartbeat_every=sim.heartbeat_every,
+            initial_timeout=sim.initial_timeout,
+            adaptive=sim.adaptive,
+            jitter=sim.jitter,
+        ).trace
+
+    trace = Trace(
+        substrate=SUBSTRATE,
+        protocol="heartbeat-detector",
+        seed=sim.seed,
+        events=tuple(sim.events),
+        outcome=tuple(
+            sorted((str(k), v) for k, v in sim.outcome().items())
+        ),
+        replayer=replayer if complete else None,
+    )
+    return DetectorRun(
+        trace=trace,
+        complete=complete,
+        suspects={
+            p: tuple(sorted(sim.suspects[p])) for p in range(sim.n)
+        },
+        leaders={
+            p: sim.leader[p]
+            for p in range(sim.n)
+            if sim.leader[p] is not None
+        },
+        leader_changes=sim.leader_changes,
+        last_change=sim.last_change,
+        resume=None if complete else sim,
+        interrupted=interrupted,
+    )

@@ -40,8 +40,10 @@ from .service import (
     campaign_key,
     certificate_from_flp_payload,
     certificate_from_register_payload,
+    detector_run_key,
     flp_key,
     flp_report_payload,
+    lease_run_key,
     register_outcome_payload,
     register_search_key,
     run_campaign_cached,
@@ -63,10 +65,12 @@ __all__ = [
     "certificate_from_flp_payload",
     "certificate_from_register_payload",
     "decode_canonical",
+    "detector_run_key",
     "encode_canonical",
     "flp_key",
     "flp_report_payload",
     "graph_blob_key",
+    "lease_run_key",
     "pack_state_graph",
     "payload_fingerprint",
     "persist_state_graph",

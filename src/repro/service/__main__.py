@@ -10,6 +10,10 @@ the shell:
         --n 3 --inputs 0,1,1
     python -m repro.service --store certs register-search --depth 2
     python -m repro.service --store certs campaign --runs 10 --seed 0
+    python -m repro.service --store certs detector-run \\
+        --atoms '[["split", 2, 3]]' --seed 0
+    python -m repro.service --store certs lease-run \\
+        --atoms '[["cut", 0, 0, 1]]' --buggy
     python -m repro.service --store certs stats
 """
 
@@ -25,11 +29,20 @@ from .keys import QueryKey
 from .service import (
     QueryService,
     campaign_key,
+    detector_run_key,
     flp_key,
+    lease_run_key,
     register_search_key,
     valency_key,
 )
 from .store import CertificateStore
+
+
+def _parse_atoms(text: str):
+    """A JSON schedule (list of [tag, ...] atoms) into canonical tuples."""
+    atoms = json.loads(text)
+    return tuple(tuple(atom) if isinstance(atom, list) else atom
+                 for atom in atoms)
 
 
 def _key_from_args(args) -> Optional[QueryKey]:
@@ -47,6 +60,23 @@ def _key_from_args(args) -> Optional[QueryKey]:
             runs=args.runs,
             master_seed=args.seed,
             shrink=not args.no_shrink,
+        )
+    if args.command == "detector-run":
+        return detector_run_key(
+            atoms=_parse_atoms(args.atoms),
+            seed=args.seed,
+            n=args.n,
+            horizon=args.horizon,
+            adaptive=not args.no_adaptive,
+            initial_timeout=args.initial_timeout,
+        )
+    if args.command == "lease-run":
+        return lease_run_key(
+            atoms=_parse_atoms(args.atoms),
+            seed=args.seed,
+            n=args.n,
+            horizon=args.horizon,
+            buggy_no_quorum=args.buggy,
         )
     return None
 
@@ -98,6 +128,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--targets", nargs="*", default=None, metavar="NAME"
     )
     campaign.add_argument("--no-shrink", action="store_true")
+
+    detector = sub.add_parser(
+        "detector-run",
+        help="one heartbeat failure-detector run (circumvention layer)",
+    )
+    detector.add_argument(
+        "--atoms", default="[]", metavar="JSON",
+        help='partition schedule, e.g. \'[["split", 2, 3]]\'',
+    )
+    detector.add_argument("--seed", type=int, default=0)
+    detector.add_argument("--n", type=int, default=4)
+    detector.add_argument("--horizon", type=int, default=40)
+    detector.add_argument("--initial-timeout", type=int, default=4)
+    detector.add_argument("--no-adaptive", action="store_true")
+
+    lease = sub.add_parser(
+        "lease-run", help="one quorum-lease run under a partition schedule"
+    )
+    lease.add_argument(
+        "--atoms", default="[]", metavar="JSON",
+        help='partition schedule, e.g. \'[["cut", 0, 0, 1]]\'',
+    )
+    lease.add_argument("--seed", type=int, default=0)
+    lease.add_argument("--n", type=int, default=4)
+    lease.add_argument("--horizon", type=int, default=48)
+    lease.add_argument(
+        "--buggy", action="store_true",
+        help="grant leases without a quorum (the planted bug)",
+    )
 
     sub.add_parser("stats", help="list the store's contents and exit")
 

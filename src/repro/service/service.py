@@ -47,6 +47,8 @@ QUERY_KINDS = (
     "valency",
     "register-search",
     "chaos-campaign",
+    "detector-run",
+    "lease-run",
 )
 
 
@@ -87,6 +89,58 @@ def campaign_key(
         master_seed=master_seed,
         shrink=shrink,
         shrink_checks=shrink_checks,
+    )
+
+
+def detector_run_key(
+    atoms: Tuple = (),
+    seed: int = 0,
+    n: int = 4,
+    horizon: int = 40,
+    heartbeat_every: int = 3,
+    initial_timeout: int = 4,
+    adaptive: bool = True,
+    jitter: int = 1,
+) -> QueryKey:
+    """Key for one heartbeat failure-detector run (circumvention layer)."""
+    return QueryKey.make(
+        "detector-run",
+        atoms=tuple(atoms),
+        seed=seed,
+        n=n,
+        horizon=horizon,
+        heartbeat_every=heartbeat_every,
+        initial_timeout=initial_timeout,
+        adaptive=adaptive,
+        jitter=jitter,
+    )
+
+
+def lease_run_key(
+    atoms: Tuple = (),
+    seed: int = 0,
+    n: int = 4,
+    horizon: int = 48,
+    lease_len: int = 8,
+    renew_margin: int = 2,
+    staleness_bound: int = 8,
+    write_every: int = 3,
+    read_every: int = 5,
+    buggy_no_quorum: bool = False,
+) -> QueryKey:
+    """Key for one quorum-lease run under a partition schedule."""
+    return QueryKey.make(
+        "lease-run",
+        atoms=tuple(atoms),
+        seed=seed,
+        n=n,
+        horizon=horizon,
+        lease_len=lease_len,
+        renew_margin=renew_margin,
+        staleness_bound=staleness_bound,
+        write_every=write_every,
+        read_every=read_every,
+        buggy_no_quorum=buggy_no_quorum,
     )
 
 
@@ -219,11 +273,65 @@ def _handle_chaos_campaign(
     return report_to_payload(report), report.complete
 
 
+def _handle_detector_run(
+    params: Dict[str, Any], budget: Optional[Budget], workers
+) -> Tuple[Dict[str, Any], bool]:
+    from ..circumvention.detectors import run_heartbeat_detector
+
+    run = run_heartbeat_detector(
+        tuple(params.get("atoms", ())),
+        params.get("seed", 0),
+        n=params.get("n", 4),
+        horizon=params.get("horizon", 40),
+        heartbeat_every=params.get("heartbeat_every", 3),
+        initial_timeout=params.get("initial_timeout", 4),
+        adaptive=params.get("adaptive", True),
+        jitter=params.get("jitter", 1),
+        budget=budget,
+    )
+    payload = {
+        "trace_fingerprint": run.trace.fingerprint(),
+        "leaders": encode_canonical(tuple(sorted(run.leaders.items()))),
+        "suspects": encode_canonical(tuple(sorted(run.suspects.items()))),
+        "leader_changes": run.leader_changes,
+        "last_change": run.last_change,
+    }
+    return payload, run.complete
+
+
+def _handle_lease_run(
+    params: Dict[str, Any], budget: Optional[Budget], workers
+) -> Tuple[Dict[str, Any], bool]:
+    from ..circumvention.leases import run_quorum_lease
+
+    run = run_quorum_lease(
+        tuple(params.get("atoms", ())),
+        params.get("seed", 0),
+        n=params.get("n", 4),
+        horizon=params.get("horizon", 48),
+        lease_len=params.get("lease_len", 8),
+        renew_margin=params.get("renew_margin", 2),
+        staleness_bound=params.get("staleness_bound", 8),
+        write_every=params.get("write_every", 3),
+        read_every=params.get("read_every", 5),
+        buggy_no_quorum=params.get("buggy_no_quorum", False),
+        budget=budget,
+    )
+    payload = {
+        "trace_fingerprint": run.trace.fingerprint(),
+        "leases": encode_canonical(run.leases),
+        "commits": run.commits,
+    }
+    return payload, run.complete
+
+
 _HANDLERS = {
     "flp-analysis": _handle_flp_analysis,
     "valency": _handle_valency,
     "register-search": _handle_register_search,
     "chaos-campaign": _handle_chaos_campaign,
+    "detector-run": _handle_detector_run,
+    "lease-run": _handle_lease_run,
 }
 
 

@@ -38,6 +38,8 @@ from repro.chaos.targets import (
     LCRRingTarget,
     RacyLockTarget,
 )
+from repro.circumvention.detectors import run_heartbeat_detector
+from repro.circumvention.leases import run_quorum_lease
 from repro.consensus.floodset import FloodSet
 from repro.consensus.synchronous import CrashAdversary, run_synchronous
 from repro.core.artifacts import atomic_write_text
@@ -124,6 +126,24 @@ def _eager_majority_fair_seeded() -> Trace:
     return system.run_fair_traced((0, 1, 1), max_steps=60, seed=5).trace
 
 
+def _detector_heartbeat_run() -> Trace:
+    # A sustained split isolating {2,3}, with 3 crashing mid-split:
+    # false suspicion across the cut, healing (trust + adaptive timeout
+    # doubling) once it lifts, and permanent completeness for the
+    # crashed node — all stabilizing well before the horizon.
+    atoms = tuple(("split", t, 0b1100) for t in range(3, 9)) + (
+        ("down", 6, 3),
+    )
+    return run_heartbeat_detector(atoms, 0).trace
+
+
+def _lease_partition_run() -> Trace:
+    # A sustained minority split mid-lease: the holder keeps its quorum,
+    # the cut-off side sees bounded-staleness reads, then heals.
+    atoms = tuple(("split", t, 0b1100) for t in range(6, 12))
+    return run_quorum_lease(atoms, 0).trace
+
+
 def _chaos_counterexample() -> Trace:
     # The full pipeline — fuzz, classify, shrink, replay-verify — pinned
     # end to end: the first shrunk FloodSet counterexample of a fixed
@@ -151,6 +171,8 @@ CANONICAL_RUNS: Dict[str, Callable[[], Trace]] = {
     "eager-majority-scripted": _eager_majority_scripted,
     "eager-majority-fair-seeded": _eager_majority_fair_seeded,
     "chaos-floodset-counterexample": _chaos_counterexample,
+    "detector-heartbeat-run": _detector_heartbeat_run,
+    "lease-partition-run": _lease_partition_run,
 }
 
 
