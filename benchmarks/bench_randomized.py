@@ -1,0 +1,60 @@
+"""Randomized circumvention — Ben-Or rounds and GST rounds stay cheap.
+
+Guards the two engines the randomized-circumvention receipts depend on:
+a single Ben-Or run under a scripted-plus-crash adversary (rounds/sec),
+the expected-round sweep that turns "decides with probability 1" into a
+measured number (cases/sec through the streaming fold), and a GST
+blackout run from total silence to decision.  The recorded extra_info
+preserves what each run proved so a report run doubles as a regression
+check on the receipts themselves.
+"""
+
+from conftest import record
+
+from repro.circumvention import (
+    blackout_atoms,
+    expected_rounds,
+    run_ben_or_traced,
+    run_gst_consensus,
+)
+
+BENOR_ATOMS = (3, 1, 4, 1, 5, 9, 2, 6, ("crash", 5, 2))
+SWEEP_TRIALS = 60
+
+
+def test_benor_single_run(benchmark):
+    """One Ben-Or run: scripted deliveries, one crash, seeded tail."""
+
+    def run():
+        return run_ben_or_traced(BENOR_ATOMS, 0, t=1, inputs=(0, 1, 0, 1))
+
+    result = benchmark(run)
+    record(benchmark, events=result.events,
+           rounds=max(result.phases.values()))
+    assert result.complete and result.agreement and result.validity
+
+
+def test_benor_expected_round_sweep(benchmark):
+    """The full analysis harness: stream, fold, gate."""
+
+    def run():
+        return expected_rounds(SWEEP_TRIALS, master_seed=0)
+
+    sweep = benchmark(run)
+    record(benchmark, trials=sweep.trials,
+           termination_rate=sweep.termination_rate,
+           mean_rounds=sweep.mean_rounds)
+    assert sweep.violations == ()
+    assert sweep.ok(min_termination=0.9)
+
+
+def test_gst_blackout_decision(benchmark):
+    """Total pre-GST silence, then a decision within one rotation."""
+
+    def run():
+        return run_gst_consensus(blackout_atoms(6, 4), 0, t=1)
+
+    result = benchmark(run)
+    record(benchmark, rounds=result.rounds, gst=result.gst)
+    assert result.complete
+    assert all(v is not None for v in result.decisions.values())

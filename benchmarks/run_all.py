@@ -56,6 +56,7 @@ QUICK_FILES = (
     "bench_runtime.py",
     "bench_chaos.py",
     "bench_circumvention.py",
+    "bench_randomized.py",
     "bench_megacampaign.py",
     "bench_parallel.py",
     "bench_store.py",

@@ -7,95 +7,38 @@ safety.  Each phase has a report round (broadcast your value, collect
 n-t), a proposal round (propose w if a strict majority reported w), and a
 coin flip for processes left without a proposal.
 
-The simulation is event-driven and seeded: the message scheduler and the
-coins are both deterministic functions of their seeds, so every run in the
-tests replays.  The adversary may crash up to t processes at scheduled
-event counts.
+The engine lives in :mod:`repro.circumvention.randomized`, on the
+unified runtime: every run is a deterministic, replayable function of
+``(atoms, seed)`` with a full :class:`~repro.core.runtime.Trace`.  This
+module is the stable experiment-facing API — the seed-era surface
+(:func:`run_ben_or`, :func:`termination_statistics`) expressed as a thin
+adapter over the traced engine: a ``crash_plan`` becomes ``("crash",
+event, pid)`` adversary atoms, the seeded scheduler is the engine's
+derive_seed-keyed RNG, and the contract checks (one input per process,
+at most ``t`` crashes) stay exactly where they were.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set
 
+from ..circumvention.randomized import (
+    CRASH_ATOM,
+    BenOrProcess,
+    run_ben_or_traced,
+)
 from ..core.errors import ModelError
 
 Pid = int
 QUESTION = "?"
 
-
-class BenOrProcess:
-    """One Ben-Or participant (binary values)."""
-
-    def __init__(self, pid: Pid, n: int, t: int, input_value: int, seed: int):
-        self.pid = pid
-        self.n = n
-        self.t = t
-        self.value = 1 if input_value else 0
-        self.phase = 1
-        self.stage = "report"  # or "propose"
-        self.decided: Optional[int] = None
-        self.rng = random.Random(seed * 1_000_003 + pid)
-        # Buffered messages: (stage, phase) -> {sender: value}.
-        self.inbox: Dict[Tuple[str, int], Dict[Pid, Hashable]] = {}
-        self.outbox: List[Tuple[Pid, Hashable]] = []
-        self._broadcast(("report", self.phase, self.value))
-
-    def _broadcast(self, msg: Hashable) -> None:
-        for dest in range(self.n):
-            if dest != self.pid:
-                self.outbox.append((dest, msg))
-        # Self-delivery is immediate.
-        self._store(self.pid, msg)
-
-    def _store(self, src: Pid, msg: Hashable) -> None:
-        stage, phase, value = msg
-        self.inbox.setdefault((stage, phase), {})[src] = value
-
-    def handle(self, src: Pid, msg: Hashable) -> None:
-        """Deliver one message; may advance the phase machine."""
-        if not (isinstance(msg, tuple) and len(msg) == 3):
-            return
-        self._store(src, msg)
-        self._advance()
-
-    def _advance(self) -> None:
-        progressed = True
-        while progressed and self.decided is None:
-            progressed = False
-            key = (self.stage, self.phase)
-            arrived = self.inbox.get(key, {})
-            if len(arrived) < self.n - self.t:
-                return
-            if self.stage == "report":
-                ones = sum(1 for v in arrived.values() if v == 1)
-                zeros = sum(1 for v in arrived.values() if v == 0)
-                if ones * 2 > self.n:
-                    proposal = 1
-                elif zeros * 2 > self.n:
-                    proposal = 0
-                else:
-                    proposal = QUESTION
-                self.stage = "propose"
-                self._broadcast(("propose", self.phase, proposal))
-                progressed = True
-            else:
-                proposals = [v for v in arrived.values() if v != QUESTION]
-                if proposals:
-                    # All real proposals of a phase are equal (majority
-                    # intersection); adopt it.
-                    w = proposals[0]
-                    if len(proposals) > self.t:
-                        self.decided = w
-                        return
-                    self.value = w
-                else:
-                    self.value = self.rng.randrange(2)
-                self.phase += 1
-                self.stage = "report"
-                self._broadcast(("report", self.phase, self.value))
-                progressed = True
+__all__ = [
+    "BenOrProcess",
+    "BenOrResult",
+    "run_ben_or",
+    "termination_statistics",
+]
 
 
 @dataclass
@@ -127,65 +70,22 @@ def run_ben_or(
         raise ModelError("need one input per process")
     crash_plan = dict(crash_plan or {})
     if len(crash_plan) > t:
-        raise ModelError(f"crash plan kills {len(crash_plan)} > t={t} processes")
-    rng = random.Random(seed)
-    processes = [BenOrProcess(pid, n, t, inputs[pid], seed) for pid in range(n)]
-    crashed: Set[Pid] = set()
-    # In-flight messages: list of (src, dest, msg).
-    flight: List[Tuple[Pid, Pid, Hashable]] = []
-
-    def drain_outboxes() -> None:
-        for proc in processes:
-            if proc.pid in crashed:
-                proc.outbox.clear()
-                continue
-            for dest, msg in proc.outbox:
-                flight.append((proc.pid, dest, msg))
-            proc.outbox.clear()
-
-    drain_outboxes()
-    events = 0
-    while events < max_events:
-        for pid, when in list(crash_plan.items()):
-            if events >= when and pid not in crashed:
-                crashed.add(pid)
-                flight[:] = [
-                    (s, d, m) for (s, d, m) in flight if s != pid
-                ]
-        live_undecided = [
-            p for p in range(n)
-            if p not in crashed and processes[p].decided is None
-        ]
-        if not live_undecided:
-            break
-        deliverable = [
-            i for i, (s, d, m) in enumerate(flight) if d not in crashed
-        ]
-        if not deliverable:
-            break
-        index = deliverable[rng.randrange(len(deliverable))]
-        src, dest, msg = flight.pop(index)
-        processes[dest].handle(src, msg)
-        drain_outboxes()
-        events += 1
-
-    decisions = {p.pid: p.decided for p in processes}
-    live = [p for p in range(n) if p not in crashed]
-    decided_values = {decisions[p] for p in live if decisions[p] is not None}
-    agreement = len(decided_values) <= 1
-    validity = True
-    if len(set(inputs)) == 1:
-        (v,) = set(inputs)
-        validity = all(
-            decisions[p] in (None, v) for p in live
+        raise ModelError(
+            f"crash plan kills {len(crash_plan)} > t={t} processes"
         )
+    atoms = tuple(
+        (CRASH_ATOM, when, pid) for pid, when in sorted(crash_plan.items())
+    )
+    run = run_ben_or_traced(
+        atoms, seed, n=n, t=t, inputs=inputs, max_events=max_events
+    )
     return BenOrResult(
-        decisions=decisions,
-        phases={p.pid: p.phase for p in processes},
-        crashed=crashed,
-        events=events,
-        agreement=agreement,
-        validity=validity,
+        decisions=run.decisions,
+        phases=run.phases,
+        crashed=set(run.crashed),
+        events=run.events,
+        agreement=run.agreement,
+        validity=run.validity,
     )
 
 

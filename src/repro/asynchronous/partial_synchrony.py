@@ -7,31 +7,30 @@ stabilization time, GST), consensus with t < n/2 crash faults is solvable
 once the network stabilizes.  The survey lists "what are the exact time
 bounds required for consensus" in this model as open question 2.
 
-This module implements the rotating-coordinator algorithm with locks:
-
-* phases rotate a coordinator; each phase: processes report their values,
-  the coordinator proposes the majority report, processes lock and
-  acknowledge the proposal, and the coordinator decides on n - t acks,
-  then broadcasts the decision;
-* a process reports its locked value when it has one, so any decided
-  value is locked by a majority — two different decisions would need two
-  majorities, which intersect: safety with t < n/2, whatever the network
-  does;
-* the adversary drops any messages it likes before GST and nothing after,
-  so some post-GST phase has a live coordinator and completes.
-
-:func:`run_dls` is a deterministic, seeded simulation; the tests sweep
-hostile pre-GST schedules for safety and check termination shortly after
-GST.
+The engine lives in :mod:`repro.circumvention.gst`, on the unified
+runtime: synchrony itself is a schedule of first-class adversary atoms —
+``("gst", g)`` stabilization, ``("delay", r, link, d)`` per-round link
+delays, ``("down", r, pid)`` crashes — and every run is a deterministic,
+replayable function of ``(atoms, seed)``.  This module is the stable
+experiment-facing API: :func:`run_dls` compiles the seed-era surface
+(pre-GST messages dropped with probability 1/2, seeded) into delay
+atoms via a :func:`~repro.core.runtime.derive_seed`-keyed RNG and hands
+it to the traced engine; phases stay 1-based (engine round ``r`` is
+phase ``r + 1``); ``gst_phase=None`` means the network never stabilizes
+(safety only).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
+from ..circumvention.gst import DELAY_ATOM, DOWN_ATOM, run_gst_consensus
 from ..core.errors import ModelError
+from ..core.runtime import derive_seed
+
+__all__ = ["DLSResult", "run_dls", "safety_sweep"]
 
 
 @dataclass
@@ -60,30 +59,20 @@ class DLSResult:
         return all(self.decisions[p] is not None for p in self.live)
 
 
-class _DLSProcess:
-    def __init__(self, pid: int, n: int, input_value: int):
-        self.pid = pid
-        self.n = n
-        self.value = 1 if input_value else 0
-        self.lock: Optional[Tuple[int, int]] = None  # (phase, value)
-        self.decided: Optional[int] = None
-
-    def report(self) -> Tuple[int, int]:
-        """(lock phase, value) — phase 0 when never locked."""
-        if self.lock is not None:
-            return self.lock
-        return (0, self.value)
-
-    def on_propose(self, phase: int, value: int) -> None:
-        """Accept a proposal from a quorum-anchored coordinator.
-
-        Overwriting an older lock is safe precisely because the proposal
-        was computed from a quorum of reports containing the highest lock
-        (the Paxos-style invariant the safety test sweeps for).
-        """
-        if self.lock is None or phase >= self.lock[0]:
-            self.lock = (phase, value)
-            self.value = value
+def _lossy_atoms(
+    n: int, seed: int, lossy_rounds: int, loss: float = 0.5
+):
+    """Seed-era pre-GST loss as delay atoms: each directed link's message
+    in each lossy round is dropped with probability ``loss``, seeded
+    through :func:`derive_seed` so ``PYTHONHASHSEED`` cannot touch it."""
+    rng = random.Random(derive_seed(seed, "dls-lossy", n, lossy_rounds))
+    atoms = []
+    for r in range(lossy_rounds):
+        for src in range(n):
+            for dst in range(n):
+                if src != dst and rng.random() < loss:
+                    atoms.append((DELAY_ATOM, r, (src, dst), 1))
+    return atoms
 
 
 def run_dls(
@@ -106,75 +95,31 @@ def run_dls(
         raise ModelError("DLS requires t < n/2")
     if len(crashed) > t:
         raise ModelError(f"{len(crashed)} crashes exceeds t={t}")
-    rng = random.Random(seed)
-    crashed_set = set(crashed)
-    processes = [_DLSProcess(pid, n, inputs[pid]) for pid in range(n)]
-
-    def delivered(phase: int, src: int, dest: int) -> bool:
-        if src in crashed_set:
-            return False
-        if gst_phase is not None and phase >= gst_phase:
-            return True
-        return rng.random() < 0.5
-
-    phases_run = 0
-    for phase in range(1, max_phases + 1):
-        phases_run = phase
-        if all(
-            p.decided is not None or p.pid in crashed_set for p in processes
-        ):
-            break
-        coordinator = (phase - 1) % n
-
-        # Round 1: everyone reports (lock phase, value) to the coordinator.
-        coord = processes[coordinator]
-        if coordinator in crashed_set:
-            continue
-        reports: Dict[int, Tuple[int, int]] = {coordinator: coord.report()}
-        for proc in processes:
-            if proc.pid != coordinator and delivered(phase, proc.pid, coordinator):
-                reports[proc.pid] = proc.report()
-        # Quorum read: without n - t reports the phase is abandoned — this
-        # is what anchors safety under arbitrary pre-GST loss.
-        if len(reports) < n - t:
-            continue
-        highest_phase = max(lock_phase for (lock_phase, _v) in reports.values())
-        if highest_phase > 0:
-            proposal = next(
-                v for (lock_phase, v) in reports.values()
-                if lock_phase == highest_phase
-            )
-        else:
-            ones = sum(1 for (_p, v) in reports.values() if v == 1)
-            proposal = 1 if 2 * ones >= len(reports) else 0
-
-        # Round 2: proposal goes out; processes lock and ack.
-        acks = 0
-        for proc in processes:
-            if proc.pid in crashed_set:
-                continue
-            if delivered(phase, coordinator, proc.pid):
-                proc.on_propose(phase, proposal)
-                if delivered(phase, proc.pid, coordinator):
-                    acks += 1
-
-        # Round 3: enough acks -> decide and broadcast the decision.
-        if acks >= n - t and coord.decided is None:
-            coord.decided = proposal
-        if coord.decided is not None:
-            for proc in processes:
-                if proc.pid in crashed_set or proc.decided is not None:
-                    continue
-                if delivered(phase, coordinator, proc.pid):
-                    proc.decided = coord.decided
-
+    if len(inputs) != n:
+        raise ModelError("need one input per process")
+    if gst_phase is None:
+        gst = None
+        lossy_rounds = max_phases
+    else:
+        gst = max(gst_phase - 1, 0)
+        lossy_rounds = gst
+    atoms = _lossy_atoms(n, seed, lossy_rounds)
+    atoms.extend((DOWN_ATOM, 0, pid) for pid in sorted(set(crashed)))
+    run = run_gst_consensus(
+        tuple(atoms),
+        seed,
+        inputs=tuple(inputs),
+        t=t,
+        max_rounds=max_phases,
+        default_gst=gst,
+    )
     return DLSResult(
         n=n,
         t=t,
         gst_phase=gst_phase,
-        decisions={p.pid: p.decided for p in processes},
-        phases_run=phases_run,
-        crashed=crashed_set,
+        decisions=run.decisions,
+        phases_run=run.rounds,
+        crashed=set(crashed),
     )
 
 

@@ -28,7 +28,10 @@ from .campaign import (
 )
 from .circumvention_targets import (
     AdversarialSuspicionTarget,
+    BenOrTarget,
+    BiasedCoinBenOrTarget,
     BuggyLeaseTarget,
+    GSTConsensusTarget,
     HeartbeatDetectorTarget,
     OmegaConsensusTarget,
     QuorumLeaseTarget,
@@ -40,6 +43,7 @@ from .corpus import (
     CoverageMap,
     ScheduleCorpus,
     replay_corpus,
+    stall_fingerprint,
 )
 from .monitors import (
     AgreementMonitor,
@@ -75,6 +79,8 @@ __all__ = [
     "AgreementMonitor",
     "AlternatingBitTarget",
     "BUDGET_EXCEEDED",
+    "BenOrTarget",
+    "BiasedCoinBenOrTarget",
     "BoundedStalenessMonitor",
     "BuggyLeaseTarget",
     "CRASH",
@@ -90,6 +96,7 @@ __all__ = [
     "EagerMajorityTarget",
     "FifoDeliveryMonitor",
     "FloodSetCrashTarget",
+    "GSTConsensusTarget",
     "HeartbeatDetectorTarget",
     "LCRRingTarget",
     "LeaderStabilityMonitor",
@@ -115,6 +122,7 @@ __all__ = [
     "reproduce",
     "run_campaign",
     "shrink_schedule",
+    "stall_fingerprint",
     "target_registry",
     "write_artifacts",
     "write_counterexample",

@@ -35,7 +35,8 @@ def _replay(directory: str, roster) -> int:
         print(
             f"  {name}: {stats['entries']} entries, "
             f"{stats['reproduced']} reproduced byte-identically, "
-            f"{stats['violations']} still violating"
+            f"{stats['violations']} still violating, "
+            f"{stats.get('stalls', 0)} still stalling"
         )
     problems = []
     for target_name, recorded, got in outcome["fingerprint_mismatches"]:
@@ -44,10 +45,20 @@ def _replay(directory: str, roster) -> int:
             f"corpus recorded {recorded[:16]}"
         )
     refound = set(outcome["violations_refound"])
+    stalled = set(outcome.get("stalls_refound", ()))
     for target in roster:
         if target.expect_violation and target.name not in refound:
             problems.append(
                 f"{target.name}: no corpus schedule re-finds the planted bug"
+            )
+        if (
+            getattr(target, "expect_stall", False)
+            and target.name in outcome["per_target"]
+            and target.name not in stalled
+        ):
+            problems.append(
+                f"{target.name}: no corpus schedule re-produces the "
+                "pre-stabilization stall"
             )
     for problem in problems:
         print(f"FAIL: {problem}", file=sys.stderr)

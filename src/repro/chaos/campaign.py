@@ -65,7 +65,12 @@ from ..core.runtime import (
     replay,
 )
 from ..parallel.pool import WorkerPool, resolve_workers
-from .corpus import CorpusEntry, CoverageMap, ScheduleCorpus
+from .corpus import (
+    CorpusEntry,
+    CoverageMap,
+    ScheduleCorpus,
+    stall_fingerprint,
+)
 from .generators import mutate_schedule
 from .monitors import Violation
 from .shrink import shrink_schedule
@@ -320,8 +325,18 @@ def _execute_case(item: PlanItem) -> CaseResult:
     try:
         trace = target.run(atoms, seed, meter=meter)
     except BudgetExceeded as exc:
+        # An expect-stall target's budget receipt is a first-class
+        # behaviour: give it the synthetic schedule-digest fingerprint so
+        # the fold can persist it to the corpus and replay can demand the
+        # stall reproduce.  Unexpected overdrafts stay fingerprint-less.
+        fingerprint = (
+            stall_fingerprint(atoms)
+            if getattr(target, "expect_stall", False)
+            else ""
+        )
         return CaseResult(
-            target.name, index, seed, BUDGET_EXCEEDED, error=str(exc)
+            target.name, index, seed, BUDGET_EXCEEDED,
+            error=str(exc), fingerprint=fingerprint,
         )
     except Exception as exc:
         # Fault isolation: one broken run is a verdict, not a campaign abort.

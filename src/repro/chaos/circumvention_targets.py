@@ -35,7 +35,9 @@ from typing import Iterator, List
 
 from ..circumvention.consensus import TandemMeter, run_rotating_consensus
 from ..circumvention.detectors import run_heartbeat_detector
+from ..circumvention.gst import run_gst_consensus
 from ..circumvention.leases import run_quorum_lease
+from ..circumvention.randomized import run_ben_or_traced
 from ..core.budget import Budget
 from ..core.runtime import Trace
 from . import generators
@@ -268,8 +270,143 @@ class AdversarialSuspicionTarget(OmegaConsensusTarget):
         ).trace
 
 
+# ---------------------------------------------------------------------------
+# Ben-Or randomized consensus: FLP circumvented with coins
+# ---------------------------------------------------------------------------
+
+
+class BenOrTarget(ChaosTarget):
+    """Honest Ben-Or under delivery scripts and crashes — healthy.
+
+    Safety is coin-independent: agreement and validity hold under every
+    delivery script and every ``<= t`` crash plan, which is what the
+    monitors assert.  Termination is only probability-1, so it is *not*
+    a per-schedule monitor here — the expected-round sweep
+    (:func:`repro.circumvention.randomized.expected_rounds`) owns the
+    statistical termination gate.
+    """
+
+    name = "benor-consensus"
+    substrate = "benor-consensus"
+    expect_violation = False
+
+    N = 4
+    T = 1
+    INPUTS = (0, 1, 0, 1)
+    BIASED = False
+    MAX_EVENTS = 4000
+
+    def generate(self, rng: random.Random) -> Schedule:
+        return generators.random_benor_atoms(rng, n=self.N, t=self.T)
+
+    def run(self, atoms, seed, meter=None) -> Trace:
+        return run_ben_or_traced(
+            atoms,
+            seed=0,
+            n=self.N,
+            t=self.T,
+            inputs=self.INPUTS,
+            biased_coin=self.BIASED,
+            max_events=self.MAX_EVENTS,
+            meter=meter,
+        ).trace
+
+    def monitors(self, atoms) -> List[TraceMonitor]:
+        crashed = generators.benor_adversary(atoms, self.T).crash_at
+        honest = [p for p in range(self.N) if p not in crashed]
+        inputs = dict(enumerate(self.INPUTS))
+        checks: List[TraceMonitor] = [
+            AgreementMonitor(honest),
+            ValidityMonitor(inputs, honest, trusted=honest),
+        ]
+        if self.BIASED:
+            checks.append(TerminationMonitor(honest))
+        return checks
+
+
+class BiasedCoinBenOrTarget(BenOrTarget):
+    """Ben-Or with an anti-correlated "coin" — the planted bug.
+
+    A literally biased coin cannot break Ben-Or's safety (the safety
+    argument never mentions the coin), so the planted bug is the sharper
+    failure randomization actually guards against: each process's coin
+    is its own parity, ``pid % 2``.  On perfectly split inputs the
+    report round then re-creates the split every phase — no strict
+    majority, every proposal is ``?``, the "coin" restores the split —
+    and the run never terminates, under *every* schedule including the
+    empty one, which is exactly where ddmin shrinks each finding.  The
+    termination monitor fires on every seed; agreement and validity
+    still never do.
+    """
+
+    name = "benor-biased-coin-bug"
+    expect_violation = True
+    BIASED = True
+    #: never terminates — cap the events so each case stays cheap
+    MAX_EVENTS = 400
+
+
+# ---------------------------------------------------------------------------
+# DLS consensus under partial synchrony: GST atoms, provable stalls
+# ---------------------------------------------------------------------------
+
+
+class GSTConsensusTarget(ChaosTarget):
+    """DLS rotating-coordinator consensus under GST schedules.
+
+    Safety holds under *every* delay schedule (quorum intersection plus
+    locks), which agreement/validity monitors assert on each completed
+    run.  Liveness is exactly the synchrony assumption: a schedule whose
+    ``("gst", g)`` lands beyond what the stall budget can reach, behind
+    a pre-GST blackout, exhausts its own step budget and exits via a
+    structured ``BudgetExceeded`` — the DLS impossibility half, as a
+    first-class corpus behaviour (``expect_stall``).  Early-GST and
+    lossy schedules decide and exercise the recovery half.
+    """
+
+    name = "gst-consensus"
+    substrate = "gst-consensus"
+    expect_violation = False
+    expect_stall = True
+
+    N = 4
+    T = 1
+    INPUTS = (0, 1, 1, 0)
+    MAX_ROUNDS = 64
+
+    #: 20 rounds of 4 steps: a blackout whose GST lies past round 20
+    #: trips this cap (the receipt); an early-GST run never gets close.
+    STALL_BUDGET = Budget(max_steps=80)
+
+    def generate(self, rng: random.Random) -> Schedule:
+        return generators.random_gst_atoms(rng, n=self.N)
+
+    def run(self, atoms, seed, meter=None) -> Trace:
+        own = self.STALL_BUDGET.meter(self.name)
+        return run_gst_consensus(
+            atoms,
+            seed=0,
+            inputs=self.INPUTS,
+            t=self.T,
+            max_rounds=self.MAX_ROUNDS,
+            meter=TandemMeter(meter, own),
+        ).trace
+
+    def monitors(self, atoms) -> List[TraceMonitor]:
+        crashed = generators.gst_adversary(atoms, self.N, self.T).crashed_at
+        honest = [p for p in range(self.N) if p not in crashed]
+        inputs = dict(enumerate(self.INPUTS))
+        return [
+            AgreementMonitor(honest),
+            ValidityMonitor(inputs, honest, trusted=honest),
+        ]
+
+    def simplify_atom(self, atom) -> Iterator[Atom]:
+        return generators.simplify_gst_atom(atom)
+
+
 def circumvention_targets() -> List[ChaosTarget]:
-    """The circumvention roster: three honest, two planted, one stall."""
+    """The circumvention roster: honest/planted pairs plus two stalls."""
     return [
         QuorumLeaseTarget(),
         BuggyLeaseTarget(),
@@ -277,4 +414,7 @@ def circumvention_targets() -> List[ChaosTarget]:
         UnstableDetectorTarget(),
         OmegaConsensusTarget(),
         AdversarialSuspicionTarget(),
+        BenOrTarget(),
+        BiasedCoinBenOrTarget(),
+        GSTConsensusTarget(),
     ]

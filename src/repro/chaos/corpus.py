@@ -32,15 +32,39 @@ from the determinism invariant.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
+from ..core.budget import BudgetExceeded
 from ..service.keys import QueryKey, decode_canonical, encode_canonical
 from ..service.store import CertificateStore
 from .targets import ChaosTarget, Schedule, target_registry
 
 CORPUS_KIND = "chaos-corpus"
 CORPUS_SCHEMA = "repro-chaos-corpus-entry/v1"
+
+#: verdict string shared with :mod:`repro.chaos.campaign` (no import cycle)
+STALL_VERDICT = "BUDGET_EXCEEDED"
+
+
+def stall_fingerprint(atoms: Schedule) -> str:
+    """The synthetic coverage fingerprint of a stalled (budget-exceeded)
+    case: a stall has no completed trace to hash, so its behavioural
+    identity is the canonical digest of the schedule that provoked it.
+
+    The ``stall:`` prefix keeps the namespace disjoint from real trace
+    fingerprints, and the canonical-JSON digest makes the value stable
+    across processes and machines — which is what lets expect-stall
+    corpus entries replay as first-class regression cases.
+    """
+    canonical = json.dumps(
+        encode_canonical(tuple(atoms)),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return "stall:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -188,14 +212,19 @@ def replay_corpus(
     The corpus-as-regression-suite check: each schedule must drive its
     target through the *same* trace it was saved for (the determinism
     invariant across machines and runs), and each violating entry must
-    violate again.  The report carries, per target, how many entries
-    replayed, how many reproduced their fingerprint, and which targets
-    re-exhibited a violation — the CI gate asserts every planted-bug
-    target appears in ``violations_refound``.
+    violate again.  Expect-stall entries (verdict ``BUDGET_EXCEEDED``,
+    synthetic ``stall:`` fingerprint) must *stall* again — the replayed
+    run has to exit via :class:`~repro.core.budget.BudgetExceeded`, and
+    completing instead is a fingerprint mismatch.  The report carries,
+    per target, how many entries replayed, how many reproduced, and
+    which targets re-exhibited a violation or a stall — the CI gate
+    asserts every planted-bug target appears in ``violations_refound``
+    and every expect-stall target in ``stalls_refound``.
     """
     registry = target_registry(targets)
     per_target: Dict[str, Dict[str, int]] = {}
     refound: Set[str] = set()
+    stalled: Set[str] = set()
     mismatches: List[Tuple[str, str, str]] = []
     unknown: List[str] = []
     for entry in corpus.entries():
@@ -204,14 +233,32 @@ def replay_corpus(
             unknown.append(entry.target)
             continue
         stats = per_target.setdefault(
-            entry.target, {"entries": 0, "reproduced": 0, "violations": 0}
+            entry.target,
+            {"entries": 0, "reproduced": 0, "violations": 0, "stalls": 0},
         )
         stats["entries"] += 1
-        trace = target.run(entry.atoms, entry.seed)
+        try:
+            trace = target.run(entry.atoms, entry.seed)
+        except BudgetExceeded:
+            if (
+                entry.verdict == STALL_VERDICT
+                and entry.trace_fingerprint == stall_fingerprint(entry.atoms)
+            ):
+                stats["reproduced"] += 1
+                stats["stalls"] += 1
+                stalled.add(entry.target)
+            else:
+                mismatches.append(
+                    (entry.target, entry.trace_fingerprint, "stall")
+                )
+            continue
         fingerprint = trace.fingerprint()
         if fingerprint == entry.trace_fingerprint:
             stats["reproduced"] += 1
         else:
+            # Covers both trace divergence and a stall entry that
+            # replayed to completion (its budget receipt didn't
+            # reproduce): either way the recorded behaviour is gone.
             mismatches.append(
                 (entry.target, entry.trace_fingerprint, fingerprint)
             )
@@ -222,6 +269,7 @@ def replay_corpus(
         "entries": sum(s["entries"] for s in per_target.values()),
         "per_target": per_target,
         "violations_refound": sorted(refound),
+        "stalls_refound": sorted(stalled),
         "fingerprint_mismatches": mismatches,
         "unknown_targets": sorted(set(unknown)),
     }

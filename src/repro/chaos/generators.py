@@ -30,10 +30,18 @@ import random
 from typing import Hashable, Iterator, Sequence, Tuple
 
 from ..circumvention.consensus import RELENTLESS_ATOM, SUSPECT_ATOM
+from ..circumvention.gst import (
+    DELAY_ATOM,
+    GST_ATOM,
+    GSTAdversary,
+    simplify_gst_atom,
+)
 from ..circumvention.partitions import (
     PartitionAdversary,
     simplify_partition_atom,
 )
+from ..circumvention.randomized import CRASH_ATOM as BENOR_CRASH_ATOM
+from ..circumvention.randomized import BenOrAdversary
 from ..consensus.synchronous import (
     ByzantineAdversary,
     CrashAdversary,
@@ -259,6 +267,87 @@ def random_relentless_atoms(
     else:
         coalition = rng.sample(range(n), rng.randint(1, n - 1))
     return tuple(sorted((RELENTLESS_ATOM, pid) for pid in coalition))
+
+
+# ---------------------------------------------------------------------------
+# Ben-Or schedules (randomized consensus)
+# ---------------------------------------------------------------------------
+
+
+def random_benor_atoms(
+    rng: random.Random,
+    n: int,
+    t: int,
+    max_script: int = 24,
+    crash_window: int = 60,
+    p_crash: float = 0.4,
+) -> Schedule:
+    """A seeded Ben-Or adversary: a delivery script plus optional crashes.
+
+    Bare ints index the deliverable-message list for the first
+    ``max_script`` deliveries (the adversary's strongest lever — which
+    report lands where decides who sees a majority); once the script
+    runs dry the engine's seeded scheduler takes over, so every schedule
+    is finite yet every run can still terminate.  With probability
+    ``p_crash`` up to ``t`` distinct processes crash at scripted event
+    counts — the full strength of Ben-Or's fault contract.
+    """
+    atoms: list = [
+        rng.randrange(n * n) for _ in range(rng.randint(0, max_script))
+    ]
+    if t > 0 and rng.random() < p_crash:
+        for pid in rng.sample(range(n), rng.randint(1, t)):
+            atoms.append((BENOR_CRASH_ATOM, rng.randrange(crash_window), pid))
+    return tuple(atoms)
+
+
+def benor_adversary(atoms: Schedule, t: int) -> BenOrAdversary:
+    """Compile Ben-Or atoms into a :class:`BenOrAdversary` (the compiled
+    crash plan is what target monitors use to learn who died)."""
+    return BenOrAdversary(atoms, t)
+
+
+# ---------------------------------------------------------------------------
+# Partial-synchrony schedules (GST consensus)
+# ---------------------------------------------------------------------------
+
+
+def random_gst_atoms(
+    rng: random.Random,
+    n: int,
+    max_gst: int = 40,
+    p_blackout: float = 0.5,
+    loss: float = 0.5,
+) -> Schedule:
+    """A seeded partial-synchrony schedule: delays until GST, then calm.
+
+    Stabilization lands at a uniform ``("gst", g)``; before it, with
+    probability ``p_blackout`` every link is dark every round (the
+    canonical worst case — a late-enough GST under a capped budget is
+    the provable stall), otherwise each directed link's message is
+    independently delayed with probability ``loss`` (the lossy regime
+    where lucky pre-GST decisions exercise the safety argument).
+    """
+    gst = rng.randint(1, max_gst)
+    atoms: list = [(GST_ATOM, gst)]
+    blackout = rng.random() < p_blackout
+    for r in range(gst):
+        for src in range(n):
+            for dst in range(n):
+                if src != dst and (blackout or rng.random() < loss):
+                    atoms.append((DELAY_ATOM, r, (src, dst), 1))
+    return tuple(atoms)
+
+
+def gst_adversary(
+    atoms: Schedule, n: int, t: int = 0
+) -> GSTAdversary:
+    """Compile gst atoms into a :class:`GSTAdversary`."""
+    return GSTAdversary(atoms, n, t)
+
+
+# re-exported for ChaosTarget.simplify_atom hooks
+simplify_gst_atom = simplify_gst_atom
 
 
 # ---------------------------------------------------------------------------

@@ -19,7 +19,15 @@ canonical negotiations on the repository's simulation substrates:
 * :mod:`repro.circumvention.leases` — a quorum lease protocol with
   explicit degraded modes: a leader without a quorum drops to
   read-only, minority partitions reject writes with structured errors,
-  and reads stay within a declared staleness bound.
+  and reads stay within a declared staleness bound;
+* :mod:`repro.circumvention.randomized` — Ben-Or's randomized consensus
+  under delivery-script / crash atoms, with the expected-round analysis
+  harness (streaming confidence intervals, sharded bit-identically) —
+  the coin-flip escape hatch from FLP;
+* :mod:`repro.circumvention.gst` — partial synchrony as first-class
+  adversary atoms (``("gst", g)`` stabilization, per-round link delays)
+  and DLS rotating-coordinator consensus that provably stalls before
+  GST (structured budget receipt) and decides after it.
 
 Every run is a deterministic function of ``(atoms, seed)`` through the
 unified runtime (:mod:`repro.core.runtime`), replayable byte-identically,
@@ -30,15 +38,39 @@ fuzzes both the honest protocols and planted-bug variants.
 
 from .consensus import ConsensusRun, run_rotating_consensus
 from .detectors import DetectorRun, run_heartbeat_detector
+from .gst import (
+    GSTAdversary,
+    GSTRun,
+    blackout_atoms,
+    run_gst_consensus,
+    simplify_gst_atom,
+)
 from .leases import LeaseRun, run_quorum_lease
 from .partitions import PartitionAdversary
+from .randomized import (
+    BenOrAdversary,
+    BenOrRun,
+    RoundSweep,
+    expected_rounds,
+    run_ben_or_traced,
+)
 
 __all__ = [
+    "BenOrAdversary",
+    "BenOrRun",
     "ConsensusRun",
     "DetectorRun",
+    "GSTAdversary",
+    "GSTRun",
     "LeaseRun",
     "PartitionAdversary",
+    "RoundSweep",
+    "blackout_atoms",
+    "expected_rounds",
+    "run_ben_or_traced",
+    "run_gst_consensus",
     "run_heartbeat_detector",
     "run_quorum_lease",
     "run_rotating_consensus",
+    "simplify_gst_atom",
 ]

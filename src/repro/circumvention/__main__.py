@@ -17,6 +17,18 @@ lease runtimes on their own:
     python -m repro.circumvention lease \\
         --atoms '[["split", 0, 3], ["split", 1, 3]]'
 
+    # randomization circumvents FLP: the expected-round sweep, with a
+    # confidence interval and a termination-probability gate
+    python -m repro.circumvention benor --trials 200 --workers 2
+
+    # the planted anti-correlated coin: termination collapses to 0
+    python -m repro.circumvention benor --trials 30 --biased-coin
+
+    # partial synchrony: blackout until GST, then decide (exit 0) — or
+    # cap the budget below GST and stall with a receipt (exit 2)
+    python -m repro.circumvention gst --gst 6
+    python -m repro.circumvention gst --gst 30 --stall
+
 Exit codes: 0 = completed (decided / stabilized), 2 = stalled on budget
 (the impossibility receipt), 1 = anything unsafe, which should never
 happen.
@@ -32,7 +44,9 @@ from typing import List, Optional
 from ..core.budget import Budget, BudgetExceeded
 from .consensus import run_rotating_consensus
 from .detectors import run_heartbeat_detector
+from .gst import blackout_atoms, run_gst_consensus
 from .leases import run_quorum_lease
+from .randomized import expected_rounds
 
 
 def _parse_atoms(text: str):
@@ -108,6 +122,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--buggy", action="store_true",
         help="grant leases without a quorum (the planted bug)",
     )
+
+    benor = sub.add_parser(
+        "benor",
+        help="Ben-Or expected-round sweep: seeded trials folded into a "
+        "confidence interval, agreement/validity asserted on every seed",
+    )
+    benor.add_argument("--trials", type=int, default=200)
+    benor.add_argument("--seed", type=int, default=0, metavar="MASTER")
+    benor.add_argument("--n", type=int, default=4)
+    benor.add_argument("--t", type=int, default=1)
+    benor.add_argument("--workers", default=1)
+    benor.add_argument(
+        "--confidence", type=float, default=0.95,
+        choices=(0.90, 0.95, 0.99),
+    )
+    benor.add_argument(
+        "--min-termination", type=float, default=0.9, metavar="RATE",
+        help="termination-probability gate across the sweep",
+    )
+    benor.add_argument("--max-events", type=int, default=4000)
+    benor.add_argument(
+        "--biased-coin", action="store_true",
+        help="replace every coin with the process's parity (the planted "
+        "anti-correlated bug): termination collapses, safety survives",
+    )
+
+    gst = sub.add_parser(
+        "gst",
+        help="DLS consensus under a pre-GST blackout: decides right "
+        "after stabilization, or stalls with a structured receipt when "
+        "the step budget cannot reach GST",
+    )
+    gst.add_argument("--gst", type=int, default=6, metavar="ROUND")
+    gst.add_argument("--n", type=int, default=4)
+    gst.add_argument("--t", type=int, default=1)
+    gst.add_argument("--inputs", default=None, metavar="V,V,...")
+    gst.add_argument("--seed", type=int, default=0)
+    gst.add_argument("--atoms", default=None, metavar="JSON",
+                     help="explicit schedule (overrides --gst blackout)")
+    gst.add_argument(
+        "--stall", action="store_true",
+        help="cap the step budget below n*gst: the run must exhaust it "
+        "before stabilization — the DLS impossibility receipt (exit 2)",
+    )
+    gst.add_argument("--max-steps", type=int, default=None)
 
     args = parser.parse_args(argv)
 
@@ -208,6 +267,105 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"UNSAFE: concurrent leases {overlaps}")
             return 1
         print(f"trace:   {run.trace.fingerprint()[:16]} (replayable)")
+        return 0
+
+    if args.command == "benor":
+        workers = (
+            int(args.workers)
+            if str(args.workers).isdigit()
+            else args.workers
+        )
+        sweep = expected_rounds(
+            args.trials,
+            args.seed,
+            n=args.n,
+            t=args.t,
+            biased_coin=args.biased_coin,
+            max_events=args.max_events,
+            confidence=args.confidence,
+            workers=workers,
+        )
+        coin = "biased (pid parity)" if args.biased_coin else "fair"
+        print(
+            f"Ben-Or sweep: {sweep.trials} trials, n={args.n} t={args.t}, "
+            f"{coin} coin"
+        )
+        print(
+            f"  termination: {sweep.decided}/{sweep.trials} "
+            f"(rate {sweep.termination_rate:.3f}, "
+            f"gate {args.min_termination})"
+        )
+        print(
+            f"  expected rounds: {sweep.mean_rounds:.3f} "
+            f"[{sweep.ci_low:.3f}, {sweep.ci_high:.3f}] at "
+            f"{int(sweep.confidence * 100)}% confidence "
+            f"(worst {sweep.worst_rounds})"
+        )
+        if sweep.violations:
+            for violation in sweep.violations:
+                print(f"UNSAFE: {violation}")
+            return 1
+        print("  safety: agreement and validity held on every seed")
+        if not sweep.ok(args.min_termination):
+            print(
+                f"STALLED: termination rate {sweep.termination_rate:.3f} "
+                f"below the {args.min_termination} gate — randomization "
+                "has stopped buying back the termination FLP forbids "
+                "(the planted anti-correlated coin re-creates the split "
+                "input every phase)."
+            )
+            return 2
+        return 0
+
+    if args.command == "gst":
+        if args.inputs is not None:
+            inputs = tuple(int(v) for v in args.inputs.split(","))
+        else:
+            inputs = tuple(i % 2 for i in range(args.n))
+        if args.atoms is not None:
+            atoms = _parse_atoms(args.atoms)
+        else:
+            atoms = blackout_atoms(args.gst, len(inputs))
+        n = len(inputs)
+        if args.max_steps is not None:
+            max_steps = args.max_steps
+        elif args.stall:
+            max_steps = max(n * args.gst - n, n)  # runs out before GST
+        else:
+            max_steps = None
+        meter = (
+            Budget(max_steps=max_steps).meter("gst")
+            if max_steps is not None
+            else None
+        )
+        try:
+            run = run_gst_consensus(
+                atoms, args.seed, inputs=inputs, t=args.t, meter=meter
+            )
+        except BudgetExceeded as exc:
+            print(
+                f"STALLED: pre-GST blackout; budget overdraft after "
+                f"{exc.spent} steps (limit {exc.limit}) with GST at round "
+                f"{args.gst} still ahead.  No process decided; no process "
+                "disagreed.  This stall is the DLS impossibility made "
+                "operational — the same schedule with budget past GST "
+                "decides in the first stabilized round."
+            )
+            return 2
+        decided = {v for v in run.decisions.values() if v is not None}
+        if not decided:
+            print(f"no decision within {run.rounds} rounds (gst={run.gst})")
+            return 2
+        if len(decided) > 1:
+            print(f"UNSAFE: conflicting decisions {sorted(decided)}")
+            return 1
+        print(
+            f"decided {decided.pop()} in round {run.rounds} "
+            f"(GST at round {run.gst}): the first stabilized round's "
+            "coordinator collects a quorum — eventual synchrony bought "
+            "back the termination FLP forbids"
+        )
+        print(f"trace: {run.trace.fingerprint()[:16]} (replayable)")
         return 0
 
     parser.error(f"unknown command {args.command!r}")

@@ -37,12 +37,14 @@ from .service import (
     Answer,
     PendingQuery,
     QueryService,
+    benor_run_key,
     campaign_key,
     certificate_from_flp_payload,
     certificate_from_register_payload,
     detector_run_key,
     flp_key,
     flp_report_payload,
+    gst_run_key,
     lease_run_key,
     register_outcome_payload,
     register_search_key,
@@ -60,6 +62,7 @@ __all__ = [
     "QUERY_KINDS",
     "QueryKey",
     "QueryService",
+    "benor_run_key",
     "campaign_key",
     "canonical_json",
     "certificate_from_flp_payload",
@@ -70,6 +73,7 @@ __all__ = [
     "flp_key",
     "flp_report_payload",
     "graph_blob_key",
+    "gst_run_key",
     "lease_run_key",
     "pack_state_graph",
     "payload_fingerprint",

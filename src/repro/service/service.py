@@ -49,6 +49,8 @@ QUERY_KINDS = (
     "chaos-campaign",
     "detector-run",
     "lease-run",
+    "benor-run",
+    "gst-run",
 )
 
 
@@ -141,6 +143,48 @@ def lease_run_key(
         write_every=write_every,
         read_every=read_every,
         buggy_no_quorum=buggy_no_quorum,
+    )
+
+
+def benor_run_key(
+    atoms: Tuple = (),
+    seed: int = 0,
+    n: int = 4,
+    t: int = 1,
+    inputs: Optional[Tuple[int, ...]] = None,
+    biased_coin: bool = False,
+    max_events: int = 4000,
+) -> QueryKey:
+    """Key for one Ben-Or randomized-consensus run (circumvention layer)."""
+    return QueryKey.make(
+        "benor-run",
+        atoms=tuple(atoms),
+        seed=seed,
+        n=n,
+        t=t,
+        inputs=None if inputs is None else tuple(inputs),
+        biased_coin=biased_coin,
+        max_events=max_events,
+    )
+
+
+def gst_run_key(
+    atoms: Tuple = (),
+    seed: int = 0,
+    inputs: Tuple[int, ...] = (0, 1, 1, 0),
+    t: int = 1,
+    max_rounds: int = 64,
+    default_gst: Optional[int] = None,
+) -> QueryKey:
+    """Key for one DLS consensus run under a partial-synchrony schedule."""
+    return QueryKey.make(
+        "gst-run",
+        atoms=tuple(atoms),
+        seed=seed,
+        inputs=tuple(inputs),
+        t=t,
+        max_rounds=max_rounds,
+        default_gst=default_gst,
     )
 
 
@@ -325,6 +369,58 @@ def _handle_lease_run(
     return payload, run.complete
 
 
+def _handle_benor_run(
+    params: Dict[str, Any], budget: Optional[Budget], workers
+) -> Tuple[Dict[str, Any], bool]:
+    from ..circumvention.randomized import run_ben_or_traced
+
+    inputs = params.get("inputs")
+    run = run_ben_or_traced(
+        tuple(params.get("atoms", ())),
+        params.get("seed", 0),
+        n=params.get("n", 4),
+        t=params.get("t", 1),
+        inputs=None if inputs is None else tuple(inputs),
+        biased_coin=params.get("biased_coin", False),
+        max_events=params.get("max_events", 4000),
+        budget=budget,
+    )
+    payload = {
+        "trace_fingerprint": run.trace.fingerprint(),
+        "decisions": encode_canonical(tuple(sorted(run.decisions.items()))),
+        "phases": encode_canonical(tuple(sorted(run.phases.items()))),
+        "crashed": encode_canonical(run.crashed),
+        "events": run.events,
+        "agreement": run.agreement,
+        "validity": run.validity,
+    }
+    return payload, run.complete
+
+
+def _handle_gst_run(
+    params: Dict[str, Any], budget: Optional[Budget], workers
+) -> Tuple[Dict[str, Any], bool]:
+    from ..circumvention.gst import run_gst_consensus
+
+    run = run_gst_consensus(
+        tuple(params.get("atoms", ())),
+        params.get("seed", 0),
+        inputs=tuple(params.get("inputs", (0, 1, 1, 0))),
+        t=params.get("t", 1),
+        max_rounds=params.get("max_rounds", 64),
+        default_gst=params.get("default_gst"),
+        budget=budget,
+    )
+    payload = {
+        "trace_fingerprint": run.trace.fingerprint(),
+        "decisions": encode_canonical(tuple(sorted(run.decisions.items()))),
+        "rounds": run.rounds,
+        "gst": run.gst,
+        "crashed": encode_canonical(run.crashed),
+    }
+    return payload, run.complete
+
+
 _HANDLERS = {
     "flp-analysis": _handle_flp_analysis,
     "valency": _handle_valency,
@@ -332,6 +428,8 @@ _HANDLERS = {
     "chaos-campaign": _handle_chaos_campaign,
     "detector-run": _handle_detector_run,
     "lease-run": _handle_lease_run,
+    "benor-run": _handle_benor_run,
+    "gst-run": _handle_gst_run,
 }
 
 

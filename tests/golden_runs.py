@@ -39,7 +39,9 @@ from repro.chaos.targets import (
     RacyLockTarget,
 )
 from repro.circumvention.detectors import run_heartbeat_detector
+from repro.circumvention.gst import blackout_atoms, run_gst_consensus
 from repro.circumvention.leases import run_quorum_lease
+from repro.circumvention.randomized import run_ben_or_traced
 from repro.consensus.floodset import FloodSet
 from repro.consensus.synchronous import CrashAdversary, run_synchronous
 from repro.core.artifacts import atomic_write_text
@@ -144,6 +146,20 @@ def _lease_partition_run() -> Trace:
     return run_quorum_lease(atoms, 0).trace
 
 
+def _benor_scripted_crash() -> Trace:
+    # Ben-Or under a fixed delivery script with one mid-run crash: the
+    # coin-flip circumvention pinned end to end — script exhaustion
+    # hands scheduling to the seeded RNG, so this covers both regimes.
+    atoms = (3, 1, 4, 1, 5, 9, 2, 6, ("crash", 5, 2))
+    return run_ben_or_traced(atoms, 0, t=1, inputs=(0, 1, 0, 1)).trace
+
+
+def _gst_blackout_run() -> Trace:
+    # Total silence until GST round 5, then DLS decides within one
+    # coordinator rotation — the partial-synchrony receipt's happy side.
+    return run_gst_consensus(blackout_atoms(5, 4), 0, t=1).trace
+
+
 def _chaos_counterexample() -> Trace:
     # The full pipeline — fuzz, classify, shrink, replay-verify — pinned
     # end to end: the first shrunk FloodSet counterexample of a fixed
@@ -173,6 +189,8 @@ CANONICAL_RUNS: Dict[str, Callable[[], Trace]] = {
     "chaos-floodset-counterexample": _chaos_counterexample,
     "detector-heartbeat-run": _detector_heartbeat_run,
     "lease-partition-run": _lease_partition_run,
+    "benor-scripted-crash": _benor_scripted_crash,
+    "gst-blackout-run": _gst_blackout_run,
 }
 
 

@@ -1,9 +1,21 @@
-"""Tests for Ben-Or randomized consensus: safety always, liveness w.p. 1."""
+"""Ben-Or randomized consensus: safety on every seed, liveness w.p. 1.
+
+The legacy ``run_ben_or`` surface is now an adapter over the runtime
+engine (:mod:`repro.circumvention.randomized`), so the first half keeps
+the seed-era assertions verbatim; the second half exercises the engine
+directly through ``(atoms, seed)`` coordinates — hypothesis properties
+for agreement/validity on every seed, byte-identical replay, and
+bit-identical expected-round sweeps at any worker count.
+"""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.asynchronous import run_ben_or, termination_statistics
+from repro.circumvention import expected_rounds, run_ben_or_traced
 from repro.core import ModelError
+from repro.core.runtime import replay
 
 
 class TestSafety:
@@ -57,3 +69,96 @@ class TestContract:
     def test_rejects_wrong_input_count(self):
         with pytest.raises(ModelError):
             run_ben_or(3, 1, [0, 1])
+
+
+# ---------------------------------------------------------------------------
+# Runtime engine: (atoms, seed) coordinates
+# ---------------------------------------------------------------------------
+
+#: adversary schedules drawn as atoms: a script prefix plus crash atoms
+_scripts = st.lists(st.integers(0, 31), max_size=12)
+_crashes = st.lists(
+    st.tuples(
+        st.just("crash"), st.integers(0, 40), st.integers(0, 3)
+    ),
+    max_size=2,
+)
+
+
+class TestRuntimeSafety:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.tuples(*[st.integers(0, 1)] * 4))
+    def test_agreement_and_validity_on_every_seed(self, seed, inputs):
+        run = run_ben_or_traced((), seed, t=1, inputs=inputs)
+        assert run.agreement
+        assert run.validity
+
+    @settings(max_examples=30, deadline=None)
+    @given(_scripts, _crashes, st.integers(0, 10_000))
+    def test_safety_under_adversarial_atoms(self, script, crashes, seed):
+        atoms = tuple(script) + tuple(crashes)
+        run = run_ben_or_traced(atoms, seed, t=1, inputs=(0, 1, 0, 1))
+        assert run.agreement
+        assert run.validity
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(0, 1))
+    def test_unanimous_inputs_decide_that_value(self, seed, v):
+        run = run_ben_or_traced((), seed, t=1, inputs=(v,) * 4)
+        live = [p for p in run.decisions if p not in run.crashed]
+        assert all(run.decisions[p] in (None, v) for p in live)
+
+    def test_biased_coin_is_safe_but_never_terminates(self):
+        """The planted bug: anti-correlated coins re-split every phase."""
+        run = run_ben_or_traced(
+            (), 0, t=1, inputs=(0, 1, 0, 1), biased_coin=True,
+            max_events=400,
+        )
+        assert run.agreement and run.validity  # safety is coin-independent
+        assert all(v is None for v in run.decisions.values())
+
+
+class TestRuntimeReplay:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_replay_is_byte_identical(self, seed):
+        run = run_ben_or_traced((3, 1, 4, 1, 5), seed, t=1,
+                                inputs=(0, 1, 0, 1))
+        fresh = replay(run.trace)  # raises ReplayDivergence on mismatch
+        assert fresh.fingerprint() == run.trace.fingerprint()
+
+    def test_crash_atoms_replay(self):
+        atoms = (2, 7, ("crash", 3, 1))
+        run = run_ben_or_traced(atoms, 5, t=1, inputs=(1, 0, 1, 0))
+        assert run.crashed == (1,)
+        assert replay(run.trace).fingerprint() == run.trace.fingerprint()
+
+
+class TestExpectedRounds:
+    def test_sweep_terminates_and_is_clean(self):
+        sweep = expected_rounds(40, master_seed=0)
+        assert sweep.violations == ()
+        assert sweep.ok(min_termination=0.9)
+        assert sweep.ci_low <= sweep.mean_rounds <= sweep.ci_high
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_sharded_sweep_is_bit_identical(self, master_seed):
+        solo = expected_rounds(24, master_seed, workers=1)
+        duo = expected_rounds(24, master_seed, workers=2)
+        assert solo == duo  # frozen dataclass: bit-for-bit equality
+
+    def test_three_workers_match_too(self):
+        assert expected_rounds(30, 7, workers=1) == expected_rounds(
+            30, 7, workers=3
+        )
+
+    def test_biased_coin_sweep_reports_zero_termination(self):
+        sweep = expected_rounds(10, 0, biased_coin=True, max_events=300)
+        assert sweep.termination_rate == 0.0
+        assert sweep.violations == ()  # still safe on every seed
+        assert not sweep.ok()
+
+    def test_rejects_unknown_confidence(self):
+        with pytest.raises(ValueError):
+            expected_rounds(10, 0, confidence=0.42)

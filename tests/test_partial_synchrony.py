@@ -1,11 +1,23 @@
-"""Tests for partial-synchrony consensus (§2.2.4, DLS [46])."""
+"""Partial-synchrony consensus (§2.2.4, DLS [46]).
+
+The legacy ``run_dls`` surface is now an adapter over the GST engine
+(:mod:`repro.circumvention.gst`), so the first half keeps the seed-era
+assertions verbatim; the second half drives the engine directly through
+``("gst", g)`` / ``("delay", r, link, d)`` adversary atoms — hypothesis
+safety on every seed, byte-identical replay, and the provable pre-GST
+stall exiting via a structured :class:`~repro.core.budget.BudgetExceeded`
+receipt.
+"""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.asynchronous import run_dls, safety_sweep
+from repro.circumvention import blackout_atoms, run_gst_consensus
 from repro.core import ModelError
+from repro.core.budget import Budget, BudgetExceeded
+from repro.core.runtime import replay
 
 
 class TestSafety:
@@ -67,3 +79,103 @@ class TestContract:
     def test_rejects_too_many_crashes(self):
         with pytest.raises(ModelError):
             run_dls(4, 1, [0, 1, 0, 1], crashed=[0, 1])
+
+
+# ---------------------------------------------------------------------------
+# GST engine: adversary atoms as first-class schedule elements
+# ---------------------------------------------------------------------------
+
+#: partial-synchrony schedules: a GST point plus per-round link delays
+_delay_atoms = st.lists(
+    st.tuples(
+        st.just("delay"),
+        st.integers(0, 12),
+        st.tuples(st.integers(0, 3), st.integers(0, 3)),
+        st.integers(1, 3),
+    ),
+    max_size=10,
+)
+
+
+class TestAtomSafety:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(0, 10_000),
+        st.integers(1, 12),
+        _delay_atoms,
+        st.tuples(*[st.integers(0, 1)] * 4),
+    )
+    def test_agreement_on_every_seed_and_schedule(
+        self, seed, gst, delays, inputs
+    ):
+        atoms = (("gst", gst),) + tuple(delays)
+        run = run_gst_consensus(atoms, seed, inputs=inputs, t=1)
+        decided = {
+            v
+            for p, v in run.decisions.items()
+            if v is not None and p not in run.crashed
+        }
+        assert len(decided) <= 1
+        assert decided <= set(inputs)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(0, 1))
+    def test_unanimous_validity(self, seed, v):
+        run = run_gst_consensus(
+            (("gst", 2),), seed, inputs=(v,) * 4, t=1
+        )
+        assert {d for d in run.decisions.values() if d is not None} == {v}
+
+
+class TestAtomLiveness:
+    def test_blackout_decides_first_post_gst_rotation(self):
+        """Total silence until GST, then a full rotation suffices."""
+        gst = 6
+        run = run_gst_consensus(blackout_atoms(gst, 4), 0, t=1)
+        assert all(v is not None for v in run.decisions.values())
+        assert gst <= run.rounds <= gst + 4
+
+    def test_replay_is_byte_identical(self):
+        run = run_gst_consensus(
+            blackout_atoms(5, 4) + (("down", 0, 3),), 11, t=1
+        )
+        assert replay(run.trace).fingerprint() == run.trace.fingerprint()
+
+
+class TestProvableStall:
+    def test_pre_gst_stall_exits_via_structured_receipt(self):
+        """Before GST nothing can decide: the budget receipt proves it."""
+        gst, n = 8, 4
+        budget_steps = n * gst - n  # exhausted strictly before GST
+        with pytest.raises(BudgetExceeded) as exc_info:
+            run_gst_consensus(
+                blackout_atoms(gst, n),
+                0,
+                t=1,
+                meter=Budget(max_steps=budget_steps).meter("gst-stall"),
+            )
+        receipt = exc_info.value
+        assert receipt.resource == "steps"
+        assert receipt.spent > receipt.limit
+
+    def test_own_budget_returns_resumable_partial(self):
+        gst, n = 8, 4
+        partial = run_gst_consensus(
+            blackout_atoms(gst, n), 0, t=1,
+            budget=Budget(max_steps=n * 2),
+        )
+        assert not partial.complete
+        assert partial.interrupted is not None
+        assert all(v is None for v in partial.decisions.values())
+        resumed = run_gst_consensus((), resume=partial)
+        assert resumed.complete
+        assert all(v is not None for v in resumed.decisions.values())
+        # The finished trace matches an uninterrupted run byte-for-byte.
+        whole = run_gst_consensus(blackout_atoms(gst, n), 0, t=1)
+        assert resumed.trace.fingerprint() == whole.trace.fingerprint()
+
+
+class TestAtomContract:
+    def test_rejects_overpowered_fault_bound(self):
+        with pytest.raises(ModelError):
+            run_gst_consensus((("gst", 2),), 0, inputs=(0, 1, 0, 1), t=2)
